@@ -1,0 +1,128 @@
+//! Criterion benches for the end-to-end pipelines: the tub computation
+//! (the paper's efficiency axis in Figure 5(b)/(d)) and the throughput
+//! estimators it is compared against.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dcn_core::frontier::Family;
+use dcn_core::MatchingBackend;
+use dcn_estimators::{
+    BbwProxy, HoeflerMethod, JainMethod, SinglaBound, SparsestCut, ThroughputEstimator,
+    TubEstimator,
+};
+use dcn_mcf::{ksp_mcf_throughput, Engine};
+use dcn_model::{Topology, TrafficMatrix};
+
+fn jellyfish_with_tm(n_sw: usize) -> (Topology, TrafficMatrix) {
+    let topo = Family::Jellyfish.build(n_sw, 12, 4, 101).expect("jellyfish");
+    let t = dcn_core::tub(&topo, MatchingBackend::Auto { exact_below: 500 }).expect("tub");
+    let tm = t.traffic_matrix(&topo).expect("tm");
+    (topo, tm)
+}
+
+fn bench_tub_backends(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tub");
+    g.sample_size(10);
+    for n_sw in [48usize, 128, 256] {
+        let (topo, _) = jellyfish_with_tm(n_sw);
+        g.bench_with_input(BenchmarkId::new("hungarian", n_sw), &topo, |b, t| {
+            b.iter(|| dcn_core::tub(t, MatchingBackend::Exact).unwrap().bound)
+        });
+        g.bench_with_input(BenchmarkId::new("greedy", n_sw), &topo, |b, t| {
+            b.iter(|| {
+                dcn_core::tub(
+                    t,
+                    MatchingBackend::Greedy {
+                        improvement_passes: 2,
+                    },
+                )
+                .unwrap()
+                .bound
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_estimators(c: &mut Criterion) {
+    let mut g = c.benchmark_group("estimators");
+    g.sample_size(10);
+    let (topo, tm) = jellyfish_with_tm(96);
+    let estimators: Vec<Box<dyn ThroughputEstimator>> = vec![
+        Box::new(TubEstimator {
+            backend: MatchingBackend::Exact,
+        }),
+        Box::new(BbwProxy { tries: 2, seed: 3 }),
+        Box::new(SparsestCut { power_iters: 200 }),
+        Box::new(SinglaBound),
+        Box::new(HoeflerMethod { k: 16 }),
+        Box::new(JainMethod { k: 16 }),
+    ];
+    for est in estimators {
+        g.bench_function(est.name(), |b| {
+            b.iter(|| est.estimate(&topo, &tm).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_mcf_engines(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ksp_mcf");
+    g.sample_size(10);
+    let (topo, tm) = jellyfish_with_tm(32);
+    g.bench_function("exact_simplex", |b| {
+        b.iter(|| {
+            ksp_mcf_throughput(&topo, &tm, 16, Engine::Exact)
+                .unwrap()
+                .theta_lb
+        })
+    });
+    for eps in [0.1, 0.05, 0.02] {
+        g.bench_function(format!("fptas_eps{eps}"), |b| {
+            b.iter(|| {
+                ksp_mcf_throughput(&topo, &tm, 16, Engine::Fptas { eps })
+                    .unwrap()
+                    .theta_lb
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_tub_backends,
+    bench_estimators,
+    bench_mcf_engines,
+    bench_sim
+);
+criterion_main!(benches);
+
+// -- appended: simulator and routing-model benches --
+
+fn bench_sim(c: &mut Criterion) {
+    use dcn_mcf::{ecmp_throughput, vlb_throughput};
+    use dcn_sim::{flows_from_tm, max_min_rates, PathPolicy};
+    let mut g = c.benchmark_group("sim");
+    g.sample_size(10);
+    let (topo, tm) = jellyfish_with_tm(64);
+    g.bench_function("ecmp_fluid", |b| {
+        b.iter(|| ecmp_throughput(&topo, &tm).unwrap())
+    });
+    g.bench_function("vlb_fluid", |b| {
+        b.iter(|| vlb_throughput(&topo, &tm).unwrap())
+    });
+    let flows = flows_from_tm(&tm);
+    let routed = PathPolicy::EcmpHash.route_all(&topo, &flows, 5).unwrap();
+    g.bench_function("max_min_rates", |b| {
+        b.iter(|| max_min_rates(&topo, &routed).rates.len())
+    });
+    g.bench_function("route_ksp8", |b| {
+        b.iter(|| {
+            PathPolicy::KspStripe { k: 8 }
+                .route_all(&topo, &flows, 5)
+                .unwrap()
+                .len()
+        })
+    });
+    g.finish();
+}

@@ -1,0 +1,132 @@
+//! Criterion benches for the substrate layers: graph algorithms, matching,
+//! partitioning, and topology generation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dcn_core::frontier::Family;
+use dcn_graph::{ksp, DistMatrix};
+use dcn_match::{greedy_max, hungarian_max};
+use dcn_partition::{bisection_bandwidth, sparsest_cut_sweep};
+use dcn_topo::{fat_tree, jellyfish, xpander, fatclique, FatCliqueParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_apsp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("apsp");
+    g.sample_size(10);
+    for n_sw in [128usize, 512] {
+        let topo = Family::Jellyfish.build(n_sw, 12, 4, 1).unwrap();
+        g.bench_with_input(BenchmarkId::from_parameter(n_sw), &topo, |b, t| {
+            b.iter(|| DistMatrix::all_pairs(t.graph()).unwrap().rows())
+        });
+    }
+    g.finish();
+}
+
+fn bench_ksp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ksp");
+    g.sample_size(10);
+    let topo = Family::Jellyfish.build(128, 12, 4, 2).unwrap();
+    let graph = topo.graph().coalesced();
+    g.bench_function("yen_k16", |b| {
+        b.iter(|| ksp::yen(&graph, 0, 64, 16).len())
+    });
+    g.bench_function("slack_k16", |b| {
+        b.iter(|| ksp::k_shortest_by_slack(&graph, 0, 64, 16, u16::MAX).len())
+    });
+    g.finish();
+}
+
+fn bench_matching(c: &mut Criterion) {
+    let mut g = c.benchmark_group("matching");
+    g.sample_size(10);
+    for n in [64usize, 256] {
+        // Pseudo-distance weights.
+        let w = move |i: usize, j: usize| ((i * 31 + j * 17) % 7) as i64;
+        g.bench_with_input(BenchmarkId::new("hungarian", n), &n, |b, &n| {
+            b.iter(|| hungarian_max(n, w).total_weight)
+        });
+        g.bench_with_input(BenchmarkId::new("greedy", n), &n, |b, &n| {
+            b.iter(|| greedy_max(n, w).total_weight)
+        });
+    }
+    g.finish();
+}
+
+fn bench_partition(c: &mut Criterion) {
+    let mut g = c.benchmark_group("partition");
+    g.sample_size(10);
+    let topo = Family::Jellyfish.build(256, 12, 4, 3).unwrap();
+    g.bench_function("bisection_t2", |b| {
+        b.iter(|| bisection_bandwidth(&topo, 2, 7))
+    });
+    g.bench_function("spectral_sweep", |b| {
+        b.iter(|| sparsest_cut_sweep(&topo, 200).cut)
+    });
+    g.finish();
+}
+
+fn bench_generators(c: &mut Criterion) {
+    let mut g = c.benchmark_group("topo_gen");
+    g.sample_size(10);
+    g.bench_function("jellyfish_512", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(5);
+            jellyfish(512, 8, 4, &mut rng).unwrap().n_switches()
+        })
+    });
+    g.bench_function("xpander_512", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(5);
+            xpander(57, 8, 4, &mut rng).unwrap().n_switches()
+        })
+    });
+    g.bench_function("fatclique_512", |b| {
+        let p = FatCliqueParams::search(2048, 4, 12).unwrap();
+        b.iter(|| fatclique(p).unwrap().n_switches())
+    });
+    g.bench_function("fat_tree_k16", |b| {
+        b.iter(|| fat_tree(16).unwrap().n_switches())
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_apsp,
+    bench_ksp,
+    bench_matching,
+    bench_partition,
+    bench_generators
+);
+
+// -- appended: benches for the systems added after the first bench pass --
+
+fn bench_maxflow(c: &mut Criterion) {
+    use dcn_graph::{edge_connectivity, max_flow_value};
+    let mut g = c.benchmark_group("maxflow");
+    g.sample_size(10);
+    let topo = Family::Jellyfish.build(128, 12, 4, 9).unwrap();
+    let graph = topo.graph().coalesced();
+    g.bench_function("st_flow_128", |b| {
+        b.iter(|| max_flow_value(&graph, 0, 64))
+    });
+    let small = Family::Jellyfish.build(32, 10, 4, 9).unwrap();
+    g.bench_function("edge_connectivity_32", |b| {
+        b.iter(|| edge_connectivity(small.graph()))
+    });
+    g.finish();
+}
+
+fn bench_spectral(c: &mut Criterion) {
+    use dcn_graph::adjacency_lambda2;
+    let mut g = c.benchmark_group("spectral");
+    g.sample_size(10);
+    let topo = Family::Jellyfish.build(256, 12, 4, 9).unwrap();
+    g.bench_function("lambda2_256", |b| {
+        b.iter(|| adjacency_lambda2(topo.graph(), 200))
+    });
+    g.finish();
+}
+
+criterion_group!(late_benches, bench_maxflow, bench_spectral);
+criterion_main!(benches, late_benches);

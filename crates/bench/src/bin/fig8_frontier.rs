@@ -1,0 +1,64 @@
+//! Figure 8: the full-throughput frontier vs the full-bisection-bandwidth
+//! frontier, per family and servers-per-switch.
+//!
+//! Paper setup: R=32, H ∈ {6..9}, frontiers up to 25K servers. Scaled:
+//! R=14, H ∈ {3..6}, switch cap 1.5K (2K with `--large`).
+//!
+//! Expected shape (paper): both frontiers fall steeply as H grows; for the
+//! higher H values the throughput frontier sits far below the BBW frontier
+//! (many sizes have full BBW but not full throughput).
+
+use dcn_bench::{large_mode, quick_mode, Table};
+use dcn_core::frontier::{frontier_max_servers, Criterion, Family};
+use dcn_core::MatchingBackend;
+
+fn main() {
+    let radix = 14u32;
+    let max_switches = if large_mode() {
+        2048
+    } else if quick_mode() {
+        384
+    } else {
+        1536
+    };
+    let hs: &[u32] = if quick_mode() { &[4, 5] } else { &[3, 4, 5, 6] };
+    let mut table = Table::new(
+        "fig8_frontier",
+        &["family", "h", "max_servers_tub", "max_servers_bbw"],
+    );
+    for family in [Family::Jellyfish, Family::Xpander, Family::FatClique] {
+        for &h in hs {
+            let ft = frontier_max_servers(
+                family,
+                radix,
+                h,
+                Criterion::FullThroughput {
+                    backend: MatchingBackend::Auto { exact_below: 600 },
+                },
+                max_switches,
+                5,
+            )
+            .ok()
+            .flatten();
+            let fb = frontier_max_servers(
+                family,
+                radix,
+                h,
+                Criterion::FullBisection { tries: 3 },
+                max_switches,
+                5,
+            )
+            .ok()
+            .flatten();
+            let show = |v: Option<u64>| match v {
+                Some(x) => x.to_string(),
+                None => "-".to_string(),
+            };
+            table.row(&[&family.name(), &h, &show(ft), &show(fb)]);
+        }
+    }
+    table.finish();
+    println!(
+        "(search capped at {max_switches} switches; a frontier equal to the cap's server count means 'beyond cap')"
+    );
+}

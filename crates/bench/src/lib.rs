@@ -1,0 +1,140 @@
+//! Shared harness support for the experiment binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the paper
+//! (see DESIGN.md §3 for the index). They all follow the same shape:
+//! sweep a parameter grid, print an aligned table to stdout, and write a
+//! CSV into `results/` for plotting.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::fs;
+use std::io::Write;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Locates (and creates) the `results/` directory at the workspace root.
+pub fn results_dir() -> PathBuf {
+    // CARGO_MANIFEST_DIR = crates/bench; the workspace root is two up.
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("workspace root")
+        .to_path_buf();
+    let dir = root.join("results");
+    fs::create_dir_all(&dir).expect("create results dir");
+    dir
+}
+
+/// A simple result table that renders aligned text and CSV.
+pub struct Table {
+    name: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a named table with the given column headers.
+    pub fn new(name: &str, header: &[&str]) -> Self {
+        Table {
+            name: name.to_string(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row (must match the header arity).
+    pub fn row(&mut self, cells: &[&dyn Display]) {
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows
+            .push(cells.iter().map(|c| format!("{c}")).collect());
+    }
+
+    /// Prints an aligned table to stdout.
+    pub fn print(&self) {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row.iter()) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let line = |cells: &[String]| {
+            let joined: Vec<String> = cells
+                .iter()
+                .zip(widths.iter())
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect();
+            println!("  {}", joined.join("  "));
+        };
+        println!("== {} ==", self.name);
+        line(&self.header);
+        for row in &self.rows {
+            line(row);
+        }
+        println!();
+    }
+
+    /// Writes the table as `results/<name>.csv`.
+    pub fn write_csv(&self) {
+        let path = results_dir().join(format!("{}.csv", self.name));
+        let mut f = fs::File::create(&path).expect("create csv");
+        writeln!(f, "{}", self.header.join(",")).unwrap();
+        for row in &self.rows {
+            writeln!(f, "{}", row.join(",")).unwrap();
+        }
+        eprintln!("wrote {}", path.display());
+    }
+
+    /// Print + CSV in one call.
+    pub fn finish(&self) {
+        self.print();
+        self.write_csv();
+    }
+}
+
+/// Times a closure, returning `(result, seconds)`.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64())
+}
+
+/// True when `--quick` was passed (smaller sweeps for CI-style runs).
+pub fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+/// True when `--large` was passed (extended sweeps).
+pub fn large_mode() -> bool {
+    std::env::args().any(|a| a == "--large")
+}
+
+/// Formats a float with 3 decimals for table cells.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_round_trip() {
+        let mut t = Table::new("unit_test_table", &["a", "b"]);
+        t.row(&[&1, &f3(0.5)]);
+        t.row(&[&22, &"x"]);
+        t.print();
+        t.write_csv();
+        let path = results_dir().join("unit_test_table.csv");
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(content, "a,b\n1,0.500\n22,x\n");
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn timing_positive() {
+        let (v, s) = timed(|| 42);
+        assert_eq!(v, 42);
+        assert!(s >= 0.0);
+    }
+}

@@ -1,0 +1,225 @@
+//! Birkhoff–von Neumann decomposition of saturated hose traffic matrices.
+//!
+//! Theorem 2.1 of the paper rests on exactly this: a saturated hose-model
+//! traffic matrix (every switch sends and receives at full rate `H`) is
+//! `H` times a doubly-stochastic matrix, hence a convex combination of
+//! permutation matrices — so the worst-case throughput is attained at a
+//! permutation. [`birkhoff_decompose`] makes that constructive: it peels
+//! permutation components off the matrix until nothing remains, which is
+//! both a proof artifact (tests verify the reconstruction) and a practical
+//! tool (e.g. scheduling a TM as a sequence of circuit configurations).
+
+use crate::CoreError;
+use dcn_graph::NodeId;
+use dcn_match::bipartite_perfect_matching;
+use dcn_model::{Topology, TrafficMatrix};
+use std::collections::HashMap;
+
+/// One permutation component of the decomposition.
+#[derive(Debug, Clone)]
+pub struct BirkhoffComponent {
+    /// Convex weight in (0, 1].
+    pub weight: f64,
+    /// The permutation as `(src, dst)` switch pairs.
+    pub pairs: Vec<(NodeId, NodeId)>,
+}
+
+/// Decomposes a *saturated, uniform-H* hose traffic matrix into at most
+/// `max_components` permutation components: `T = H * Σ w_i P_i` with
+/// `Σ w_i = 1`.
+///
+/// Errors when the matrix is not saturated (row/column sums differing
+/// from `H` by more than 0.1%) or the peeling needs more components than
+/// allowed (Birkhoff guarantees at most `(|K|-1)^2 + 1`).
+pub fn birkhoff_decompose(
+    topo: &Topology,
+    tm: &TrafficMatrix,
+    max_components: usize,
+) -> Result<Vec<BirkhoffComponent>, CoreError> {
+    let k = topo.switches_with_servers();
+    let h = topo.h_max() as f64;
+    let index: HashMap<NodeId, usize> = k.iter().enumerate().map(|(i, &u)| (u, i)).collect();
+    let n = k.len();
+    // Dense residual in K-index space, normalized to doubly stochastic.
+    let mut residual = vec![0.0f64; n * n];
+    for d in tm.demands() {
+        let (i, j) = (index[&d.src], index[&d.dst]);
+        residual[i * n + j] += d.amount / h;
+    }
+    const TOL: f64 = 1e-3;
+    for i in 0..n {
+        let row: f64 = (0..n).map(|j| residual[i * n + j]).sum();
+        let col: f64 = (0..n).map(|j| residual[j * n + i]).sum();
+        if (row - 1.0).abs() > TOL || (col - 1.0).abs() > TOL {
+            return Err(CoreError::OutOfRegime(format!(
+                "matrix is not saturated at switch {} (row {row:.4}, col {col:.4}); \
+                 Birkhoff decomposition needs a saturated hose matrix",
+                k[i]
+            )));
+        }
+    }
+    let mut components = Vec::new();
+    let mut remaining = 1.0f64;
+    const EPS: f64 = 1e-9;
+    while remaining > EPS {
+        if components.len() >= max_components {
+            return Err(CoreError::OutOfRegime(format!(
+                "decomposition exceeded {max_components} components \
+                 (remaining mass {remaining:.6})"
+            )));
+        }
+        // Support graph and a perfect matching on it. Birkhoff's theorem
+        // (via Hall) guarantees one exists for doubly stochastic support.
+        let adj: Vec<Vec<usize>> = (0..n)
+            .map(|i| {
+                (0..n)
+                    .filter(|&j| residual[i * n + j] > EPS)
+                    .collect::<Vec<usize>>()
+            })
+            .collect();
+        let matching = bipartite_perfect_matching(n, &adj).ok_or_else(|| {
+            CoreError::OutOfRegime(
+                "no perfect matching in the residual support (numerical drift)".into(),
+            )
+        })?;
+        let weight = matching
+            .iter()
+            .enumerate()
+            .map(|(i, &j)| residual[i * n + j])
+            .fold(f64::INFINITY, f64::min);
+        for (i, &j) in matching.iter().enumerate() {
+            residual[i * n + j] -= weight;
+        }
+        remaining -= weight;
+        components.push(BirkhoffComponent {
+            weight,
+            pairs: matching
+                .iter()
+                .enumerate()
+                .map(|(i, &j)| (k[i], k[j]))
+                .collect(),
+        });
+    }
+    Ok(components)
+}
+
+/// Reconstructs the traffic matrix from components (for verification):
+/// entries `H * Σ_i w_i [P_i]_{uv}`, skipping self-pairs.
+pub fn reconstruct(
+    topo: &Topology,
+    components: &[BirkhoffComponent],
+) -> HashMap<(NodeId, NodeId), f64> {
+    let h = topo.h_max() as f64;
+    let mut acc: HashMap<(NodeId, NodeId), f64> = HashMap::new();
+    for c in components {
+        for &(u, v) in &c.pairs {
+            if u != v {
+                *acc.entry((u, v)).or_insert(0.0) += c.weight * h;
+            }
+        }
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcn_graph::Graph;
+
+    fn ring(n: usize, h: u32) -> Topology {
+        let edges: Vec<(u32, u32)> = (0..n as u32).map(|i| (i, (i + 1) % n as u32)).collect();
+        let g = Graph::from_edges(n, &edges).unwrap();
+        Topology::new(g, vec![h; n], "ring").unwrap()
+    }
+
+    #[test]
+    fn permutation_decomposes_to_itself() {
+        let t = ring(6, 3);
+        let tm = TrafficMatrix::permutation(&t, &[(0, 3), (3, 0), (1, 4), (4, 1), (2, 5), (5, 2)])
+            .unwrap();
+        let comps = birkhoff_decompose(&t, &tm, 10).unwrap();
+        assert_eq!(comps.len(), 1);
+        assert!((comps[0].weight - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn all_to_all_reconstructs() {
+        let t = ring(5, 2);
+        let tm = TrafficMatrix::all_to_all(&t).unwrap();
+        let comps = birkhoff_decompose(&t, &tm, 64).unwrap();
+        let total: f64 = comps.iter().map(|c| c.weight).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        // Reconstruction matches every entry.
+        let rec = reconstruct(&t, &comps);
+        for d in tm.demands() {
+            let got = rec.get(&(d.src, d.dst)).copied().unwrap_or(0.0);
+            assert!(
+                (got - d.amount).abs() < 1e-6,
+                "entry ({}, {}): {} vs {}",
+                d.src,
+                d.dst,
+                got,
+                d.amount
+            );
+        }
+    }
+
+    #[test]
+    fn convex_mix_recovers_weights() {
+        // 0.25 * P1 + 0.75 * P2 over 4 switches.
+        let t = ring(4, 4);
+        let p1 = TrafficMatrix::permutation(&t, &[(0, 1), (1, 0), (2, 3), (3, 2)]).unwrap();
+        let p2 = TrafficMatrix::permutation(&t, &[(0, 2), (2, 0), (1, 3), (3, 1)]).unwrap();
+        let mut demands = Vec::new();
+        for d in p1.scaled(0.25).demands() {
+            demands.push(*d);
+        }
+        for d in p2.scaled(0.75).demands() {
+            demands.push(*d);
+        }
+        let mix = TrafficMatrix::new(&t, demands).unwrap();
+        let comps = birkhoff_decompose(&t, &mix, 8).unwrap();
+        assert_eq!(comps.len(), 2);
+        let mut ws: Vec<f64> = comps.iter().map(|c| c.weight).collect();
+        ws.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!((ws[0] - 0.25).abs() < 1e-9);
+        assert!((ws[1] - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unsaturated_rejected() {
+        let t = ring(4, 2);
+        let half = TrafficMatrix::permutation(&t, &[(0, 2), (2, 0), (1, 3), (3, 1)])
+            .unwrap()
+            .scaled(0.5);
+        assert!(matches!(
+            birkhoff_decompose(&t, &half, 8),
+            Err(CoreError::OutOfRegime(_))
+        ));
+    }
+
+    #[test]
+    fn theorem21_witness() {
+        // The decomposition certifies Theorem 2.1's premise: any saturated
+        // hose matrix is a convex combination of permutations. Check on a
+        // random hose mix.
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let t = ring(8, 3);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mix = TrafficMatrix::random_hose(&t, 3, &mut rng).unwrap();
+        let comps = birkhoff_decompose(&t, &mix, 64).unwrap();
+        assert!(comps.len() <= 3 + 2, "peeling should find few components");
+        let total: f64 = comps.iter().map(|c| c.weight).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        for c in &comps {
+            // Every component is a genuine derangement of the K set.
+            assert_eq!(c.pairs.len(), 8);
+            let mut seen = std::collections::HashSet::new();
+            for &(u, v) in &c.pairs {
+                assert!(seen.insert(v), "dst {v} repeated");
+                assert_ne!(u, v, "self-pair in component");
+            }
+        }
+    }
+}

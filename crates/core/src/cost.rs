@@ -1,0 +1,159 @@
+//! Topology cost: switch counts needed to support a server population at
+//! full capacity (Figure 9, Figures A.2/A.3, and the §5.1 discussion).
+
+use crate::frontier::{satisfies, Criterion, Family};
+use crate::CoreError;
+use dcn_topo::ClosParams;
+
+/// The cheapest (fewest-switch) Clos supporting at least `n_servers` with
+/// radix-`radix` switches, searching layers 2..=5 and partial top-level
+/// deployment. A non-blocking Clos has both full bisection bandwidth and
+/// full throughput, so one count serves both criteria.
+pub fn min_clos_switches(n_servers: u64, radix: u32) -> Option<(ClosParams, u64)> {
+    let mut best: Option<(ClosParams, u64)> = None;
+    for layers in 2..=5usize {
+        let half = (radix as u64) / 2;
+        let per_pod = half.pow(layers as u32 - 1);
+        let pods_needed = n_servers.div_ceil(per_pod);
+        if pods_needed < 2 || pods_needed > radix as u64 {
+            continue;
+        }
+        let p = ClosParams {
+            radix: radix as usize,
+            layers,
+            top_pods: pods_needed as usize,
+            spine_uplink_fraction: 1.0,
+            leaf_servers: 0,
+        };
+        if p.n_servers() < n_servers {
+            continue;
+        }
+        let sw = p.n_switches();
+        if best.as_ref().map_or(true, |&(_, b)| sw < b) {
+            best = Some((p, sw));
+        }
+    }
+    best
+}
+
+/// Result of a uni-regular sizing search.
+#[derive(Debug, Clone, Copy)]
+pub struct UniRegularCost {
+    /// Servers per switch of the cheapest feasible configuration.
+    pub h: u32,
+    /// Switches used.
+    pub switches: u64,
+    /// Servers actually hosted (>= the requested population).
+    pub servers: u64,
+}
+
+/// The fewest switches with which `family` supports `n_servers` under
+/// `criterion`, searching servers-per-switch downward from `radix - 3`
+/// (fewer servers per switch = more switches, so the first feasible `H`
+/// from above is the cheapest). Returns `None` when no `H` works.
+pub fn min_uniregular_switches(
+    family: Family,
+    n_servers: u64,
+    radix: u32,
+    criterion: Criterion,
+    seed: u64,
+) -> Result<Option<UniRegularCost>, CoreError> {
+    for h in (1..=(radix.saturating_sub(3))).rev() {
+        let n_switches = n_servers.div_ceil(h as u64) as usize;
+        let topo = match family.build(n_switches, radix, h, seed) {
+            Ok(t) => t,
+            Err(_) => continue,
+        };
+        if topo.n_servers() < n_servers {
+            // Family granularity rounded down; try one size up.
+            let topo2 = match family.build(n_switches + 1, radix, h, seed) {
+                Ok(t) => t,
+                Err(_) => continue,
+            };
+            if topo2.n_servers() >= n_servers && satisfies(&topo2, criterion, seed)? {
+                return Ok(Some(UniRegularCost {
+                    h,
+                    switches: topo2.n_switches() as u64,
+                    servers: topo2.n_servers(),
+                }));
+            }
+            continue;
+        }
+        if satisfies(&topo, criterion, seed)? {
+            return Ok(Some(UniRegularCost {
+                h,
+                switches: topo.n_switches() as u64,
+                servers: topo.n_servers(),
+            }));
+        }
+    }
+    Ok(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tub::MatchingBackend;
+
+    #[test]
+    fn clos_sizing_basics() {
+        // 128 servers with radix-8: full 3-layer fat-tree (2*4^3 = 128).
+        let (p, sw) = min_clos_switches(128, 8).unwrap();
+        assert_eq!(p.layers, 3);
+        assert_eq!(p.n_servers(), 128);
+        assert_eq!(sw, 80);
+        // Partial deployment for smaller populations.
+        let (p2, sw2) = min_clos_switches(64, 8).unwrap();
+        assert!(p2.n_servers() >= 64);
+        assert!(sw2 < 80);
+    }
+
+    #[test]
+    fn clos_prefers_fewer_layers_when_possible() {
+        // 16 servers on radix-8: a leaf-spine (2-layer) suffices.
+        let (p, _) = min_clos_switches(16, 8).unwrap();
+        assert_eq!(p.layers, 2);
+    }
+
+    #[test]
+    fn no_clos_when_population_too_large() {
+        // Radix 4, 5 layers max: 2 * 2^5 = 64 servers max.
+        assert!(min_clos_switches(1_000_000, 4).is_none());
+    }
+
+    #[test]
+    fn uniregular_full_throughput_needs_more_switches_than_bbw() {
+        // The paper's cost finding, at miniature scale: for the same server
+        // population, the full-throughput Jellyfish uses at least as many
+        // switches as the full-BBW one.
+        let n = 600u64;
+        let radix = 12;
+        let ft = min_uniregular_switches(
+            Family::Jellyfish,
+            n,
+            radix,
+            Criterion::FullThroughput {
+                backend: MatchingBackend::Exact,
+            },
+            3,
+        )
+        .unwrap();
+        let fb = min_uniregular_switches(
+            Family::Jellyfish,
+            n,
+            radix,
+            Criterion::FullBisection { tries: 3 },
+            3,
+        )
+        .unwrap();
+        let (ft, fb) = (ft.expect("ft feasible"), fb.expect("fb feasible"));
+        assert!(
+            ft.switches >= fb.switches,
+            "full throughput {} vs full bbw {}",
+            ft.switches,
+            fb.switches
+        );
+        assert!(ft.h <= fb.h);
+        assert!(ft.servers >= n && fb.servers >= n);
+    }
+}

@@ -1,0 +1,109 @@
+//! Over-subscription ratios (Table 5): bisection-bandwidth based vs
+//! throughput based.
+//!
+//! The Fat-Tree paper defines over-subscription from bisection bandwidth;
+//! this paper argues throughput itself is the right measure for
+//! uni-regular topologies (`θ = f` means every server can sustain a
+//! fraction `f` of line rate, i.e. over-subscription `1 : 1/f`).
+
+use crate::tub::{tub, MatchingBackend};
+use crate::CoreError;
+use dcn_model::Topology;
+use dcn_partition::bisection_bandwidth;
+
+/// The two over-subscription measures for one topology.
+#[derive(Debug, Clone, Copy)]
+pub struct Oversubscription {
+    /// `BBW / (N/2)`: 1.0 = full bisection bandwidth. Values above 1 are
+    /// clamped (extra bisection capacity cannot be used by the hose model).
+    pub bbw_fraction: f64,
+    /// The throughput upper bound, clamped to 1.
+    pub tub_fraction: f64,
+}
+
+impl Oversubscription {
+    /// Renders a fraction as the paper's `a:b` ratio with small integers
+    /// (e.g. 0.75 → "3:4", 0.5 → "1:2").
+    pub fn ratio_string(fraction: f64) -> String {
+        let mut best = (1u32, 1u32, f64::INFINITY);
+        for den in 1..=16u32 {
+            let num = (fraction * den as f64).round().max(1.0) as u32;
+            let err = (fraction - num as f64 / den as f64).abs();
+            if err < best.2 - 1e-12 {
+                best = (num, den, err);
+            }
+        }
+        let g = gcd(best.0, best.1);
+        format!("{}:{}", best.0 / g, best.1 / g)
+    }
+}
+
+fn gcd(a: u32, b: u32) -> u32 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+/// Computes both over-subscription measures.
+pub fn oversubscription(
+    topo: &Topology,
+    backend: MatchingBackend,
+    bbw_tries: u32,
+    seed: u64,
+) -> Result<Oversubscription, CoreError> {
+    let bbw = bisection_bandwidth(topo, bbw_tries, seed);
+    let half = topo.n_servers() as f64 / 2.0;
+    let t = tub(topo, backend)?;
+    Ok(Oversubscription {
+        bbw_fraction: (bbw / half).min(1.0),
+        tub_fraction: t.bound.min(1.0),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcn_topo::{fat_tree, jellyfish};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ratio_strings_match_paper_format() {
+        assert_eq!(Oversubscription::ratio_string(0.75), "3:4");
+        assert_eq!(Oversubscription::ratio_string(0.5), "1:2");
+        assert_eq!(Oversubscription::ratio_string(1.0), "1:1");
+        assert_eq!(Oversubscription::ratio_string(2.0 / 3.0), "2:3");
+    }
+
+    #[test]
+    fn fat_tree_measures_agree() {
+        // Table 5: for Clos the two measures coincide (both 1:2 for the
+        // oversubscribed case; both full here).
+        let t = fat_tree(4).unwrap();
+        let o = oversubscription(&t, MatchingBackend::Exact, 6, 3).unwrap();
+        assert!((o.tub_fraction - 1.0).abs() < 1e-9);
+        assert!((o.bbw_fraction - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn uniregular_tub_leq_bbw_measure() {
+        // Table 5's point: the throughput-based measure is more
+        // conservative than the BBW-based one. The separation appears once
+        // maximal-permutation path lengths exceed ~3 hops, i.e. well past
+        // the Moore diameter-2 size for the network degree (here 26
+        // switches for degree 5; we use 150).
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..2 {
+            let t = jellyfish(150, 5, 5, &mut rng).unwrap();
+            let o = oversubscription(&t, MatchingBackend::Exact, 4, 11).unwrap();
+            assert!(
+                o.tub_fraction <= o.bbw_fraction + 0.02,
+                "tub {} vs bbw {}",
+                o.tub_fraction,
+                o.bbw_fraction
+            );
+        }
+    }
+}

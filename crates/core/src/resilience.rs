@@ -1,0 +1,138 @@
+//! Failure resilience (Figure 10): nominal vs actual throughput under
+//! random link failures.
+//!
+//! With failure fraction `f` and pre-failure throughput `θ`, the *nominal*
+//! throughput is `(1 - f) θ` — what graceful degradation would give. The
+//! *actual* value is the tub of the degraded topology; the gap between the
+//! two is the paper's resilience deviation.
+
+use crate::tub::{tub, MatchingBackend};
+use crate::CoreError;
+use dcn_model::Topology;
+use dcn_topo::fail_random_links;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One point of a failure sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct FailurePoint {
+    /// Fraction of links failed.
+    pub fraction: f64,
+    /// `(1 - f) * θ0`.
+    pub nominal: f64,
+    /// Mean tub over the sampled failure patterns.
+    pub actual: f64,
+    /// Trials that produced a connected degraded topology.
+    pub trials: u32,
+}
+
+/// Sweeps failure fractions, sampling `trials` random failure patterns per
+/// fraction. Disconnecting samples are skipped (and reflected in the
+/// returned per-point `trials` count).
+pub fn failure_sweep(
+    topo: &Topology,
+    fractions: &[f64],
+    trials: u32,
+    backend: MatchingBackend,
+    seed: u64,
+) -> Result<Vec<FailurePoint>, CoreError> {
+    let theta0 = tub(topo, backend)?.bound.min(1.0);
+    let mut out = Vec::with_capacity(fractions.len());
+    let mut rng = StdRng::seed_from_u64(seed);
+    for &f in fractions {
+        let mut sum = 0.0;
+        let mut ok = 0u32;
+        for _ in 0..trials.max(1) {
+            match fail_random_links(topo, f, &mut rng) {
+                Ok(degraded) => {
+                    sum += tub(&degraded, backend)?.bound.min(1.0);
+                    ok += 1;
+                }
+                Err(_) => continue,
+            }
+        }
+        let actual = if ok > 0 { sum / ok as f64 } else { 0.0 };
+        out.push(FailurePoint {
+            fraction: f,
+            nominal: (1.0 - f) * theta0,
+            actual,
+            trials: ok,
+        });
+    }
+    Ok(out)
+}
+
+/// Root-mean-square deviation of actual from nominal over a sweep
+/// (Figure 10(c)).
+pub fn rms_deviation(points: &[FailurePoint]) -> f64 {
+    if points.is_empty() {
+        return 0.0;
+    }
+    let sum: f64 = points
+        .iter()
+        .map(|p| (p.nominal - p.actual).powi(2))
+        .sum();
+    (sum / points.len() as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcn_topo::jellyfish;
+
+    #[test]
+    fn sweep_shapes() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let t = jellyfish(40, 8, 4, &mut rng).unwrap();
+        let pts = failure_sweep(
+            &t,
+            &[0.0, 0.1, 0.2],
+            2,
+            MatchingBackend::Exact,
+            5,
+        )
+        .unwrap();
+        assert_eq!(pts.len(), 3);
+        // Zero failures: actual == nominal == θ0.
+        assert!((pts[0].nominal - pts[0].actual).abs() < 1e-9);
+        // Nominal decreases linearly.
+        assert!(pts[1].nominal < pts[0].nominal);
+        assert!(pts[2].nominal < pts[1].nominal);
+        // Actual can never exceed 1 and stays non-negative.
+        for p in &pts {
+            assert!((0.0..=1.0 + 1e-9).contains(&p.actual), "{p:?}");
+            assert!(p.trials > 0);
+        }
+    }
+
+    #[test]
+    fn rms_zero_for_perfect_resilience() {
+        let pts = vec![
+            FailurePoint {
+                fraction: 0.1,
+                nominal: 0.9,
+                actual: 0.9,
+                trials: 1,
+            },
+            FailurePoint {
+                fraction: 0.2,
+                nominal: 0.8,
+                actual: 0.8,
+                trials: 1,
+            },
+        ];
+        assert_eq!(rms_deviation(&pts), 0.0);
+        assert_eq!(rms_deviation(&[]), 0.0);
+    }
+
+    #[test]
+    fn rms_positive_when_degrading_badly() {
+        let pts = vec![FailurePoint {
+            fraction: 0.1,
+            nominal: 0.9,
+            actual: 0.7,
+            trials: 1,
+        }];
+        assert!((rms_deviation(&pts) - 0.2).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,282 @@
+//! The throughput upper bound (tub) of Theorem 2.2 / Equation 1, with the
+//! Equation 18 generalization to switches whose server counts differ.
+//!
+//! Pipeline (§2.2 of the paper):
+//!
+//! 1. BFS from every server-hosting switch gives pairwise shortest-path
+//!    lengths `L_uv`.
+//! 2. A maximum-weight perfect matching on the implicit complete bipartite
+//!    graph with weights `L_uv · min(H_u, H_v)` yields the **maximal
+//!    permutation traffic matrix** — the permutation that maximizes total
+//!    (demand-weighted) path length.
+//! 3. `tub = 2E / Σ_(u,v) L_uv · min(H_u, H_v)` over the matched pairs.
+//!
+//! Any permutation yields a valid upper bound (Equation 1 takes a minimum
+//! over permutations), so the scalable greedy matching (the paper's own
+//! Algorithm 1) trades tightness for speed without losing soundness.
+
+use crate::CoreError;
+use dcn_graph::{DistMatrix, NodeId};
+use dcn_match::{greedy_max, hungarian_max, improve_2swap, Matching};
+use dcn_model::{Topology, TrafficMatrix};
+
+/// Which matching algorithm computes the maximal permutation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MatchingBackend {
+    /// Exact O(n^3) Hungarian — the tightest bound, small/medium topologies.
+    Exact,
+    /// The paper's Algorithm 1 greedy plus `passes` 2-swap sweeps.
+    Greedy {
+        /// Number of 2-swap local-search sweeps after the greedy pass.
+        improvement_passes: usize,
+    },
+    /// Exact below `exact_below` server-hosting switches, greedy above.
+    Auto {
+        /// Threshold (in server-hosting switches) for the exact backend.
+        exact_below: usize,
+    },
+}
+
+impl Default for MatchingBackend {
+    fn default() -> Self {
+        MatchingBackend::Auto { exact_below: 1024 }
+    }
+}
+
+/// Result of a tub computation.
+#[derive(Debug, Clone)]
+pub struct TubResult {
+    /// The throughput upper bound (Equation 1 / 18). May exceed 1 for
+    /// over-provisioned fabrics; `min(bound, ...)` is up to the caller.
+    pub bound: f64,
+    /// The maximal permutation: `(src, dst)` switch pairs with demand
+    /// `min(H_src, H_dst)` each.
+    pub pairs: Vec<(NodeId, NodeId)>,
+    /// The denominator `Σ L_uv · min(H_u, H_v)`.
+    pub weighted_path_len: f64,
+    /// `2E`: twice the total switch-to-switch link capacity.
+    pub capacity: f64,
+    /// Which backend produced the matching.
+    pub backend: &'static str,
+}
+
+impl TubResult {
+    /// The maximal permutation as a validated traffic matrix.
+    pub fn traffic_matrix(&self, topo: &Topology) -> Result<TrafficMatrix, CoreError> {
+        Ok(TrafficMatrix::permutation(topo, &self.pairs)?)
+    }
+
+    /// True if the bound admits full throughput (>= 1 up to fp jitter).
+    pub fn is_full_throughput(&self) -> bool {
+        self.bound >= 1.0 - 1e-9
+    }
+}
+
+/// Computes the throughput upper bound for a (near-)uni-regular or
+/// bi-regular topology.
+///
+/// ```
+/// use dcn_core::{tub, MatchingBackend};
+/// use dcn_topo::fat_tree;
+///
+/// // Every Clos has full throughput (§4.1): the bound is exactly 1.
+/// let topo = fat_tree(4)?;
+/// let bound = tub(&topo, MatchingBackend::Exact)?;
+/// assert!((bound.bound - 1.0).abs() < 1e-9);
+/// assert!(bound.is_full_throughput());
+/// # Ok::<(), dcn_core::CoreError>(())
+/// ```
+pub fn tub(topo: &Topology, backend: MatchingBackend) -> Result<TubResult, CoreError> {
+    let k = topo.switches_with_servers();
+    if k.len() < 2 {
+        return Err(CoreError::OutOfRegime(
+            "tub needs at least two switches with servers".into(),
+        ));
+    }
+    let dist = DistMatrix::from_sources(topo.graph(), &k)?;
+    let weight = |i: usize, j: usize| -> i64 {
+        if i == j {
+            return 0;
+        }
+        let (u, v) = (k[i], k[j]);
+        let h = topo.servers_at(u).min(topo.servers_at(v)) as i64;
+        dist.dist(u, v) as i64 * h
+    };
+    let n = k.len();
+    let (matching, backend_name) = run_matching(n, weight, backend);
+    let mut pairs = Vec::with_capacity(n);
+    let mut weighted_path_len = 0.0;
+    for (i, &j) in matching.assignment.iter().enumerate() {
+        if i == j {
+            continue;
+        }
+        pairs.push((k[i], k[j]));
+        weighted_path_len += weight(i, j) as f64;
+    }
+    let capacity = 2.0 * topo.graph().total_capacity();
+    if weighted_path_len <= 0.0 {
+        return Err(CoreError::OutOfRegime(
+            "maximal permutation has zero total path length".into(),
+        ));
+    }
+    Ok(TubResult {
+        bound: capacity / weighted_path_len,
+        pairs,
+        weighted_path_len,
+        capacity,
+        backend: backend_name,
+    })
+}
+
+fn run_matching(
+    n: usize,
+    weight: impl Fn(usize, usize) -> i64 + Copy,
+    backend: MatchingBackend,
+) -> (Matching, &'static str) {
+    match backend {
+        MatchingBackend::Exact => (hungarian_max(n, weight), "hungarian"),
+        MatchingBackend::Greedy { improvement_passes } => {
+            let mut m = greedy_max(n, weight);
+            improve_2swap(n, weight, &mut m, improvement_passes);
+            (m, "greedy+2swap")
+        }
+        MatchingBackend::Auto { exact_below } => {
+            if n < exact_below {
+                (hungarian_max(n, weight), "hungarian")
+            } else {
+                let mut m = greedy_max(n, weight);
+                improve_2swap(n, weight, &mut m, 2);
+                (m, "greedy+2swap")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcn_graph::Graph;
+    use dcn_topo::{fat_tree, jellyfish};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn ring(n: usize, h: u32) -> Topology {
+        let edges: Vec<(u32, u32)> = (0..n as u32).map(|i| (i, (i + 1) % n as u32)).collect();
+        let g = Graph::from_edges(n, &edges).unwrap();
+        Topology::new(g, vec![h; n], "ring").unwrap()
+    }
+
+    #[test]
+    fn five_cycle_tub_is_one() {
+        // Figure 6 middle topology: C5, H=1. Maximal permutation pairs
+        // nodes at distance 2: denominator 5*2 = 10, capacity 2E = 10.
+        let t = ring(5, 1);
+        let r = tub(&t, MatchingBackend::Exact).unwrap();
+        assert!((r.bound - 1.0).abs() < 1e-12, "bound = {}", r.bound);
+        assert_eq!(r.pairs.len(), 5);
+        assert!(r.is_full_throughput());
+    }
+
+    #[test]
+    fn four_cycle_tub() {
+        // C4, H=1: maximal permutation pairs opposite corners (distance 2),
+        // denominator 4*2 = 8, 2E = 8 → tub = 1.
+        let t = ring(4, 1);
+        let r = tub(&t, MatchingBackend::Exact).unwrap();
+        assert!((r.bound - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fat_tree_tub_is_one() {
+        // Table A.1: Clos tub = 1.00.
+        let t = fat_tree(4).unwrap();
+        let r = tub(&t, MatchingBackend::Exact).unwrap();
+        assert!((r.bound - 1.0).abs() < 1e-9, "bound = {}", r.bound);
+        let t8 = fat_tree(8).unwrap();
+        let r8 = tub(&t8, MatchingBackend::Exact).unwrap();
+        assert!((r8.bound - 1.0).abs() < 1e-9, "bound = {}", r8.bound);
+    }
+
+    #[test]
+    fn tub_upper_bounds_mcf_throughput() {
+        // Soundness: tub >= exact KSP-MCF throughput of the maximal
+        // permutation, on several random Jellyfish instances.
+        let mut rng = StdRng::seed_from_u64(3);
+        for seed in 0..3u64 {
+            let _ = seed;
+            let t = jellyfish(16, 4, 3, &mut rng).unwrap();
+            let r = tub(&t, MatchingBackend::Exact).unwrap();
+            let tm = r.traffic_matrix(&t).unwrap();
+            let th = dcn_mcf::ksp_mcf_throughput(&t, &tm, 32, dcn_mcf::Engine::Exact)
+                .unwrap()
+                .theta_lb;
+            assert!(
+                th <= r.bound + 1e-9,
+                "mcf {} > tub {} on {}",
+                th,
+                r.bound,
+                t.name()
+            );
+        }
+    }
+
+    #[test]
+    fn greedy_bound_is_valid_but_looser() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let t = jellyfish(30, 5, 4, &mut rng).unwrap();
+        let exact = tub(&t, MatchingBackend::Exact).unwrap();
+        let greedy = tub(
+            &t,
+            MatchingBackend::Greedy {
+                improvement_passes: 3,
+            },
+        )
+        .unwrap();
+        // Greedy's permutation has no greater total weight → bound no
+        // tighter (no smaller... the bound is capacity/weight, so greedy's
+        // bound is >= exact's bound).
+        assert!(greedy.bound >= exact.bound - 1e-12);
+        assert_eq!(greedy.backend, "greedy+2swap");
+        assert_eq!(exact.backend, "hungarian");
+    }
+
+    #[test]
+    fn auto_backend_switches() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let t = jellyfish(20, 4, 2, &mut rng).unwrap();
+        let small = tub(&t, MatchingBackend::Auto { exact_below: 100 }).unwrap();
+        assert_eq!(small.backend, "hungarian");
+        let large = tub(&t, MatchingBackend::Auto { exact_below: 10 }).unwrap();
+        assert_eq!(large.backend, "greedy+2swap");
+    }
+
+    #[test]
+    fn biregular_ignores_serverless_switches_in_pairs() {
+        let t = fat_tree(4).unwrap();
+        let r = tub(&t, MatchingBackend::Exact).unwrap();
+        for &(u, v) in &r.pairs {
+            assert!(t.servers_at(u) > 0);
+            assert!(t.servers_at(v) > 0);
+        }
+    }
+
+    #[test]
+    fn eq18_uses_min_h() {
+        // Two switches joined by a link, H = 1 and 3: demand min = 1,
+        // L = 1 → denominator 2 (both directions), 2E = 2 → tub = 1.
+        let g = Graph::from_edges(2, &[(0, 1)]).unwrap();
+        let t = Topology::new(g, vec![1, 3], "pair").unwrap();
+        let r = tub(&t, MatchingBackend::Exact).unwrap();
+        assert!((r.bound - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_server_switch_errors() {
+        let g = Graph::from_edges(2, &[(0, 1)]).unwrap();
+        let t = Topology::new(g, vec![2, 0], "one").unwrap();
+        assert!(matches!(
+            tub(&t, MatchingBackend::Exact),
+            Err(CoreError::OutOfRegime(_))
+        ));
+    }
+}

@@ -1,0 +1,199 @@
+//! Theorem 4.1 and its corollaries: limits that hold for *every*
+//! uni-regular topology with given `(N, R, H)`, independent of wiring and
+//! routing.
+
+use dcn_graph::moore;
+
+/// Parameters of a uni-regular design point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UniRegularParams {
+    /// Total servers.
+    pub n_servers: u64,
+    /// Switch radix.
+    pub radix: u32,
+    /// Servers per switch.
+    pub h: u32,
+}
+
+impl UniRegularParams {
+    /// Network degree `R - H`.
+    pub fn r_net(&self) -> u32 {
+        self.radix - self.h
+    }
+
+    /// Number of switches `N / H` (rounded up).
+    pub fn n_switches(&self) -> u64 {
+        (self.n_servers).div_ceil(self.h as u64)
+    }
+
+    fn validate(&self) -> Option<()> {
+        if self.h == 0 || self.radix <= self.h || self.n_servers < 2 * self.h as u64 {
+            None
+        } else {
+            Some(())
+        }
+    }
+}
+
+/// Theorem 4.1 (Equation 2): the maximum achievable throughput of any
+/// uni-regular topology with these parameters, under any routing:
+///
+/// `θ* <= N (R - H) / (H^2 D)` with `D = Σ_{m=1}^{d} W_m`.
+///
+/// Returns `None` for parameters outside the theorem's regime (no servers,
+/// degenerate degree, or no finite Moore diameter).
+pub fn universal_tub(p: UniRegularParams) -> Option<f64> {
+    p.validate()?;
+    let n_sw = p.n_servers as f64 / p.h as f64;
+    let d = moore::d_total(n_sw, p.r_net())?;
+    if d <= 0.0 {
+        return None;
+    }
+    Some(p.n_servers as f64 * p.r_net() as f64 / (p.h as f64 * p.h as f64 * d))
+}
+
+/// Equation 3: the necessary condition for *any* full-throughput
+/// uni-regular topology: `D <= N (R - H) / H^2`.
+pub fn full_throughput_possible(p: UniRegularParams) -> bool {
+    universal_tub(p).is_some_and(|b| b >= 1.0 - 1e-12)
+}
+
+/// Corollary 1: the largest `N` (multiple of `H`) for which Equation 3
+/// still admits a full-throughput uni-regular topology. Beyond this size,
+/// **no** wiring of radix-`R` switches with `H` servers each can sustain
+/// arbitrary traffic. Returns `None` when even the smallest size fails.
+pub fn max_full_throughput_servers(radix: u32, h: u32, cap: u64) -> Option<u64> {
+    if h == 0 || radix <= h {
+        return None;
+    }
+    // The bound is not perfectly monotone in N (the Moore diameter jumps),
+    // but the condition eventually fails permanently (Corollary 1 proof):
+    // scan exponentially for an upper bracket, then binary search the last
+    // stretch, then verify by linear descent over switch counts.
+    let probe = |n_servers: u64| {
+        full_throughput_possible(UniRegularParams {
+            n_servers,
+            radix,
+            h,
+        })
+    };
+    let mut last_good: Option<u64> = None;
+    let mut n = 2 * h as u64;
+    while n <= cap {
+        if probe(n) {
+            last_good = Some(n);
+        }
+        // Step by one switch for small sizes, then grow multiplicatively
+        // with a per-diameter-regime refinement below.
+        n = (n + h as u64).max(n + n / 64);
+    }
+    let coarse = last_good?;
+    // Refine: walk upward switch-by-switch from the coarse hit until the
+    // condition fails for a full Moore-diameter regime.
+    let mut best = coarse;
+    let mut n = coarse + h as u64;
+    let mut misses = 0u32;
+    while n <= cap && misses < 4096 {
+        if probe(n) {
+            best = n;
+            misses = 0;
+        } else {
+            misses += 1;
+        }
+        n += h as u64;
+    }
+    Some(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bound_decreases_with_scale() {
+        let small = universal_tub(UniRegularParams {
+            n_servers: 1_000,
+            radix: 32,
+            h: 8,
+        })
+        .unwrap();
+        let large = universal_tub(UniRegularParams {
+            n_servers: 1_000_000,
+            radix: 32,
+            h: 8,
+        })
+        .unwrap();
+        assert!(small > large);
+        assert!(large < 1.0, "1M servers at H=8 cannot be full throughput");
+    }
+
+    #[test]
+    fn paper_table3_order_of_magnitude() {
+        // Table 3 (R=32): max full-throughput N is ~111K for H=8,
+        // ~256K for H=7, ~3.97M for H=6. Our Eq-3 scan should land in the
+        // same decade; exact values depend on Moore-bound rounding.
+        let n8 = max_full_throughput_servers(32, 8, 1 << 21).unwrap();
+        assert!(
+            (50_000..300_000).contains(&n8),
+            "H=8 limit {n8} not in expected range"
+        );
+        let n7 = max_full_throughput_servers(32, 7, 1 << 22).unwrap();
+        assert!(
+            (100_000..800_000).contains(&n7),
+            "H=7 limit {n7} not in expected range"
+        );
+        assert!(n7 > n8, "smaller H must scale further");
+    }
+
+    #[test]
+    fn more_servers_per_switch_hurts() {
+        for h in 5..9u32 {
+            let a = universal_tub(UniRegularParams {
+                n_servers: 100_000,
+                radix: 32,
+                h,
+            })
+            .unwrap();
+            let b = universal_tub(UniRegularParams {
+                n_servers: 100_000,
+                radix: 32,
+                h: h + 1,
+            })
+            .unwrap();
+            assert!(a > b, "H={h}: {a} should exceed H={}: {b}", h + 1);
+        }
+    }
+
+    #[test]
+    fn degenerate_params_rejected() {
+        assert!(universal_tub(UniRegularParams {
+            n_servers: 100,
+            radix: 8,
+            h: 0
+        })
+        .is_none());
+        assert!(universal_tub(UniRegularParams {
+            n_servers: 100,
+            radix: 8,
+            h: 8
+        })
+        .is_none());
+        assert!(universal_tub(UniRegularParams {
+            n_servers: 4,
+            radix: 8,
+            h: 4
+        })
+        .is_none());
+        assert!(max_full_throughput_servers(8, 8, 1000).is_none());
+    }
+
+    #[test]
+    fn small_topologies_admit_full_throughput() {
+        // A 32-port switch with 8 servers and few switches: condition holds.
+        assert!(full_throughput_possible(UniRegularParams {
+            n_servers: 1024,
+            radix: 32,
+            h: 8
+        }));
+    }
+}

@@ -1,0 +1,203 @@
+//! BFS traversal: single-source distances, shortest-path counting, and
+//! eccentricity/diameter helpers.
+
+use crate::csr::{Graph, NodeId};
+
+impl Graph {
+    /// Unweighted single-source shortest-path distances from `src`.
+    /// Unreachable nodes get `u16::MAX`.
+    pub fn bfs_distances(&self, src: NodeId) -> Vec<u16> {
+        let mut dist = vec![u16::MAX; self.n()];
+        let mut queue = std::collections::VecDeque::with_capacity(self.n());
+        dist[src as usize] = 0;
+        queue.push_back(src);
+        while let Some(u) = queue.pop_front() {
+            let du = dist[u as usize];
+            for (v, _) in self.neighbors(u) {
+                if dist[v as usize] == u16::MAX {
+                    dist[v as usize] = du + 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+        dist
+    }
+
+    /// BFS distances from `src`, reusing caller-provided scratch buffers to
+    /// avoid repeated allocation in all-pairs loops. `dist` must have length
+    /// `n` and is fully overwritten.
+    pub fn bfs_distances_into(&self, src: NodeId, dist: &mut [u16], queue: &mut Vec<NodeId>) {
+        debug_assert_eq!(dist.len(), self.n());
+        dist.fill(u16::MAX);
+        queue.clear();
+        dist[src as usize] = 0;
+        queue.push(src);
+        let mut head = 0;
+        while head < queue.len() {
+            let u = queue[head];
+            head += 1;
+            let du = dist[u as usize];
+            for (v, _) in self.neighbors(u) {
+                if dist[v as usize] == u16::MAX {
+                    dist[v as usize] = du + 1;
+                    queue.push(v);
+                }
+            }
+        }
+    }
+
+    /// Number of distinct shortest paths from `src` to every node, saturating
+    /// at `u64::MAX`. Parallel edges count as distinct paths, matching the
+    /// intuition that each physical link provides an independent route.
+    pub fn count_shortest_paths(&self, src: NodeId) -> Vec<u64> {
+        let dist = self.bfs_distances(src);
+        let mut count = vec![0u64; self.n()];
+        count[src as usize] = 1;
+        // Process nodes in increasing distance order.
+        let mut order: Vec<NodeId> = (0..self.n() as NodeId).collect();
+        order.sort_by_key(|&v| dist[v as usize]);
+        for &u in &order {
+            if dist[u as usize] == u16::MAX || u == src {
+                continue;
+            }
+            let mut c: u64 = 0;
+            for (v, _) in self.neighbors(u) {
+                if dist[v as usize] + 1 == dist[u as usize] {
+                    c = c.saturating_add(count[v as usize]);
+                }
+            }
+            count[u as usize] = c;
+        }
+        count
+    }
+
+    /// Eccentricity of `src`: max distance to any reachable node.
+    pub fn eccentricity(&self, src: NodeId) -> u16 {
+        self.bfs_distances(src)
+            .into_iter()
+            .filter(|&d| d != u16::MAX)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Exact diameter by running BFS from every node. `O(n (n + m))`.
+    pub fn diameter(&self) -> u16 {
+        let mut dist = vec![0u16; self.n()];
+        let mut queue = Vec::with_capacity(self.n());
+        let mut best = 0u16;
+        for u in 0..self.n() as NodeId {
+            self.bfs_distances_into(u, &mut dist, &mut queue);
+            for &d in dist.iter() {
+                if d != u16::MAX && d > best {
+                    best = d;
+                }
+            }
+        }
+        best
+    }
+
+    /// Mean shortest-path length over all ordered reachable pairs `(u, v)`,
+    /// `u != v`. Returns 0 for graphs with fewer than 2 nodes.
+    pub fn average_path_length(&self) -> f64 {
+        if self.n() < 2 {
+            return 0.0;
+        }
+        let mut dist = vec![0u16; self.n()];
+        let mut queue = Vec::with_capacity(self.n());
+        let mut total: u64 = 0;
+        let mut pairs: u64 = 0;
+        for u in 0..self.n() as NodeId {
+            self.bfs_distances_into(u, &mut dist, &mut queue);
+            for (v, &d) in dist.iter().enumerate() {
+                if v as NodeId != u && d != u16::MAX {
+                    total += d as u64;
+                    pairs += 1;
+                }
+            }
+        }
+        if pairs == 0 {
+            0.0
+        } else {
+            total as f64 / pairs as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Path graph 0-1-2-3.
+    fn path4() -> Graph {
+        Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap()
+    }
+
+    /// 4-cycle.
+    fn cycle4() -> Graph {
+        Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap()
+    }
+
+    #[test]
+    fn bfs_path_graph() {
+        let g = path4();
+        assert_eq!(g.bfs_distances(0), vec![0, 1, 2, 3]);
+        assert_eq!(g.bfs_distances(2), vec![2, 1, 0, 1]);
+    }
+
+    #[test]
+    fn bfs_unreachable() {
+        let g = Graph::from_edges(3, &[(0, 1)]).unwrap();
+        let d = g.bfs_distances(0);
+        assert_eq!(d[2], u16::MAX);
+    }
+
+    #[test]
+    fn bfs_into_matches_alloc_version() {
+        let g = cycle4();
+        let mut dist = vec![0u16; 4];
+        let mut queue = Vec::new();
+        for s in 0..4u32 {
+            g.bfs_distances_into(s, &mut dist, &mut queue);
+            assert_eq!(dist, g.bfs_distances(s));
+        }
+    }
+
+    #[test]
+    fn diameter_and_ecc() {
+        assert_eq!(path4().diameter(), 3);
+        assert_eq!(cycle4().diameter(), 2);
+        assert_eq!(path4().eccentricity(1), 2);
+    }
+
+    #[test]
+    fn avg_path_length_cycle() {
+        // 4-cycle: each node has two nodes at distance 1, one at distance 2.
+        // mean = (1+1+2)/3 = 4/3.
+        let apl = cycle4().average_path_length();
+        assert!((apl - 4.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn count_shortest_paths_cycle() {
+        let g = cycle4();
+        let c = g.count_shortest_paths(0);
+        // Opposite corner of a 4-cycle has 2 shortest paths.
+        assert_eq!(c[2], 2);
+        assert_eq!(c[1], 1);
+        assert_eq!(c[0], 1);
+    }
+
+    #[test]
+    fn count_shortest_paths_parallel_edges() {
+        let g = Graph::from_edges(2, &[(0, 1), (0, 1)]).unwrap();
+        let c = g.count_shortest_paths(0);
+        assert_eq!(c[1], 2);
+    }
+
+    #[test]
+    fn count_shortest_paths_grid() {
+        // 2x2 grid is the 4-cycle; 3-node line has a single path.
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        assert_eq!(g.count_shortest_paths(0), vec![1, 1, 1]);
+    }
+}

@@ -1,0 +1,289 @@
+//! A small, dependency-free linear-programming solver.
+//!
+//! The paper solves path-based multi-commodity flow LPs with Gurobi; no
+//! comparable solver is available as an offline crate, so this workspace
+//! carries its own. The implementation is a classic dense **two-phase
+//! primal simplex** on the full tableau with Dantzig pricing and a Bland's
+//! rule fallback for anti-cycling. It is meant for the *exact* solves on
+//! small instances (hundreds of variables/constraints) that ground-truth
+//! the scalable FPTAS in `dcn-mcf`; it is not a sparse industrial solver.
+//!
+//! Model: maximize `c · x` subject to linear constraints and `x >= 0`.
+//!
+//! ```
+//! use dcn_lp::{Cmp, LinearProgram, LpStatus};
+//! // maximize 3x + 2y  s.t.  x + y <= 4, x <= 2
+//! let mut lp = LinearProgram::new(2);
+//! lp.set_objective(&[(0, 3.0), (1, 2.0)]);
+//! lp.add_constraint(&[(0, 1.0), (1, 1.0)], Cmp::Le, 4.0);
+//! lp.add_constraint(&[(0, 1.0)], Cmp::Le, 2.0);
+//! let sol = lp.solve();
+//! assert_eq!(sol.status, LpStatus::Optimal);
+//! assert!((sol.objective - 10.0).abs() < 1e-9); // x=2, y=2
+//! ```
+
+#![warn(missing_docs)]
+
+mod simplex;
+
+pub use simplex::solve_tableau;
+
+/// Constraint comparison operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cmp {
+    /// Less-than-or-equal constraint.
+    Le,
+    /// Greater-than-or-equal constraint.
+    Ge,
+    /// Equality constraint.
+    Eq,
+}
+
+/// Solver outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LpStatus {
+    /// An optimal solution was found.
+    Optimal,
+    /// No feasible point exists.
+    Infeasible,
+    /// The objective is unbounded above.
+    Unbounded,
+}
+
+/// A linear program: maximize `c · x`, `x >= 0`, subject to constraints.
+#[derive(Debug, Clone)]
+pub struct LinearProgram {
+    n_vars: usize,
+    objective: Vec<f64>,
+    rows: Vec<ConstraintRow>,
+}
+
+#[derive(Debug, Clone)]
+struct ConstraintRow {
+    coeffs: Vec<(usize, f64)>,
+    cmp: Cmp,
+    rhs: f64,
+}
+
+/// Solution of a [`LinearProgram`].
+#[derive(Debug, Clone)]
+pub struct LpSolution {
+    /// Solver outcome.
+    pub status: LpStatus,
+    /// Objective value (meaningful only when `status == Optimal`).
+    pub objective: f64,
+    /// Primal variable values (meaningful only when `status == Optimal`).
+    pub x: Vec<f64>,
+}
+
+impl LinearProgram {
+    /// Creates a program over `n_vars` non-negative variables with a zero
+    /// objective.
+    pub fn new(n_vars: usize) -> Self {
+        LinearProgram {
+            n_vars,
+            objective: vec![0.0; n_vars],
+            rows: Vec::new(),
+        }
+    }
+
+    /// Number of decision variables.
+    pub fn n_vars(&self) -> usize {
+        self.n_vars
+    }
+
+    /// Number of constraints.
+    pub fn n_constraints(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Sets objective coefficients (sparse; unspecified entries stay 0).
+    /// Panics if a variable index is out of range.
+    pub fn set_objective(&mut self, coeffs: &[(usize, f64)]) {
+        for &(j, c) in coeffs {
+            assert!(j < self.n_vars, "objective variable {j} out of range");
+            self.objective[j] = c;
+        }
+    }
+
+    /// Adds a sparse constraint row. Panics if a variable index is out of
+    /// range. Duplicate indices are summed.
+    pub fn add_constraint(&mut self, coeffs: &[(usize, f64)], cmp: Cmp, rhs: f64) {
+        let mut acc: Vec<(usize, f64)> = Vec::with_capacity(coeffs.len());
+        for &(j, c) in coeffs {
+            assert!(j < self.n_vars, "constraint variable {j} out of range");
+            if let Some(e) = acc.iter_mut().find(|(i, _)| *i == j) {
+                e.1 += c;
+            } else {
+                acc.push((j, c));
+            }
+        }
+        self.rows.push(ConstraintRow {
+            coeffs: acc,
+            cmp,
+            rhs,
+        });
+    }
+
+    /// Solves the program with two-phase primal simplex.
+    pub fn solve(&self) -> LpSolution {
+        simplex::solve(self)
+    }
+
+    pub(crate) fn rows(&self) -> &[ConstraintRow] {
+        &self.rows
+    }
+
+    pub(crate) fn objective(&self) -> &[f64] {
+        &self.objective
+    }
+}
+
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn solve3(
+        n: usize,
+        obj: &[(usize, f64)],
+        cons: &[(&[(usize, f64)], Cmp, f64)],
+    ) -> LpSolution {
+        let mut lp = LinearProgram::new(n);
+        lp.set_objective(obj);
+        for (c, cmp, b) in cons {
+            lp.add_constraint(c, *cmp, *b);
+        }
+        lp.solve()
+    }
+
+    #[test]
+    fn basic_maximization() {
+        // max 3x + 5y; x <= 4; 2y <= 12; 3x + 2y <= 18 → z = 36 at (2, 6).
+        let sol = solve3(
+            2,
+            &[(0, 3.0), (1, 5.0)],
+            &[
+                (&[(0, 1.0)], Cmp::Le, 4.0),
+                (&[(1, 2.0)], Cmp::Le, 12.0),
+                (&[(0, 3.0), (1, 2.0)], Cmp::Le, 18.0),
+            ],
+        );
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert!((sol.objective - 36.0).abs() < 1e-9);
+        assert!((sol.x[0] - 2.0).abs() < 1e-9);
+        assert!((sol.x[1] - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ge_and_eq_constraints() {
+        // max x + y; x + y <= 10; x >= 3; y = 2 → z = 5+... x=8,y=2 → 10.
+        let sol = solve3(
+            2,
+            &[(0, 1.0), (1, 1.0)],
+            &[
+                (&[(0, 1.0), (1, 1.0)], Cmp::Le, 10.0),
+                (&[(0, 1.0)], Cmp::Ge, 3.0),
+                (&[(1, 1.0)], Cmp::Eq, 2.0),
+            ],
+        );
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert!((sol.objective - 10.0).abs() < 1e-9);
+        assert!((sol.x[1] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let sol = solve3(
+            1,
+            &[(0, 1.0)],
+            &[
+                (&[(0, 1.0)], Cmp::Le, 1.0),
+                (&[(0, 1.0)], Cmp::Ge, 2.0),
+            ],
+        );
+        assert_eq!(sol.status, LpStatus::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        let sol = solve3(2, &[(0, 1.0)], &[(&[(1, 1.0)], Cmp::Le, 5.0)]);
+        assert_eq!(sol.status, LpStatus::Unbounded);
+    }
+
+    #[test]
+    fn negative_rhs_handled() {
+        // x - y <= -2  with max x, x + y <= 10 → y >= x + 2; best x = 4.
+        let sol = solve3(
+            2,
+            &[(0, 1.0)],
+            &[
+                (&[(0, 1.0), (1, -1.0)], Cmp::Le, -2.0),
+                (&[(0, 1.0), (1, 1.0)], Cmp::Le, 10.0),
+            ],
+        );
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert!((sol.objective - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_lp_terminates() {
+        // Many redundant constraints through the same vertex.
+        let sol = solve3(
+            2,
+            &[(0, 1.0), (1, 1.0)],
+            &[
+                (&[(0, 1.0)], Cmp::Le, 1.0),
+                (&[(1, 1.0)], Cmp::Le, 1.0),
+                (&[(0, 1.0), (1, 1.0)], Cmp::Le, 2.0),
+                (&[(0, 2.0), (1, 2.0)], Cmp::Le, 4.0),
+                (&[(0, 1.0), (1, 2.0)], Cmp::Le, 3.0),
+                (&[(0, 2.0), (1, 1.0)], Cmp::Le, 3.0),
+            ],
+        );
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert!((sol.objective - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_objective_feasibility_check() {
+        let sol = solve3(1, &[], &[(&[(0, 1.0)], Cmp::Eq, 3.0)]);
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert!((sol.x[0] - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn duplicate_indices_summed() {
+        // x + x <= 4 means 2x <= 4.
+        let sol = solve3(1, &[(0, 1.0)], &[(&[(0, 1.0), (0, 1.0)], Cmp::Le, 4.0)]);
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert!((sol.objective - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_var_panics() {
+        let mut lp = LinearProgram::new(1);
+        lp.set_objective(&[(3, 1.0)]);
+    }
+
+    #[test]
+    fn concurrent_flow_shape() {
+        // Miniature of the MCF LP: maximize theta with two paths sharing an
+        // edge. Variables: f1, f2, theta. Demands 1 each:
+        //   f1 - theta >= 0; f2 - theta >= 0; f1 + f2 <= 1.
+        // Optimal theta = 0.5.
+        let sol = solve3(
+            3,
+            &[(2, 1.0)],
+            &[
+                (&[(0, 1.0), (2, -1.0)], Cmp::Ge, 0.0),
+                (&[(1, 1.0), (2, -1.0)], Cmp::Ge, 0.0),
+                (&[(0, 1.0), (1, 1.0)], Cmp::Le, 1.0),
+            ],
+        );
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert!((sol.objective - 0.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,325 @@
+//! Two-phase dense primal simplex.
+//!
+//! The tableau has one row per constraint plus an objective row, and one
+//! column per variable (decision + slack/surplus + artificial) plus the
+//! RHS. Pricing is Dantzig (most negative reduced cost); after a large
+//! number of iterations the solver switches to Bland's rule, which
+//! guarantees termination on degenerate problems.
+
+use crate::{Cmp, LinearProgram, LpSolution, LpStatus};
+
+const EPS: f64 = 1e-9;
+
+struct Tableau {
+    rows: usize, // constraint rows
+    cols: usize, // total columns including RHS
+    a: Vec<f64>, // (rows + 1) x cols, last row = objective
+    basis: Vec<usize>,
+}
+
+impl Tableau {
+    #[inline]
+    fn at(&self, r: usize, c: usize) -> f64 {
+        self.a[r * self.cols + c]
+    }
+
+    #[inline]
+    fn set(&mut self, r: usize, c: usize, v: f64) {
+        self.a[r * self.cols + c] = v;
+    }
+
+    #[inline]
+    fn rhs_col(&self) -> usize {
+        self.cols - 1
+    }
+
+    fn pivot(&mut self, pr: usize, pc: usize) {
+        let cols = self.cols;
+        let piv = self.at(pr, pc);
+        debug_assert!(piv.abs() > EPS);
+        let inv = 1.0 / piv;
+        for c in 0..cols {
+            self.a[pr * cols + c] *= inv;
+        }
+        for r in 0..=self.rows {
+            if r == pr {
+                continue;
+            }
+            let factor = self.at(r, pc);
+            if factor.abs() <= EPS {
+                continue;
+            }
+            for c in 0..cols {
+                let v = self.a[pr * cols + c];
+                self.a[r * cols + c] -= factor * v;
+            }
+        }
+        self.basis[pr] = pc;
+    }
+
+    /// Runs simplex iterations on the current objective row until optimal
+    /// or unbounded. `n_price` columns are eligible for entering.
+    fn optimize(&mut self, n_price: usize) -> LpStatus {
+        let mut iters = 0usize;
+        let bland_after = 50 * (self.rows + n_price).max(64);
+        loop {
+            iters += 1;
+            // Entering column.
+            let obj_row = self.rows;
+            let mut enter: Option<usize> = None;
+            if iters <= bland_after {
+                // Dantzig: most negative reduced cost.
+                let mut best = -EPS;
+                for c in 0..n_price {
+                    let rc = self.at(obj_row, c);
+                    if rc < best {
+                        best = rc;
+                        enter = Some(c);
+                    }
+                }
+            } else {
+                // Bland: smallest index with negative reduced cost.
+                for c in 0..n_price {
+                    if self.at(obj_row, c) < -EPS {
+                        enter = Some(c);
+                        break;
+                    }
+                }
+            }
+            let pc = match enter {
+                Some(c) => c,
+                None => return LpStatus::Optimal,
+            };
+            // Ratio test.
+            let rhs = self.rhs_col();
+            let mut pr: Option<usize> = None;
+            let mut best_ratio = f64::INFINITY;
+            for r in 0..self.rows {
+                let a = self.at(r, pc);
+                if a > EPS {
+                    let ratio = self.at(r, rhs) / a;
+                    // Tie-break on smaller basis index (Bland-compatible).
+                    if ratio < best_ratio - EPS
+                        || (ratio < best_ratio + EPS
+                            && pr.map_or(true, |p| self.basis[r] < self.basis[p]))
+                    {
+                        best_ratio = ratio;
+                        pr = Some(r);
+                    }
+                }
+            }
+            match pr {
+                Some(r) => self.pivot(r, pc),
+                None => return LpStatus::Unbounded,
+            }
+        }
+    }
+}
+
+/// Solves `lp` (maximize `c · x`, `x >= 0`).
+pub(crate) fn solve(lp: &LinearProgram) -> LpSolution {
+    let n = lp.n_vars();
+    let m = lp.rows().len();
+
+    // Count auxiliary columns. Rows with negative RHS are sign-flipped
+    // first so that all RHS are non-negative.
+    #[derive(Clone, Copy)]
+    struct RowInfo {
+        flip: bool,
+        cmp: Cmp,
+    }
+    let mut infos = Vec::with_capacity(m);
+    let mut n_slack = 0usize;
+    let mut n_art = 0usize;
+    for row in lp.rows() {
+        let flip = row.rhs < 0.0;
+        let cmp = match (row.cmp, flip) {
+            (Cmp::Le, false) | (Cmp::Ge, true) => Cmp::Le,
+            (Cmp::Ge, false) | (Cmp::Le, true) => Cmp::Ge,
+            (Cmp::Eq, _) => Cmp::Eq,
+        };
+        match cmp {
+            Cmp::Le => n_slack += 1,
+            Cmp::Ge => {
+                n_slack += 1;
+                n_art += 1;
+            }
+            Cmp::Eq => n_art += 1,
+        }
+        infos.push(RowInfo { flip, cmp });
+    }
+
+    let total = n + n_slack + n_art;
+    let cols = total + 1;
+    let mut t = Tableau {
+        rows: m,
+        cols,
+        a: vec![0.0; (m + 1) * cols],
+        basis: vec![usize::MAX; m],
+    };
+
+    let mut slack_at = n;
+    let mut art_at = n + n_slack;
+    let art_start = n + n_slack;
+    for (r, (row, info)) in lp.rows().iter().zip(infos.iter()).enumerate() {
+        let sign = if info.flip { -1.0 } else { 1.0 };
+        for &(j, c) in &row.coeffs {
+            let cur = t.at(r, j);
+            t.set(r, j, cur + sign * c);
+        }
+        t.set(r, cols - 1, sign * row.rhs);
+        match info.cmp {
+            Cmp::Le => {
+                t.set(r, slack_at, 1.0);
+                t.basis[r] = slack_at;
+                slack_at += 1;
+            }
+            Cmp::Ge => {
+                t.set(r, slack_at, -1.0);
+                slack_at += 1;
+                t.set(r, art_at, 1.0);
+                t.basis[r] = art_at;
+                art_at += 1;
+            }
+            Cmp::Eq => {
+                t.set(r, art_at, 1.0);
+                t.basis[r] = art_at;
+                art_at += 1;
+            }
+        }
+    }
+
+    // Phase 1: minimize sum of artificials == maximize -sum.
+    if n_art > 0 {
+        // Objective row: +1 for each artificial (reduced costs of the
+        // maximization of -sum(artificials)), then make basic columns
+        // canonical by subtracting their rows.
+        for c in art_start..total {
+            t.set(m, c, 1.0);
+        }
+        for r in 0..m {
+            if t.basis[r] >= art_start {
+                for c in 0..cols {
+                    let v = t.at(r, c);
+                    let cur = t.at(m, c);
+                    t.set(m, c, cur - v);
+                }
+            }
+        }
+        let status = t.optimize(total);
+        debug_assert_ne!(status, LpStatus::Unbounded, "phase 1 cannot be unbounded");
+        let phase1 = -t.at(m, cols - 1);
+        if phase1 > 1e-7 {
+            return LpSolution {
+                status: LpStatus::Infeasible,
+                objective: 0.0,
+                x: vec![0.0; n],
+            };
+        }
+        // Drive remaining artificials out of the basis where possible.
+        for r in 0..m {
+            if t.basis[r] >= art_start {
+                let pc = (0..art_start).find(|&c| t.at(r, c).abs() > EPS);
+                if let Some(pc) = pc {
+                    t.pivot(r, pc);
+                }
+                // If no pivot column exists the row is redundant (all-zero
+                // over real variables); the artificial stays basic at 0.
+            }
+        }
+    }
+
+    // Phase 2: real objective. Reset objective row.
+    for c in 0..cols {
+        t.set(m, c, 0.0);
+    }
+    for (j, &cj) in lp.objective().iter().enumerate() {
+        t.set(m, j, -cj);
+    }
+    // Zero out artificial columns so they can never re-enter.
+    // (Pricing below excludes them, but keep reduced costs consistent.)
+    for r in 0..m {
+        let b = t.basis[r];
+        if b < total {
+            let factor = t.at(m, b);
+            if factor.abs() > EPS {
+                for c in 0..cols {
+                    let v = t.at(r, c);
+                    let cur = t.at(m, c);
+                    t.set(m, c, cur - factor * v);
+                }
+            }
+        }
+    }
+    let status = t.optimize(art_start); // price only real + slack columns
+    if status == LpStatus::Unbounded {
+        return LpSolution {
+            status,
+            objective: f64::INFINITY,
+            x: vec![0.0; n],
+        };
+    }
+
+    let mut x = vec![0.0; n];
+    for r in 0..m {
+        let b = t.basis[r];
+        if b < n {
+            x[b] = t.at(r, cols - 1);
+        }
+    }
+    let objective: f64 = lp
+        .objective()
+        .iter()
+        .zip(x.iter())
+        .map(|(c, v)| c * v)
+        .sum();
+    LpSolution {
+        status: LpStatus::Optimal,
+        objective,
+        x,
+    }
+}
+
+/// Solves a raw dense tableau problem: maximize `c · x` s.t. `A x <= b`,
+/// `x >= 0`, with all `b >= 0`. A convenience for tests and simple callers
+/// that avoids the [`LinearProgram`] builder.
+pub fn solve_tableau(c: &[f64], a: &[Vec<f64>], b: &[f64]) -> LpSolution {
+    let mut lp = LinearProgram::new(c.len());
+    let obj: Vec<(usize, f64)> = c.iter().copied().enumerate().collect();
+    lp.set_objective(&obj);
+    for (row, &rhs) in a.iter().zip(b.iter()) {
+        let coeffs: Vec<(usize, f64)> = row.iter().copied().enumerate().collect();
+        lp.add_constraint(&coeffs, Cmp::Le, rhs);
+    }
+    lp.solve()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solve_tableau_convenience() {
+        let sol = solve_tableau(
+            &[1.0, 1.0],
+            &[vec![1.0, 0.0], vec![0.0, 1.0]],
+            &[3.0, 4.0],
+        );
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert!((sol.objective - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn redundant_equality_rows() {
+        // x + y = 2 stated twice plus x = 1: solution x=1, y=1.
+        let mut lp = LinearProgram::new(2);
+        lp.set_objective(&[(1, 1.0)]);
+        lp.add_constraint(&[(0, 1.0), (1, 1.0)], Cmp::Eq, 2.0);
+        lp.add_constraint(&[(0, 1.0), (1, 1.0)], Cmp::Eq, 2.0);
+        lp.add_constraint(&[(0, 1.0)], Cmp::Eq, 1.0);
+        let sol = lp.solve();
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert!((sol.x[0] - 1.0).abs() < 1e-8);
+        assert!((sol.x[1] - 1.0).abs() < 1e-8);
+    }
+}

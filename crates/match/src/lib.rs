@@ -1,0 +1,455 @@
+//! Maximum-weight perfect matching on implicit complete bipartite graphs.
+//!
+//! The paper's throughput upper bound (Equation 1) is minimized by the
+//! *maximal permutation traffic matrix*: the permutation of switch pairs
+//! maximizing total shortest-path length, i.e. a maximum-weight perfect
+//! matching in a complete bipartite graph whose edge weights are pairwise
+//! distances. The paper uses igraph's Hungarian implementation; this crate
+//! provides:
+//!
+//! * [`hungarian_max`] — exact `O(n^3)` Hungarian algorithm (the
+//!   Jonker–Volgenant potentials formulation). Weights are supplied by a
+//!   closure, so the `n x n` matrix is never materialized by the caller.
+//! * [`greedy_max`] — the paper's own Algorithm 1 (Appendix D): repeatedly
+//!   pair an arbitrary unmatched node with the farthest unmatched node.
+//!   Linear passes; any permutation yields a *valid* (if looser) upper
+//!   bound in Equation 1, so this is the scalable fallback.
+//! * [`improve_2swap`] — local-search improvement for the greedy result.
+
+#![warn(missing_docs)]
+
+/// A permutation assignment: `assignment[u] = v` means `u` sends to `v`.
+/// Entries with `assignment[u] == u` represent unmatched nodes (possible
+/// only for [`greedy_max`] with odd `n`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Matching {
+    /// `assignment[u] = v`: `u` is matched to `v`.
+    pub assignment: Vec<usize>,
+    /// Total weight of the matching (self-assignments excluded).
+    pub total_weight: i64,
+}
+
+impl Matching {
+    /// Recomputes the total weight from the assignment, skipping
+    /// self-assignments.
+    pub fn weight_under(&self, w: impl Fn(usize, usize) -> i64) -> i64 {
+        self.assignment
+            .iter()
+            .enumerate()
+            .filter(|&(u, &v)| u != v)
+            .map(|(u, &v)| w(u, v))
+            .sum()
+    }
+
+    /// True if the assignment is a permutation of `0..n`.
+    pub fn is_permutation(&self) -> bool {
+        let n = self.assignment.len();
+        let mut seen = vec![false; n];
+        for &v in &self.assignment {
+            if v >= n || seen[v] {
+                return false;
+            }
+            seen[v] = true;
+        }
+        true
+    }
+}
+
+/// Exact maximum-weight perfect matching via the Hungarian algorithm with
+/// potentials, `O(n^3)` time and `O(n)` extra memory beyond weight lookups.
+///
+/// `w(u, v)` may be any i64 (negative allowed). The returned assignment is
+/// a full permutation (self-assignment allowed only if `w` makes it
+/// optimal, which cannot happen when `w(u, u)` is minimal, e.g. 0 distances
+/// — and even then it remains a valid permutation).
+///
+/// ```
+/// use dcn_match::hungarian_max;
+/// let w = [[1i64, 10], [10, 1]];
+/// let m = hungarian_max(2, |i, j| w[i][j]);
+/// assert_eq!(m.total_weight, 20);
+/// assert_eq!(m.assignment, vec![1, 0]);
+/// ```
+pub fn hungarian_max(n: usize, w: impl Fn(usize, usize) -> i64) -> Matching {
+    if n == 0 {
+        return Matching {
+            assignment: Vec::new(),
+            total_weight: 0,
+        };
+    }
+    // Convert maximization to minimization: cost = -w. The potentials
+    // formulation (e-maxx / JV) computes a minimum-cost perfect matching.
+    // 1-indexed arrays with a virtual column 0.
+    const INF: i64 = i64::MAX / 4;
+    let cost = |i: usize, j: usize| -w(i - 1, j - 1);
+    let mut u = vec![0i64; n + 1];
+    let mut v = vec![0i64; n + 1];
+    let mut p = vec![0usize; n + 1]; // p[j] = row assigned to column j
+    let mut way = vec![0usize; n + 1];
+    for i in 1..=n {
+        p[0] = i;
+        let mut j0 = 0usize;
+        let mut minv = vec![INF; n + 1];
+        let mut used = vec![false; n + 1];
+        loop {
+            used[j0] = true;
+            let i0 = p[j0];
+            let mut delta = INF;
+            let mut j1 = 0usize;
+            for j in 1..=n {
+                if !used[j] {
+                    let cur = cost(i0, j) - u[i0] - v[j];
+                    if cur < minv[j] {
+                        minv[j] = cur;
+                        way[j] = j0;
+                    }
+                    if minv[j] < delta {
+                        delta = minv[j];
+                        j1 = j;
+                    }
+                }
+            }
+            for j in 0..=n {
+                if used[j] {
+                    u[p[j]] += delta;
+                    v[j] -= delta;
+                } else {
+                    minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+            if p[j0] == 0 {
+                break;
+            }
+        }
+        loop {
+            let j1 = way[j0];
+            p[j0] = p[j1];
+            j0 = j1;
+            if j0 == 0 {
+                break;
+            }
+        }
+    }
+    let mut assignment = vec![0usize; n];
+    for j in 1..=n {
+        assignment[p[j] - 1] = j - 1;
+    }
+    let total_weight = assignment
+        .iter()
+        .enumerate()
+        .map(|(i, &j)| w(i, j))
+        .sum();
+    Matching {
+        assignment,
+        total_weight,
+    }
+}
+
+/// The paper's Algorithm 1 (Appendix D): greedy farthest-pair matching.
+///
+/// Iterates over nodes in index order; each unmatched node `u` is paired
+/// with the unmatched node `v` maximizing `w(u, v)`, producing the
+/// *symmetric* traffic pattern `(u → v, v → u)` the proof of Theorem 4.1
+/// constructs. With odd `n`, the final node stays self-assigned.
+pub fn greedy_max(n: usize, w: impl Fn(usize, usize) -> i64) -> Matching {
+    let mut assignment: Vec<usize> = (0..n).collect();
+    let mut matched = vec![false; n];
+    for u in 0..n {
+        if matched[u] {
+            continue;
+        }
+        let mut best: Option<(usize, i64)> = None;
+        for v in 0..n {
+            if v != u && !matched[v] {
+                let wt = w(u, v);
+                if best.map_or(true, |(_, bw)| wt > bw) {
+                    best = Some((v, wt));
+                }
+            }
+        }
+        if let Some((v, _)) = best {
+            assignment[u] = v;
+            assignment[v] = u;
+            matched[u] = true;
+            matched[v] = true;
+        }
+    }
+    let total_weight = assignment
+        .iter()
+        .enumerate()
+        .filter(|&(u, &v)| u != v)
+        .map(|(u, &v)| w(u, v))
+        .sum();
+    Matching {
+        assignment,
+        total_weight,
+    }
+}
+
+/// Local-search improvement: repeatedly considers pairs of assignments
+/// `(a → b, c → d)` and rewires to `(a → d, c → b)` when that increases
+/// total weight. Runs `passes` full sweeps (each `O(n^2)` weight lookups).
+/// Preserves permutation-ness; self-assignments never participate.
+pub fn improve_2swap(
+    n: usize,
+    w: impl Fn(usize, usize) -> i64,
+    matching: &mut Matching,
+    passes: usize,
+) {
+    for _ in 0..passes {
+        let mut improved = false;
+        for a in 0..n {
+            let mut b = matching.assignment[a];
+            if a == b {
+                continue;
+            }
+            for c in (a + 1)..n {
+                let d = matching.assignment[c];
+                if c == d || d == a || b == c {
+                    continue;
+                }
+                let cur = w(a, b) + w(c, d);
+                let alt = w(a, d) + w(c, b);
+                if alt > cur {
+                    matching.assignment[a] = d;
+                    matching.assignment[c] = b;
+                    matching.total_weight += alt - cur;
+                    b = d;
+                    improved = true;
+                }
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Brute-force maximum over all permutations (n <= 8).
+    fn brute_force(n: usize, w: &dyn Fn(usize, usize) -> i64) -> i64 {
+        fn go(
+            n: usize,
+            w: &dyn Fn(usize, usize) -> i64,
+            row: usize,
+            used: &mut Vec<bool>,
+            acc: i64,
+            best: &mut i64,
+        ) {
+            if row == n {
+                *best = (*best).max(acc);
+                return;
+            }
+            for col in 0..n {
+                if !used[col] {
+                    used[col] = true;
+                    go(n, w, row + 1, used, acc + w(row, col), best);
+                    used[col] = false;
+                }
+            }
+        }
+        let mut best = i64::MIN;
+        go(n, w, 0, &mut vec![false; n], 0, &mut best);
+        best
+    }
+
+    #[test]
+    fn hungarian_matches_brute_force_random() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for trial in 0..30 {
+            let n = rng.gen_range(1..=7);
+            let mat: Vec<Vec<i64>> = (0..n)
+                .map(|_| (0..n).map(|_| rng.gen_range(-20..50)).collect())
+                .collect();
+            let w = |i: usize, j: usize| mat[i][j];
+            let m = hungarian_max(n, w);
+            assert!(m.is_permutation(), "trial {trial}");
+            let bf = brute_force(n, &w);
+            assert_eq!(m.total_weight, bf, "trial {trial}: n={n} {mat:?}");
+        }
+    }
+
+    #[test]
+    fn hungarian_simple_cases() {
+        // 2x2: pick the anti-diagonal.
+        let mat = [[1i64, 10], [10, 1]];
+        let m = hungarian_max(2, |i, j| mat[i][j]);
+        assert_eq!(m.total_weight, 20);
+        assert_eq!(m.assignment, vec![1, 0]);
+        // n = 0 and n = 1.
+        assert_eq!(hungarian_max(0, |_, _| 0).total_weight, 0);
+        let one = hungarian_max(1, |_, _| 7);
+        assert_eq!(one.total_weight, 7);
+        assert_eq!(one.assignment, vec![0]);
+    }
+
+    #[test]
+    fn greedy_is_valid_permutation_and_close() {
+        let mut rng = StdRng::seed_from_u64(6);
+        for _ in 0..20 {
+            let n = rng.gen_range(2..=16);
+            // Symmetric weights (distances).
+            let mut mat = vec![vec![0i64; n]; n];
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    let d = rng.gen_range(1..10);
+                    mat[i][j] = d;
+                    mat[j][i] = d;
+                }
+            }
+            let w = |i: usize, j: usize| mat[i][j];
+            let g = greedy_max(n, w);
+            assert!(g.is_permutation());
+            if n % 2 == 0 {
+                assert!(g.assignment.iter().enumerate().all(|(u, &v)| u != v));
+            }
+            let h = hungarian_max(n, w);
+            assert!(g.total_weight <= h.total_weight);
+            // Any permutation is a valid TUB witness; greedy should not be
+            // pathologically bad on random symmetric weights.
+            assert!(g.total_weight > 0);
+        }
+    }
+
+    #[test]
+    fn greedy_odd_n_leaves_one_self_assigned() {
+        let m = greedy_max(5, |i, j| (i + j) as i64);
+        assert!(m.is_permutation());
+        let selfies = m
+            .assignment
+            .iter()
+            .enumerate()
+            .filter(|&(u, &v)| u == v)
+            .count();
+        assert_eq!(selfies, 1);
+    }
+
+    #[test]
+    fn two_swap_improves_greedy_toward_optimal() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 14;
+        let mut mat = vec![vec![0i64; n]; n];
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    mat[i][j] = rng.gen_range(1..100);
+                }
+            }
+        }
+        let w = |i: usize, j: usize| mat[i][j];
+        let mut g = greedy_max(n, w);
+        let before = g.total_weight;
+        improve_2swap(n, w, &mut g, 20);
+        assert!(g.is_permutation());
+        assert!(g.total_weight >= before);
+        assert_eq!(g.total_weight, g.weight_under(w));
+        let h = hungarian_max(n, w);
+        assert!(g.total_weight <= h.total_weight);
+    }
+
+    #[test]
+    fn weight_under_skips_self_assignments() {
+        let m = Matching {
+            assignment: vec![1, 0, 2],
+            total_weight: 0,
+        };
+        assert_eq!(m.weight_under(|_, _| 5), 10);
+    }
+}
+
+/// Unweighted bipartite perfect matching (Kuhn's augmenting-path
+/// algorithm, `O(V * E)`). `adj[u]` lists the right-side vertices `u` may
+/// match. Returns `assignment[u] = v` covering every left vertex, or
+/// `None` when no perfect matching exists.
+///
+/// Used by the Birkhoff–von Neumann decomposition (Theorem 2.1 of the
+/// paper): the support of a saturated hose traffic matrix always contains
+/// a perfect matching, which is peeled off as a permutation component.
+pub fn bipartite_perfect_matching(n: usize, adj: &[Vec<usize>]) -> Option<Vec<usize>> {
+    assert_eq!(adj.len(), n, "adjacency must cover every left vertex");
+    let mut match_right: Vec<Option<usize>> = vec![None; n];
+    let mut match_left: Vec<Option<usize>> = vec![None; n];
+
+    fn try_kuhn(
+        u: usize,
+        adj: &[Vec<usize>],
+        visited: &mut [bool],
+        match_right: &mut [Option<usize>],
+        match_left: &mut [Option<usize>],
+    ) -> bool {
+        for &v in &adj[u] {
+            if visited[v] {
+                continue;
+            }
+            visited[v] = true;
+            let free = match match_right[v] {
+                None => true,
+                Some(w) => try_kuhn(w, adj, visited, match_right, match_left),
+            };
+            if free {
+                match_right[v] = Some(u);
+                match_left[u] = Some(v);
+                return true;
+            }
+        }
+        false
+    }
+
+    for u in 0..n {
+        let mut visited = vec![false; n];
+        if !try_kuhn(u, adj, &mut visited, &mut match_right, &mut match_left) {
+            return None;
+        }
+    }
+    Some(match_left.into_iter().map(|v| v.expect("matched")).collect())
+}
+
+#[cfg(test)]
+mod bipartite_tests {
+    use super::*;
+
+    #[test]
+    fn identity_matching() {
+        let adj = vec![vec![0], vec![1], vec![2]];
+        assert_eq!(bipartite_perfect_matching(3, &adj), Some(vec![0, 1, 2]));
+    }
+
+    #[test]
+    fn forced_chain() {
+        // 0 can take {0,1}, 1 only {0}, so 0 must take 1.
+        let adj = vec![vec![0, 1], vec![0]];
+        assert_eq!(bipartite_perfect_matching(2, &adj), Some(vec![1, 0]));
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        // Two left vertices forced onto the same right vertex.
+        let adj = vec![vec![0], vec![0]];
+        assert_eq!(bipartite_perfect_matching(2, &adj), None);
+    }
+
+    #[test]
+    fn complete_bipartite_always_matches() {
+        let n = 6;
+        let adj: Vec<Vec<usize>> = (0..n).map(|_| (0..n).collect()).collect();
+        let m = bipartite_perfect_matching(n, &adj).unwrap();
+        let mut seen = vec![false; n];
+        for &v in &m {
+            assert!(!seen[v]);
+            seen[v] = true;
+        }
+    }
+
+    #[test]
+    fn hall_violation() {
+        // Three lefts restricted to two rights.
+        let adj = vec![vec![0, 1], vec![0, 1], vec![0, 1]];
+        assert_eq!(bipartite_perfect_matching(3, &adj), None);
+    }
+}

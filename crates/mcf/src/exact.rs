@@ -1,0 +1,138 @@
+//! Exact path-LP backend (Appendix H of the paper).
+//!
+//! Variables: one flow per admissible path, plus the scale factor `θ`.
+//! Maximize `θ` subject to
+//!
+//! * per commodity `(u, v)`: `Σ_p f_p >= θ t_uv`
+//! * per directed edge `e`: `Σ_{p ∋ e} f_p <= cap(e)`
+//! * `f_p, θ >= 0`
+
+use crate::pathset::PathSet;
+use crate::{McfError, ThroughputResult};
+use dcn_lp::{Cmp, LinearProgram, LpStatus};
+
+/// Solves the path LP exactly. Also reports the shortest-path flow
+/// fraction from the optimal basic solution.
+pub fn solve(ps: &PathSet) -> Result<ThroughputResult, McfError> {
+    let n_paths = ps.total_paths();
+    let theta_var = n_paths; // last variable
+    let mut lp = LinearProgram::new(n_paths + 1);
+    lp.set_objective(&[(theta_var, 1.0)]);
+
+    // Demand constraints, and per-directed-edge accumulation.
+    let mut edge_rows: Vec<Vec<(usize, f64)>> = vec![Vec::new(); ps.n_directed_edges()];
+    let mut var = 0usize;
+    for c in ps.commodities() {
+        let mut row: Vec<(usize, f64)> = Vec::with_capacity(c.paths.len() + 1);
+        for p in &c.paths {
+            row.push((var, 1.0));
+            for &hop in &p.hops {
+                edge_rows[PathSet::dir_index(hop)].push((var, 1.0));
+            }
+            var += 1;
+        }
+        row.push((theta_var, -c.demand));
+        lp.add_constraint(&row, Cmp::Ge, 0.0);
+    }
+    for (i, row) in edge_rows.iter().enumerate() {
+        if !row.is_empty() {
+            let cap = ps.graph().capacity((i / 2) as u32);
+            lp.add_constraint(row, Cmp::Le, cap);
+        }
+    }
+
+    let sol = lp.solve();
+    match sol.status {
+        LpStatus::Optimal => {}
+        LpStatus::Infeasible => return Err(McfError::SolverFailure("infeasible path LP")),
+        LpStatus::Unbounded => return Err(McfError::SolverFailure("unbounded path LP")),
+    }
+    let theta = sol.objective;
+    // Recover per-commodity flows for the shortest-path fraction.
+    let mut flows: Vec<Vec<f64>> = Vec::with_capacity(ps.commodities().len());
+    let mut var = 0usize;
+    for c in ps.commodities() {
+        let mut fc = Vec::with_capacity(c.paths.len());
+        for _ in &c.paths {
+            fc.push(sol.x[var]);
+            var += 1;
+        }
+        flows.push(fc);
+    }
+    Ok(ThroughputResult {
+        theta_lb: theta,
+        theta_ub: theta,
+        shortest_path_fraction: ps.shortest_path_fraction(&flows),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcn_graph::Graph;
+    use dcn_model::{Topology, TrafficMatrix};
+
+    fn topo(n: usize, edges: &[(u32, u32)], h: u32) -> Topology {
+        let g = Graph::from_edges(n, edges).unwrap();
+        Topology::new(g, vec![h; n], "t").unwrap()
+    }
+
+    #[test]
+    fn single_link_throughput() {
+        // Two switches, one unit link, demand H=2 each way:
+        // theta = 1/2 (each direction has capacity 1 for demand 2).
+        let t = topo(2, &[(0, 1)], 2);
+        let tm = TrafficMatrix::permutation(&t, &[(0, 1), (1, 0)]).unwrap();
+        let ps = PathSet::k_shortest(&t, &tm, 4).unwrap();
+        let r = solve(&ps).unwrap();
+        assert!((r.theta_lb - 0.5).abs() < 1e-9);
+        assert_eq!(r.theta_lb, r.theta_ub);
+    }
+
+    #[test]
+    fn square_uses_both_sides() {
+        // 4-cycle, demand 0->2 of 1 unit: two 2-hop paths, capacity 1 each:
+        // theta = 2.
+        let t = topo(4, &[(0, 1), (1, 2), (2, 3), (3, 0)], 1);
+        let tm = TrafficMatrix::permutation(&t, &[(0, 2)]).unwrap();
+        let ps = PathSet::k_shortest(&t, &tm, 4).unwrap();
+        let r = solve(&ps).unwrap();
+        assert!((r.theta_lb - 2.0).abs() < 1e-9);
+        assert_eq!(r.shortest_path_fraction, 1.0);
+    }
+
+    #[test]
+    fn trunked_link_capacity_counts() {
+        let g = Graph::from_edges(2, &[(0, 1), (0, 1), (0, 1)]).unwrap();
+        let t = Topology::new(g, vec![2; 2], "trunk").unwrap();
+        let tm = TrafficMatrix::permutation(&t, &[(0, 1)]).unwrap();
+        let ps = PathSet::k_shortest(&t, &tm, 4).unwrap();
+        let r = solve(&ps).unwrap();
+        // Capacity 3 for demand 2 → theta 1.5.
+        assert!((r.theta_lb - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_figure7_example() {
+        // The 5-switch uni-regular example of Figure 7: C5 with chords?
+        // Figure 7 uses the 5-cycle-with-all-short-chords? The topology in
+        // Figure 6 (middle): 5 switches, 3-port, H=1, ring of 5 with ...
+        // Reproduce exactly: 5 switches in a ring 0-1-2-3-4 plus chords
+        // making each switch degree 2 network (3-port switch with 1
+        // server): a plain 5-cycle.
+        // Worst-case permutation (Figure 7): 0->3, 3->1, 1->4, 4->2, 2->0
+        // (each pair at distance 2). Optimal θ = 5/6 with the shown split.
+        let t = topo(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)], 1);
+        let tm = TrafficMatrix::permutation(&t, &[(0, 3), (3, 1), (1, 4), (4, 2), (2, 0)])
+            .unwrap();
+        let ps = PathSet::k_shortest(&t, &tm, 8).unwrap();
+        let r = solve(&ps).unwrap();
+        assert!(
+            (r.theta_lb - 5.0 / 6.0).abs() < 1e-9,
+            "theta = {} != 5/6",
+            r.theta_lb
+        );
+        // The optimal routing uses non-shortest paths (1/3 of each flow).
+        assert!(r.shortest_path_fraction < 1.0);
+    }
+}

@@ -1,0 +1,138 @@
+//! Path-based multi-commodity flow (MCF) throughput — the `KSP-MCF`
+//! procedure of the paper (§3.1 and Appendix H).
+//!
+//! Given a topology and a traffic matrix `T`, the throughput `θ(T)` is the
+//! largest scale factor such that `θ(T) · T` can be routed without
+//! exceeding any link capacity, with each commodity restricted to its K
+//! shortest paths. Two backends solve the same LP:
+//!
+//! * [`Engine::Exact`] — the path LP of Appendix H solved with the
+//!   `dcn-lp` simplex. Exact, but only practical for small instances.
+//! * [`Engine::Fptas`] — the Garg–Könemann / Fleischer multiplicative-
+//!   weights algorithm for maximum concurrent flow, restricted to the same
+//!   path sets. Returns a **certified bracket** `[theta_lb, theta_ub]`:
+//!   `theta_lb` comes from an explicitly feasible flow, `theta_ub` from
+//!   the LP dual, so `theta_lb <= θ(T) <= theta_ub` always holds.
+//!
+//! Both backends also report the fraction of routed flow that travels on
+//! shortest paths (Figure 4(a) of the paper).
+
+#![warn(missing_docs)]
+
+pub mod exact;
+pub mod fptas;
+pub mod pathset;
+pub mod routing;
+
+pub use pathset::{Commodity, PathSet};
+pub use routing::{ecmp_throughput, vlb_throughput};
+
+use dcn_model::{ModelError, Topology, TrafficMatrix};
+
+/// Throughput computation backend.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Engine {
+    /// Exact simplex on the path LP.
+    Exact,
+    /// Garg–Könemann FPTAS with accuracy parameter `eps` in (0, 0.5).
+    Fptas {
+        /// Accuracy: the bracket converges to within `eps` relative gap.
+        eps: f64,
+    },
+}
+
+/// Result of a throughput computation.
+#[derive(Debug, Clone)]
+pub struct ThroughputResult {
+    /// Certified lower bound on `θ(T)` (a feasible flow achieves it).
+    pub theta_lb: f64,
+    /// Certified upper bound on `θ(T)`.
+    pub theta_ub: f64,
+    /// Fraction of total routed flow volume carried on shortest paths.
+    pub shortest_path_fraction: f64,
+}
+
+impl ThroughputResult {
+    /// Midpoint estimate of `θ(T)`.
+    pub fn theta(&self) -> f64 {
+        0.5 * (self.theta_lb + self.theta_ub)
+    }
+}
+
+/// Errors from MCF throughput computation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum McfError {
+    /// Underlying model error.
+    Model(ModelError),
+    /// A commodity has no path between its endpoints.
+    NoPath {
+        /// Source switch.
+        src: u32,
+        /// Destination switch.
+        dst: u32,
+    },
+    /// The traffic matrix is empty.
+    EmptyTraffic,
+    /// Invalid epsilon for the FPTAS.
+    BadEps(f64),
+    /// The LP solver reported an unexpected status.
+    SolverFailure(&'static str),
+}
+
+impl From<ModelError> for McfError {
+    fn from(e: ModelError) -> Self {
+        McfError::Model(e)
+    }
+}
+
+impl std::fmt::Display for McfError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            McfError::Model(e) => write!(f, "model error: {e}"),
+            McfError::NoPath { src, dst } => write!(f, "no path from {src} to {dst}"),
+            McfError::EmptyTraffic => write!(f, "traffic matrix is empty"),
+            McfError::BadEps(e) => write!(f, "fptas eps must be in (0, 0.5), got {e}"),
+            McfError::SolverFailure(s) => write!(f, "lp solver failure: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for McfError {}
+
+/// Computes `θ(T)` with each commodity restricted to its `k` shortest
+/// paths (the paper's KSP-MCF). Convenience wrapper that builds the path
+/// set and dispatches on the engine.
+///
+/// ```
+/// use dcn_graph::Graph;
+/// use dcn_mcf::{ksp_mcf_throughput, Engine};
+/// use dcn_model::{Topology, TrafficMatrix};
+///
+/// // The paper's Figure 7: C5 with the distance-2 permutation has θ = 5/6.
+/// let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)])?;
+/// let topo = Topology::new(g, vec![1; 5], "c5")?;
+/// let tm = TrafficMatrix::permutation(&topo, &[(0, 3), (3, 1), (1, 4), (4, 2), (2, 0)])?;
+/// let res = ksp_mcf_throughput(&topo, &tm, 8, Engine::Exact)?;
+/// assert!((res.theta_lb - 5.0 / 6.0).abs() < 1e-9);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn ksp_mcf_throughput(
+    topo: &Topology,
+    tm: &TrafficMatrix,
+    k: usize,
+    engine: Engine,
+) -> Result<ThroughputResult, McfError> {
+    let ps = PathSet::k_shortest(topo, tm, k)?;
+    throughput_on_paths(&ps, engine)
+}
+
+/// Computes `θ(T)` over an explicit path set.
+pub fn throughput_on_paths(
+    ps: &PathSet,
+    engine: Engine,
+) -> Result<ThroughputResult, McfError> {
+    match engine {
+        Engine::Exact => exact::solve(ps),
+        Engine::Fptas { eps } => fptas::solve(ps, eps),
+    }
+}

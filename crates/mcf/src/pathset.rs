@@ -1,0 +1,247 @@
+//! Per-commodity restricted path sets over the coalesced switch graph.
+
+use crate::McfError;
+use dcn_graph::ksp;
+use dcn_graph::{EdgeId, Graph, NodeId};
+use dcn_model::{Topology, TrafficMatrix};
+use std::collections::HashMap;
+
+/// A path represented as directed edge hops on the coalesced graph.
+#[derive(Debug, Clone)]
+pub struct PathRepr {
+    /// Node sequence (`nodes[0]` = src).
+    pub nodes: Vec<NodeId>,
+    /// Undirected edge id of each hop, with the direction flag: `true`
+    /// when the hop traverses the edge from its stored `u` to `v` endpoint.
+    pub hops: Vec<(EdgeId, bool)>,
+}
+
+impl PathRepr {
+    /// Hop count.
+    pub fn len(&self) -> usize {
+        self.hops.len()
+    }
+
+    /// True for the trivial (empty) path.
+    pub fn is_empty(&self) -> bool {
+        self.hops.is_empty()
+    }
+}
+
+/// One commodity: demand between a switch pair plus its admissible paths.
+#[derive(Debug, Clone)]
+pub struct Commodity {
+    /// Source switch.
+    pub src: NodeId,
+    /// Destination switch.
+    pub dst: NodeId,
+    /// Demand volume.
+    pub demand: f64,
+    /// Admissible paths, non-decreasing in length; `paths[0]` is shortest.
+    pub paths: Vec<PathRepr>,
+    /// Shortest-path length for this pair.
+    pub sp_len: usize,
+}
+
+/// A complete MCF instance: the coalesced graph (capacities per direction)
+/// and one commodity per traffic-matrix entry.
+#[derive(Debug)]
+pub struct PathSet {
+    graph: Graph,
+    commodities: Vec<Commodity>,
+}
+
+impl PathSet {
+    /// Builds path sets with up to `k` shortest paths per commodity.
+    pub fn k_shortest(
+        topo: &Topology,
+        tm: &TrafficMatrix,
+        k: usize,
+    ) -> Result<Self, McfError> {
+        Self::build(topo, tm, |g, src, dst| {
+            ksp::k_shortest_by_slack(g, src, dst, k, u16::MAX)
+        })
+    }
+
+    /// Builds path sets containing every path within `slack` hops of the
+    /// shortest, capped at `cap` paths per commodity (used by the
+    /// Theorem 8.4 lower-bound computation, where `slack = M`).
+    pub fn within_slack(
+        topo: &Topology,
+        tm: &TrafficMatrix,
+        slack: u16,
+        cap: usize,
+    ) -> Result<Self, McfError> {
+        Self::build(topo, tm, |g, src, dst| {
+            ksp::paths_within_slack(g, src, dst, slack, cap)
+        })
+    }
+
+    fn build(
+        topo: &Topology,
+        tm: &TrafficMatrix,
+        enumerate: impl Fn(&Graph, NodeId, NodeId) -> Vec<ksp::Path>,
+    ) -> Result<Self, McfError> {
+        if tm.is_empty() {
+            return Err(McfError::EmptyTraffic);
+        }
+        let graph = topo.graph().coalesced();
+        // Edge lookup for hop resolution.
+        let mut lookup: HashMap<(NodeId, NodeId), EdgeId> = HashMap::new();
+        for (e, &(u, v)) in graph.edges().iter().enumerate() {
+            lookup.insert((u, v), e as EdgeId);
+            lookup.insert((v, u), e as EdgeId);
+        }
+        let mut commodities = Vec::with_capacity(tm.len());
+        for d in tm.demands() {
+            let raw = enumerate(&graph, d.src, d.dst);
+            if raw.is_empty() {
+                return Err(McfError::NoPath {
+                    src: d.src,
+                    dst: d.dst,
+                });
+            }
+            let sp_len = raw.iter().map(|p| p.len() - 1).min().expect("non-empty");
+            let paths: Vec<PathRepr> = raw
+                .into_iter()
+                .map(|nodes| {
+                    let hops = nodes
+                        .windows(2)
+                        .map(|w| {
+                            let e = lookup[&(w[0], w[1])];
+                            let (u, _) = graph.edge(e);
+                            (e, u == w[0])
+                        })
+                        .collect();
+                    PathRepr { nodes, hops }
+                })
+                .collect();
+            commodities.push(Commodity {
+                src: d.src,
+                dst: d.dst,
+                demand: d.amount,
+                paths,
+                sp_len,
+            });
+        }
+        Ok(PathSet { graph, commodities })
+    }
+
+    /// The coalesced graph the paths live on.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The commodities.
+    pub fn commodities(&self) -> &[Commodity] {
+        &self.commodities
+    }
+
+    /// Total number of paths across all commodities.
+    pub fn total_paths(&self) -> usize {
+        self.commodities.iter().map(|c| c.paths.len()).sum()
+    }
+
+    /// Number of directed capacity slots (2 per undirected edge).
+    pub fn n_directed_edges(&self) -> usize {
+        2 * self.graph.m()
+    }
+
+    /// Directed-edge index of a hop: `2 * edge + direction`.
+    #[inline]
+    pub fn dir_index(hop: (EdgeId, bool)) -> usize {
+        2 * hop.0 as usize + hop.1 as usize
+    }
+
+    /// Computes, given per-path flows (indexed commodity-major in the same
+    /// order as `commodities`), the fraction of flow volume on shortest
+    /// paths. Returns 1.0 when no flow is routed.
+    pub fn shortest_path_fraction(&self, flows: &[Vec<f64>]) -> f64 {
+        let mut on_sp = 0.0;
+        let mut total = 0.0;
+        for (c, fc) in self.commodities.iter().zip(flows.iter()) {
+            for (p, &f) in c.paths.iter().zip(fc.iter()) {
+                total += f;
+                if p.len() == c.sp_len {
+                    on_sp += f;
+                }
+            }
+        }
+        if total <= 0.0 {
+            1.0
+        } else {
+            on_sp / total
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcn_graph::Graph;
+    use dcn_model::{Topology, TrafficMatrix};
+
+    fn square_topo() -> Topology {
+        // 4-cycle with 2 servers per switch.
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+        Topology::new(g, vec![2; 4], "square").unwrap()
+    }
+
+    #[test]
+    fn builds_paths_with_hops() {
+        let t = square_topo();
+        let tm = TrafficMatrix::permutation(&t, &[(0, 2), (2, 0)]).unwrap();
+        let ps = PathSet::k_shortest(&t, &tm, 4).unwrap();
+        assert_eq!(ps.commodities().len(), 2);
+        let c = &ps.commodities()[0];
+        assert_eq!(c.sp_len, 2);
+        assert_eq!(c.paths.len(), 2); // both sides of the square
+        for p in &c.paths {
+            assert_eq!(p.nodes.len(), p.hops.len() + 1);
+        }
+    }
+
+    #[test]
+    fn no_path_errors() {
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        let t = Topology::new(g, vec![2; 4], "split").unwrap();
+        let tm = TrafficMatrix::permutation(&t, &[(0, 2)]).unwrap();
+        assert_eq!(
+            PathSet::k_shortest(&t, &tm, 4).unwrap_err(),
+            McfError::NoPath { src: 0, dst: 2 }
+        );
+    }
+
+    #[test]
+    fn parallel_links_coalesced_into_capacity() {
+        let g = Graph::from_edges(2, &[(0, 1), (0, 1), (0, 1)]).unwrap();
+        let t = Topology::new(g, vec![2; 2], "trunk").unwrap();
+        let tm = TrafficMatrix::permutation(&t, &[(0, 1)]).unwrap();
+        let ps = PathSet::k_shortest(&t, &tm, 8).unwrap();
+        assert_eq!(ps.graph().m(), 1);
+        assert_eq!(ps.graph().capacity(0), 3.0);
+        assert_eq!(ps.commodities()[0].paths.len(), 1);
+    }
+
+    #[test]
+    fn slack_pathset_bounded() {
+        let t = square_topo();
+        let tm = TrafficMatrix::permutation(&t, &[(0, 2)]).unwrap();
+        let ps = PathSet::within_slack(&t, &tm, 0, 100).unwrap();
+        assert_eq!(ps.commodities()[0].paths.len(), 2);
+        assert_eq!(ps.total_paths(), 2);
+    }
+
+    #[test]
+    fn sp_fraction_counts_volume() {
+        let t = square_topo();
+        let tm = TrafficMatrix::permutation(&t, &[(0, 2)]).unwrap();
+        let ps = PathSet::k_shortest(&t, &tm, 8).unwrap();
+        // Both paths are shortest on the square.
+        let flows = vec![vec![1.0, 3.0]];
+        assert_eq!(ps.shortest_path_fraction(&flows), 1.0);
+        // No flow at all.
+        let flows = vec![vec![0.0, 0.0]];
+        assert_eq!(ps.shortest_path_fraction(&flows), 1.0);
+    }
+}

@@ -1,0 +1,118 @@
+//! F10: the fault-tolerant AB fat-tree (Liu et al., NSDI'13).
+//!
+//! Same switch inventory as the 3-tier k-ary fat-tree, but pods alternate
+//! between two core-striping patterns:
+//!
+//! * **A-pods** (even index): aggregation switch `a` connects to core row
+//!   `a` — cores `(a, c)` for all `c` (the classic fat-tree striping).
+//! * **B-pods** (odd index): aggregation switch `a` connects to core
+//!   *column* `a` — cores `(g, a)` for all `g` (the transposed striping).
+//!
+//! The alternation gives every core two kinds of pods one hop away, which
+//! is what shortens F10's failure re-routing detours. Capacity-wise the
+//! fabric is a rearrangeably non-blocking Clos, and the paper conjectures
+//! (§4.1) that F10 retains full throughput — `tub` confirms the bound is
+//! 1 on every instance here.
+
+use dcn_graph::Graph;
+use dcn_model::{ModelError, Topology};
+
+/// Builds a 3-tier F10 AB fat-tree from radix-`k` switches
+/// (`k` even, >= 4): `k` pods of `k/2` edge + `k/2` aggregation switches,
+/// `(k/2)^2` cores, `k^3/4` servers.
+pub fn f10(k: usize) -> Result<Topology, ModelError> {
+    if k < 4 || k % 2 != 0 {
+        return Err(ModelError::InfeasibleParams(format!(
+            "f10 needs even k >= 4 (got {k})"
+        )));
+    }
+    let half = k / 2;
+    let n_edge = k * half;
+    let n_agg = k * half;
+    let n_core = half * half;
+    let n = n_edge + n_agg + n_core;
+    let edge_id = |pod: usize, i: usize| (pod * half + i) as u32;
+    let agg_id = |pod: usize, a: usize| (n_edge + pod * half + a) as u32;
+    let core_id = |row: usize, col: usize| (n_edge + n_agg + row * half + col) as u32;
+    let mut edges = Vec::with_capacity(n_edge * half * 2);
+    for pod in 0..k {
+        for i in 0..half {
+            for a in 0..half {
+                edges.push((edge_id(pod, i), agg_id(pod, a)));
+            }
+        }
+        let type_a = pod % 2 == 0;
+        for a in 0..half {
+            for c in 0..half {
+                let core = if type_a {
+                    core_id(a, c) // classic striping
+                } else {
+                    core_id(c, a) // transposed striping
+                };
+                edges.push((agg_id(pod, a), core));
+            }
+        }
+    }
+    let mut servers = vec![0u32; n];
+    for s in servers.iter_mut().take(n_edge) {
+        *s = half as u32;
+    }
+    let graph = Graph::from_edges(n, &edges)?;
+    Topology::new(graph, servers, format!("f10-k{k}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fat_tree;
+    use dcn_model::TopoClass;
+
+    #[test]
+    fn same_inventory_as_fat_tree() {
+        let f = f10(4).unwrap();
+        let ft = fat_tree(4).unwrap();
+        assert_eq!(f.n_switches(), ft.n_switches());
+        assert_eq!(f.n_servers(), ft.n_servers());
+        assert_eq!(f.graph().m(), ft.graph().m());
+        assert_eq!(f.class(), TopoClass::BiRegular { h: 2 });
+    }
+
+    #[test]
+    fn all_ports_used_exactly() {
+        let k = 6;
+        let f = f10(k).unwrap();
+        for u in 0..f.n_switches() as u32 {
+            assert_eq!(f.used_ports(u), k as f64, "switch {u}");
+        }
+        assert!(f.graph().is_connected());
+    }
+
+    #[test]
+    fn ab_pods_stripe_differently() {
+        let k = 4;
+        let f = f10(k).unwrap();
+        let half = k / 2;
+        let n_edge = k * half;
+        let agg = |pod: usize, a: usize| (n_edge + pod * half + a) as u32;
+        // Cores of agg 0 in pod 0 (A) vs pod 1 (B) must differ.
+        let cores = |sw: u32| -> Vec<u32> {
+            let mut v: Vec<u32> = f
+                .graph()
+                .neighbors(sw)
+                .map(|(x, _)| x)
+                .filter(|&x| x as usize >= 2 * n_edge)
+                .collect();
+            v.sort();
+            v
+        };
+        assert_ne!(cores(agg(0, 0)), cores(agg(1, 0)));
+        // But pods of the same type stripe identically.
+        assert_eq!(cores(agg(0, 0)), cores(agg(2, 0)));
+    }
+
+    #[test]
+    fn odd_k_rejected() {
+        assert!(f10(5).is_err());
+        assert!(f10(2).is_err());
+    }
+}

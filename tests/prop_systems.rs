@@ -1,0 +1,162 @@
+//! Property tests for the systems layered on the core bound: the Clos
+//! builder's analytics, serialization, workloads, routing models, and the
+//! flow-level simulator.
+
+use dcn::mcf::{ecmp_throughput, vlb_throughput};
+use dcn::model::workload;
+use dcn::model::{Topology, TrafficMatrix};
+use dcn::sim::{flows_from_tm, max_min_rates, run_to_completion, PathPolicy, SizedFlow};
+use dcn::topo::{folded_clos, jellyfish, ClosParams};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn jelly_spec() -> impl Strategy<Value = (usize, usize, u32, u64)> {
+    (10usize..32, 4usize..7, 2u32..5, any::<u64>())
+        .prop_filter("parity", |(n, r, _h, _s)| n * r % 2 == 0 && r < n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The Clos builder exactly matches its analytic counts and never
+    /// exceeds the switch radix.
+    #[test]
+    fn clos_analytics_match_built(
+        radix in (2usize..7).prop_map(|h| h * 2),
+        layers in 2usize..4,
+        pods_frac in 0.2f64..1.0,
+    ) {
+        let top_pods = ((radix as f64 * pods_frac) as usize).max(2);
+        let p = ClosParams {
+            radix,
+            layers,
+            top_pods,
+            spine_uplink_fraction: 1.0,
+            leaf_servers: 0,
+        };
+        let t = folded_clos(p).unwrap();
+        prop_assert_eq!(t.n_servers(), p.n_servers());
+        prop_assert_eq!(t.n_switches() as u64, p.n_switches());
+        for u in 0..t.n_switches() as u32 {
+            prop_assert!(t.used_ports(u) <= radix as f64 + 1e-9,
+                "switch {} uses {} > radix {}", u, t.used_ports(u), radix);
+        }
+        prop_assert!(t.graph().is_connected());
+    }
+
+    /// JSON round trip preserves everything.
+    #[test]
+    fn topology_json_round_trip((n, r, h, seed) in jelly_spec()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let t = jellyfish(n, r, h, &mut rng).unwrap();
+        let back = Topology::from_json(&t.to_json()).unwrap();
+        prop_assert_eq!(back.name(), t.name());
+        prop_assert_eq!(back.servers(), t.servers());
+        prop_assert_eq!(back.graph().edges(), t.graph().edges());
+    }
+
+    /// Workload generators always emit hose-feasible traffic.
+    #[test]
+    fn workloads_are_hose_feasible((n, r, h, seed) in jelly_spec()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let t = jellyfish(n, r, h, &mut rng).unwrap();
+        let tms = vec![
+            workload::stride_permutation(&t, 1 + (seed as usize % (n - 1))).unwrap(),
+            workload::hotspot(&t, 2, 0.6, &mut rng).unwrap(),
+            workload::locality_mix(&t, 0.5, &mut rng).unwrap(),
+            workload::elephant_mice(&t, n / 4, 0.7, &mut rng).unwrap(),
+        ];
+        for tm in tms {
+            tm.check_hose(&t).unwrap();
+            prop_assert!(tm.total() > 0.0);
+        }
+    }
+
+    /// Fluid routing models never beat capacity trivia: θ under ECMP/VLB
+    /// is positive and finite on connected expanders, and scales linearly
+    /// with the traffic matrix.
+    #[test]
+    fn routing_models_scale_linearly((n, r, h, seed) in jelly_spec()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let t = jellyfish(n, r, h, &mut rng).unwrap();
+        let tm = TrafficMatrix::random_permutation(&t, &mut rng).unwrap();
+        let half = tm.scaled(0.5);
+        for f in [ecmp_throughput, vlb_throughput] {
+            let a = f(&t, &tm).unwrap();
+            let b = f(&t, &half).unwrap();
+            prop_assert!(a.is_finite() && a > 0.0);
+            prop_assert!((b - 2.0 * a).abs() < 1e-6 * b.max(1.0),
+                "halving demand must double θ: {} vs {}", a, b);
+        }
+    }
+
+    /// The max-min allocation respects capacities and demands, and its
+    /// fairness index is in (0, 1].
+    #[test]
+    fn max_min_invariants((n, r, h, seed) in jelly_spec()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let t = jellyfish(n, r, h, &mut rng).unwrap();
+        let tm = TrafficMatrix::random_permutation(&t, &mut rng).unwrap();
+        let flows = flows_from_tm(&tm);
+        let routed = PathPolicy::EcmpHash.route_all(&t, &flows, seed).unwrap();
+        let alloc = max_min_rates(&t, &routed);
+        prop_assert!(alloc.max_utilization() <= 1.0 + 1e-6);
+        for (f, &rate) in routed.iter().zip(alloc.rates.iter()) {
+            prop_assert!(rate >= 0.0);
+            prop_assert!(rate <= f.flow.demand + 1e-9);
+        }
+        let jain = alloc.jain_index();
+        prop_assert!(jain > 0.0 && jain <= 1.0 + 1e-9);
+    }
+
+    /// FCT sanity: makespan at least the largest size (rates are capped by
+    /// unit demand) and at least the ideal completion of every flow.
+    #[test]
+    fn fct_lower_bounds((n, r, h, seed) in jelly_spec()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let t = jellyfish(n, r, h, &mut rng).unwrap();
+        let tm = TrafficMatrix::random_permutation(&t, &mut rng).unwrap();
+        let flows = flows_from_tm(&tm);
+        let routed = PathPolicy::KspStripe { k: 4 }.route_all(&t, &flows, seed).unwrap();
+        let sized: Vec<SizedFlow> = routed
+            .into_iter()
+            .enumerate()
+            .map(|(i, routed)| SizedFlow { routed, size: 0.5 + (i % 4) as f64 })
+            .collect();
+        let max_size = sized.iter().map(|f| f.size).fold(0.0f64, f64::max);
+        let report = run_to_completion(&t, &sized);
+        prop_assert!(report.makespan >= max_size - 1e-9,
+            "makespan {} < largest flow {}", report.makespan, max_size);
+        for (f, o) in sized.iter().zip(report.outcomes.iter()) {
+            prop_assert!(o.fct + 1e-9 >= f.size, "fct {} < size {}", o.fct, f.size);
+            prop_assert!(o.slowdown >= 1.0 - 1e-9);
+        }
+    }
+}
+
+/// VLB's oblivious guarantee on uniform uni-regular topologies:
+/// θ >= (R - H) / 2H within simulation tolerance (here via the fluid
+/// model, which is exact).
+#[test]
+fn vlb_guarantee_on_expander() {
+    let mut rng = StdRng::seed_from_u64(77);
+    // Network degree 8, H = 4: guarantee θ >= 8 / (2*4) = 1.0... the
+    // classical bound assumes direct+indirect optimal splitting; pure VLB
+    // (all traffic indirect) achieves half of that. Check the weaker pure
+    // bound: θ >= (R - H) / (2H) * (1/2) is loose; assert θ positive and
+    // at least 0.2 across seeds instead, plus obliviousness.
+    let t = jellyfish(24, 8, 4, &mut rng).unwrap();
+    let mut thetas = Vec::new();
+    for _ in 0..4 {
+        let tm = TrafficMatrix::random_permutation(&t, &mut rng).unwrap();
+        thetas.push(vlb_throughput(&t, &tm).unwrap());
+    }
+    let min = thetas.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = thetas.iter().cloned().fold(0.0f64, f64::max);
+    assert!(min > 0.2, "vlb θ too small: {thetas:?}");
+    assert!(
+        max - min < 0.05 * max,
+        "vlb should be near-oblivious: {thetas:?}"
+    );
+}
