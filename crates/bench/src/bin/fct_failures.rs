@@ -16,6 +16,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
+    dcn_bench::set_run_seed(7);
     let n_sw = if quick_mode() { 48 } else { 96 };
     let fractions: &[f64] = if quick_mode() {
         &[0.0, 0.2]
@@ -34,7 +35,7 @@ fn main() {
         let degraded = match fail_random_links(&topo, f, &mut rng) {
             Ok(d) => d,
             Err(e) => {
-                eprintln!("skip f={f}: {e}");
+                dcn_obs::obs_log!("skip f={f}: {e}");
                 continue;
             }
         };
@@ -46,7 +47,7 @@ fn main() {
             let routed = match policy.route_all(&degraded, &flows, 11) {
                 Ok(r) => r,
                 Err(e) => {
-                    eprintln!("skip {name} at f={f}: {e}");
+                    dcn_obs::obs_log!("skip {name} at f={f}: {e}");
                     continue;
                 }
             };

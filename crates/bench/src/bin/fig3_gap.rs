@@ -16,6 +16,8 @@ use dcn_core::{tub, MatchingBackend};
 use dcn_mcf::{ksp_mcf_throughput, Engine};
 
 fn main() {
+    let seed = 42u64;
+    dcn_bench::set_run_seed(seed);
     let radix = 12u32;
     let k_paths = 32usize;
     let eps = 0.05;
@@ -31,10 +33,10 @@ fn main() {
     for family in [Family::Jellyfish, Family::Xpander, Family::FatClique] {
         for h in [4u32, 5, 6] {
             for &n_sw in switch_counts {
-                let topo = match family.build(n_sw, radix, h, 42) {
+                let topo = match family.build(n_sw, radix, h, seed) {
                     Ok(t) => t,
                     Err(e) => {
-                        eprintln!("skip {} h={h} n={n_sw}: {e}", family.name());
+                        dcn_obs::obs_log!("skip {} h={h} n={n_sw}: {e}", family.name());
                         continue;
                     }
                 };
@@ -43,6 +45,27 @@ fn main() {
                 let tm = ub.traffic_matrix(&topo).expect("maximal permutation tm");
                 let mcf = ksp_mcf_throughput(&topo, &tm, k_paths, Engine::Fptas { eps })
                     .expect("ksp-mcf");
+                // Obs-mode diagnostic on the smallest instance of each
+                // family: cross-check the FPTAS bracket against the exact
+                // simplex, and record the bisection-bandwidth proxy, so
+                // the run manifest captures lp/partition solver behavior
+                // alongside the mcf/graph counters. Skipped entirely when
+                // observability is off (no stdout either way).
+                if dcn_obs::enabled() && h == 4 && n_sw == switch_counts[0] {
+                    let exact = ksp_mcf_throughput(&topo, &tm, k_paths, Engine::Exact)
+                        .expect("exact cross-check");
+                    dcn_obs::gauge!("bench.fig3.exact_theta").set(exact.theta_lb);
+                    let bbw = dcn_partition::bisection_bandwidth(&topo, 2, seed);
+                    dcn_obs::gauge!("bench.fig3.bbw_proxy").set(bbw);
+                    dcn_obs::obs_log!(
+                        "cross-check {}: fptas [{:.4},{:.4}] exact {:.4} bbw {:.4}",
+                        family.name(),
+                        mcf.theta_lb,
+                        mcf.theta_ub,
+                        exact.theta_lb,
+                        bbw
+                    );
+                }
                 // The paper reports gap between the (clamped) bound and the
                 // routed throughput.
                 let bound = ub.bound.min(1.0);

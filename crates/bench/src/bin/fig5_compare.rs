@@ -35,6 +35,7 @@ fn estimators(k: usize) -> Vec<Box<dyn ThroughputEstimator>> {
 }
 
 fn main() {
+    dcn_bench::set_run_seed(9);
     let radix = 12u32;
     let h = 4u32;
     let family = Family::Jellyfish;

@@ -28,7 +28,7 @@ fn main() {
                 let topo = match family.build(n0, radix, h, 61) {
                     Ok(t) => t,
                     Err(e) => {
-                        eprintln!("skip {} n={n0} h={h}: {e}", family.name());
+                        dcn_obs::obs_log!("skip {} n={n0} h={h}: {e}", family.name());
                         continue;
                     }
                 };

@@ -32,7 +32,7 @@ fn main() {
     for family in [Family::Jellyfish, Family::Xpander, Family::FatClique] {
         match family.build(n_sw, radix, h, 17) {
             Ok(t) => topos.push(t),
-            Err(e) => eprintln!("skip {}: {e}", family.name()),
+            Err(e) => dcn_obs::obs_log!("skip {}: {e}", family.name()),
         }
     }
     for topo in &topos {

@@ -15,6 +15,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
+    dcn_bench::set_run_seed(91);
     let pods = if quick_mode() { 16 } else { 32 };
     let servers_per_pod = 64u32;
     // Equipment budget: total inter-pod capacity equals what a full
@@ -43,7 +44,7 @@ fn main() {
         let topo = match spinefree(p, &mut rng) {
             Ok(t) => t,
             Err(e) => {
-                eprintln!("skip degree {degree}: {e}");
+                dcn_obs::obs_log!("skip degree {degree}: {e}");
                 continue;
             }
         };

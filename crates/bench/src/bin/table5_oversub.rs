@@ -29,7 +29,7 @@ fn main() {
         let topo = match family.build(240, radix, h, 21) {
             Ok(t) => t,
             Err(e) => {
-                eprintln!("skip {}: {e}", family.name());
+                dcn_obs::obs_log!("skip {}: {e}", family.name());
                 continue;
             }
         };

@@ -15,6 +15,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
+    dcn_bench::set_run_seed(11);
     let radix = 12u32;
     let h = 4u32;
     let sizes: &[usize] = if quick_mode() { &[24, 64] } else { &[24, 64, 128, 240] };
@@ -49,7 +50,7 @@ fn main() {
             &f3(mean - theta_worst),
         ]);
         if theta_worst > min + 0.02 {
-            eprintln!(
+            dcn_obs::obs_log!(
                 "warning: a random permutation beat the maximal one at {n_sw} switches \
                  ({min:.3} < {theta_worst:.3}); FPTAS noise or loose matching"
             );

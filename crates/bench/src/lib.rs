@@ -4,6 +4,16 @@
 //! (see DESIGN.md §3 for the index). They all follow the same shape:
 //! sweep a parameter grid, print an aligned table to stdout, and write a
 //! CSV into `results/` for plotting.
+//!
+//! # Observability
+//!
+//! The harness is wired into `dcn-obs`: every [`Table::finish`] writes a
+//! `results/<name>.manifest.json` sidecar capturing the RNG seed (when the
+//! binary reported one via [`set_run_seed`]), the CLI arguments, the wall
+//! time since process start, and a full dump of the metrics registry. With
+//! `DCN_OBS=summary` (or `trace`) the registry summary is also printed to
+//! stderr; with the default `DCN_OBS=off`, stdout stays byte-identical to
+//! the plain tables.
 
 #![warn(missing_docs)]
 
@@ -11,19 +21,97 @@ use std::fmt::Display;
 use std::fs;
 use std::io::Write;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
 use std::time::Instant;
 
-/// Locates (and creates) the `results/` directory at the workspace root.
-pub fn results_dir() -> PathBuf {
-    // CARGO_MANIFEST_DIR = crates/bench; the workspace root is two up.
-    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .parent()
-        .and_then(|p| p.parent())
-        .expect("workspace root")
-        .to_path_buf();
-    let dir = root.join("results");
-    fs::create_dir_all(&dir).expect("create results dir");
-    dir
+/// Error from locating or creating the results directory.
+#[derive(Debug)]
+pub struct ResultsDirError {
+    /// The directory that could not be created.
+    pub path: PathBuf,
+    /// The underlying IO error.
+    pub source: std::io::Error,
+}
+
+impl Display for ResultsDirError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "cannot create results dir {}: {}",
+            self.path.display(),
+            self.source
+        )
+    }
+}
+
+impl std::error::Error for ResultsDirError {}
+
+/// Locates (and creates) the results directory.
+///
+/// Defaults to `results/` at the workspace root; the `DCN_RESULTS_DIR`
+/// environment variable overrides the location (useful for CI and for
+/// keeping scratch runs out of the tree).
+pub fn results_dir() -> Result<PathBuf, ResultsDirError> {
+    let dir = match std::env::var_os("DCN_RESULTS_DIR") {
+        Some(d) => PathBuf::from(d),
+        None => {
+            // CARGO_MANIFEST_DIR = crates/bench; the workspace root is two up.
+            PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+                .parent()
+                .and_then(|p| p.parent())
+                .expect("workspace root")
+                .join("results")
+        }
+    };
+    fs::create_dir_all(&dir).map_err(|source| ResultsDirError {
+        path: dir.clone(),
+        source,
+    })?;
+    Ok(dir)
+}
+
+fn process_start() -> Instant {
+    static START: OnceLock<Instant> = OnceLock::new();
+    *START.get_or_init(Instant::now)
+}
+
+static RUN_SEED: AtomicU64 = AtomicU64::new(u64::MAX);
+
+/// Records the RNG seed this run is based on, for the manifest sidecar.
+/// Call once near the top of `main`.
+pub fn set_run_seed(seed: u64) {
+    RUN_SEED.store(seed, Ordering::Relaxed);
+}
+
+/// The seed recorded by [`set_run_seed`], if any.
+pub fn run_seed() -> Option<u64> {
+    match RUN_SEED.load(Ordering::Relaxed) {
+        u64::MAX => None,
+        s => Some(s),
+    }
+}
+
+/// Captures and writes the `results/<name>.manifest.json` sidecar for a
+/// run, and prints the obs summary when observability is on. Called by
+/// [`Table::finish`]; standalone binaries without a table can call it
+/// directly.
+pub fn write_manifest(name: &str) {
+    let wall = process_start().elapsed().as_secs_f64();
+    let manifest = dcn_obs::manifest::RunManifest::capture(name, run_seed(), wall);
+    match results_dir() {
+        Ok(dir) => {
+            let path = dir.join(format!("{name}.manifest.json"));
+            match manifest.write_to(&path) {
+                Ok(()) => dcn_obs::obs_log!("wrote {}", path.display()),
+                Err(e) => eprintln!("manifest write failed for {name}: {e}"),
+            }
+        }
+        Err(e) => eprintln!("{e}"),
+    }
+    if dcn_obs::enabled() {
+        eprint!("{}", dcn_obs::summary());
+    }
 }
 
 /// A simple result table that renders aligned text and CSV.
@@ -36,6 +124,9 @@ pub struct Table {
 impl Table {
     /// Creates a named table with the given column headers.
     pub fn new(name: &str, header: &[&str]) -> Self {
+        // Pin the wall-clock origin as early as table creation in case the
+        // binary never called into the harness before.
+        process_start();
         Table {
             name: name.to_string(),
             header: header.iter().map(|s| s.to_string()).collect(),
@@ -76,27 +167,35 @@ impl Table {
 
     /// Writes the table as `results/<name>.csv`.
     pub fn write_csv(&self) {
-        let path = results_dir().join(format!("{}.csv", self.name));
+        let dir = match results_dir() {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("{e}");
+                return;
+            }
+        };
+        let path = dir.join(format!("{}.csv", self.name));
         let mut f = fs::File::create(&path).expect("create csv");
         writeln!(f, "{}", self.header.join(",")).unwrap();
         for row in &self.rows {
             writeln!(f, "{}", row.join(",")).unwrap();
         }
-        eprintln!("wrote {}", path.display());
+        dcn_obs::obs_log!("wrote {}", path.display());
     }
 
-    /// Print + CSV in one call.
+    /// Print + CSV + manifest sidecar in one call.
     pub fn finish(&self) {
         self.print();
         self.write_csv();
+        write_manifest(&self.name);
     }
 }
 
-/// Times a closure, returning `(result, seconds)`.
+/// Times a closure under an obs span, returning `(result, seconds)`.
+/// Timing is measured regardless of mode; the span is recorded only when
+/// observability is on.
 pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
-    let start = Instant::now();
-    let out = f();
-    (out, start.elapsed().as_secs_f64())
+    dcn_obs::time_scope("bench.timed", f)
 }
 
 /// True when `--quick` was passed (smaller sweeps for CI-style runs).
@@ -125,7 +224,7 @@ mod tests {
         t.row(&[&22, &"x"]);
         t.print();
         t.write_csv();
-        let path = results_dir().join("unit_test_table.csv");
+        let path = results_dir().unwrap().join("unit_test_table.csv");
         let content = std::fs::read_to_string(&path).unwrap();
         assert_eq!(content, "a,b\n1,0.500\n22,x\n");
         std::fs::remove_file(path).unwrap();
@@ -136,5 +235,27 @@ mod tests {
         let (v, s) = timed(|| 42);
         assert_eq!(v, 42);
         assert!(s >= 0.0);
+    }
+
+    #[test]
+    fn finish_writes_manifest_sidecar() {
+        let mut t = Table::new("unit_test_manifest", &["x"]);
+        t.row(&[&1]);
+        t.finish();
+        let dir = results_dir().unwrap();
+        let mpath = dir.join("unit_test_manifest.manifest.json");
+        let text = std::fs::read_to_string(&mpath).unwrap();
+        let m = dcn_obs::manifest::RunManifest::from_json(&text).unwrap();
+        assert_eq!(m.name, "unit_test_manifest");
+        assert!(m.wall_seconds >= 0.0);
+        std::fs::remove_file(mpath).unwrap();
+        let _ = std::fs::remove_file(dir.join("unit_test_manifest.csv"));
+    }
+
+    #[test]
+    fn run_seed_round_trips() {
+        assert_eq!(run_seed(), None);
+        set_run_seed(42);
+        assert_eq!(run_seed(), Some(42));
     }
 }

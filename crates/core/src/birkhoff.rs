@@ -68,16 +68,40 @@ pub fn birkhoff_decompose(
                  (remaining mass {remaining:.6})"
             )));
         }
-        // Support graph and a perfect matching on it. Birkhoff's theorem
-        // (via Hall) guarantees one exists for doubly stochastic support.
-        let adj: Vec<Vec<usize>> = (0..n)
-            .map(|i| {
-                (0..n)
-                    .filter(|&j| residual[i * n + j] > EPS)
-                    .collect::<Vec<usize>>()
-            })
-            .collect();
-        let matching = bipartite_perfect_matching(n, &adj).ok_or_else(|| {
+        // Max-bottleneck perfect matching on the residual support. An
+        // arbitrary support matching (what a plain Hall-based peel gives)
+        // can mix edges from different underlying permutations and peel
+        // only the smallest entry each round, inflating the component
+        // count toward |support| - n + 1. Maximizing the matching's
+        // minimum residual instead peels the heaviest permutation layer
+        // whole, so a mix of k permutations decomposes back into ~k
+        // components. Found by binary search over the distinct residual
+        // weights: keep only edges >= threshold and test for a perfect
+        // matching (exists at the smallest weight by Birkhoff/Hall).
+        let mut levels: Vec<f64> = residual.iter().copied().filter(|&x| x > EPS).collect();
+        levels.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        levels.dedup_by(|a, b| (*a - *b).abs() < EPS);
+        let adj_at = |threshold: f64| -> Vec<Vec<usize>> {
+            (0..n)
+                .map(|i| {
+                    (0..n)
+                        .filter(|&j| residual[i * n + j] >= threshold - EPS)
+                        .collect::<Vec<usize>>()
+                })
+                .collect()
+        };
+        // Smallest index (largest threshold) whose subgraph has a perfect
+        // matching; feasibility is monotone in the index.
+        let (mut lo, mut hi) = (0usize, levels.len().saturating_sub(1));
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if bipartite_perfect_matching(n, &adj_at(levels[mid])).is_some() {
+                hi = mid;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        let matching = bipartite_perfect_matching(n, &adj_at(levels[lo])).ok_or_else(|| {
             CoreError::OutOfRegime(
                 "no perfect matching in the residual support (numerical drift)".into(),
             )

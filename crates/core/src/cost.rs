@@ -29,7 +29,7 @@ pub fn min_clos_switches(n_servers: u64, radix: u32) -> Option<(ClosParams, u64)
             continue;
         }
         let sw = p.n_switches();
-        if best.as_ref().map_or(true, |&(_, b)| sw < b) {
+        if best.as_ref().is_none_or(|&(_, b)| sw < b) {
             best = Some((p, sw));
         }
     }

@@ -36,7 +36,7 @@ pub fn expansion_curve(
     backend: MatchingBackend,
     seed: u64,
 ) -> Result<Vec<ExpansionPoint>, CoreError> {
-    if !(step_fraction > 0.0) {
+    if step_fraction.is_nan() || step_fraction <= 0.0 {
         return Err(CoreError::OutOfRegime(format!(
             "step fraction must be positive (got {step_fraction})"
         )));

@@ -52,7 +52,7 @@ impl Family {
         let topo = match self {
             Family::Jellyfish => {
                 let mut n = n_switches.max(r_net + 1);
-                if (n * r_net) % 2 != 0 {
+                if !(n * r_net).is_multiple_of(2) {
                     n += 1;
                 }
                 jellyfish(n, r_net, h, &mut rng)?

@@ -87,13 +87,17 @@ impl TubResult {
 /// # Ok::<(), dcn_core::CoreError>(())
 /// ```
 pub fn tub(topo: &Topology, backend: MatchingBackend) -> Result<TubResult, CoreError> {
+    let _span = dcn_obs::span!("core.tub");
     let k = topo.switches_with_servers();
     if k.len() < 2 {
         return Err(CoreError::OutOfRegime(
             "tub needs at least two switches with servers".into(),
         ));
     }
-    let dist = DistMatrix::from_sources(topo.graph(), &k)?;
+    let dist = {
+        let _apsp = dcn_obs::span!("core.tub.apsp");
+        DistMatrix::from_sources(topo.graph(), &k)?
+    };
     let weight = |i: usize, j: usize| -> i64 {
         if i == j {
             return 0;
@@ -103,7 +107,10 @@ pub fn tub(topo: &Topology, backend: MatchingBackend) -> Result<TubResult, CoreE
         dist.dist(u, v) as i64 * h
     };
     let n = k.len();
-    let (matching, backend_name) = run_matching(n, weight, backend);
+    let (matching, backend_name) = {
+        let _m = dcn_obs::span!("core.tub.matching");
+        run_matching(n, weight, backend)
+    };
     let mut pairs = Vec::with_capacity(n);
     let mut weighted_path_len = 0.0;
     for (i, &j) in matching.assignment.iter().enumerate() {
@@ -119,8 +126,10 @@ pub fn tub(topo: &Topology, backend: MatchingBackend) -> Result<TubResult, CoreE
             "maximal permutation has zero total path length".into(),
         ));
     }
+    let bound = capacity / weighted_path_len;
+    dcn_obs::gauge!("core.tub.bound").set(bound);
     Ok(TubResult {
-        bound: capacity / weighted_path_len,
+        bound,
         pairs,
         weighted_path_len,
         capacity,

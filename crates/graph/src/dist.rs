@@ -23,10 +23,12 @@ impl DistMatrix {
     /// Fails with [`GraphError::Disconnected`] if any source cannot reach
     /// some node — topology metrics in this workspace assume connectivity.
     pub fn from_sources(g: &Graph, sources: &[NodeId]) -> Result<Self, GraphError> {
+        let _span = dcn_obs::span!("graph.dist.from_sources");
         let n = g.n();
         let mut data = vec![0u16; sources.len() * n];
         let mut queue = Vec::with_capacity(n);
         let mut row_of = vec![u32::MAX; n];
+        let bfs_ctr = dcn_obs::counter!("graph.dist.bfs_runs");
         for (i, &s) in sources.iter().enumerate() {
             if s as usize >= n {
                 return Err(GraphError::NodeOutOfRange { node: s, n });
@@ -34,8 +36,27 @@ impl DistMatrix {
             row_of[s as usize] = i as u32;
             let row = &mut data[i * n..(i + 1) * n];
             g.bfs_distances_into(s, row, &mut queue);
-            if row.iter().any(|&d| d == u16::MAX) {
+            bfs_ctr.inc();
+            if row.contains(&u16::MAX) {
                 return Err(GraphError::Disconnected);
+            }
+        }
+        // Frontier-size profile (max breadth of each BFS level set) — a
+        // proxy for expansion. Derived from the finished rows, and only
+        // when observability is on: the scan is O(rows * n).
+        if dcn_obs::enabled() && !sources.is_empty() {
+            let frontier_hist = dcn_obs::histogram!("graph.dist.bfs_frontier_peak");
+            let mut level_count = vec![0u32; n + 1];
+            for i in 0..sources.len() {
+                let row = &data[i * n..(i + 1) * n];
+                for c in level_count.iter_mut() {
+                    *c = 0;
+                }
+                for &d in row {
+                    level_count[d as usize] += 1;
+                }
+                let peak = level_count.iter().copied().max().unwrap_or(0);
+                frontier_hist.record_u64(peak as u64);
             }
         }
         Ok(DistMatrix {

@@ -113,11 +113,14 @@ pub fn yen(g: &Graph, src: NodeId, dst: NodeId, k: usize) -> Vec<Path> {
     let mut paths: Vec<Path> = vec![first];
     let mut candidates: BinaryHeap<Candidate> = BinaryHeap::new();
     let mut seen_candidates: HashSet<Path> = HashSet::new();
+    let spur_ctr = dcn_obs::counter!("graph.ksp.spur_searches");
+    let cand_ctr = dcn_obs::counter!("graph.ksp.candidates");
 
     while paths.len() < k {
         let prev = paths.last().unwrap().clone();
         // Each node of the previous path except the last is a spur node.
         for i in 0..prev.len() - 1 {
+            spur_ctr.inc();
             let spur = prev[i];
             let root = &prev[..=i];
             let mut banned_links = HashSet::new();
@@ -138,6 +141,7 @@ pub fn yen(g: &Graph, src: NodeId, dst: NodeId, k: usize) -> Vec<Path> {
                 let mut total = root[..i].to_vec();
                 total.extend_from_slice(&spur_path);
                 if seen_candidates.insert(total.clone()) {
+                    cand_ctr.inc();
                     candidates.push(Candidate(total));
                 }
             }
@@ -247,7 +251,9 @@ fn dfs_exact(
         Box::new(v.into_iter())
     };
     iters.push(collect_nbrs(src));
+    let expand_ctr = dcn_obs::counter!("graph.ksp.slack_dfs_expansions");
     while let Some(it) = iters.last_mut() {
+        expand_ctr.inc();
         if stop_at_cap && out.len() >= cap {
             return;
         }

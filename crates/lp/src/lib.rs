@@ -145,6 +145,7 @@ impl LinearProgram {
 mod tests {
     use super::*;
 
+    #[allow(clippy::type_complexity)]
     fn solve3(
         n: usize,
         obj: &[(usize, f64)],

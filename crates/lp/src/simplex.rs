@@ -59,11 +59,23 @@ impl Tableau {
 
     /// Runs simplex iterations on the current objective row until optimal
     /// or unbounded. `n_price` columns are eligible for entering.
-    fn optimize(&mut self, n_price: usize) -> LpStatus {
+    /// Returns the iteration count alongside the status so callers can
+    /// attribute work to phase 1 vs phase 2.
+    fn optimize(&mut self, n_price: usize) -> (LpStatus, u64) {
         let mut iters = 0usize;
         let bland_after = 50 * (self.rows + n_price).max(64);
+        // Hoisted registry handles: the per-pivot cost stays at a couple
+        // of relaxed atomic adds, no locks.
+        let pivots_ctr = dcn_obs::counter!("lp.simplex.pivots");
+        let degen_ctr = dcn_obs::counter!("lp.simplex.degenerate_pivots");
+        let bland_ctr = dcn_obs::counter!("lp.simplex.bland_activations");
+        let mut bland_counted = false;
         loop {
             iters += 1;
+            if iters > bland_after && !bland_counted {
+                bland_ctr.inc();
+                bland_counted = true;
+            }
             // Entering column.
             let obj_row = self.rows;
             let mut enter: Option<usize> = None;
@@ -88,7 +100,7 @@ impl Tableau {
             }
             let pc = match enter {
                 Some(c) => c,
-                None => return LpStatus::Optimal,
+                None => return (LpStatus::Optimal, iters as u64 - 1),
             };
             // Ratio test.
             let rhs = self.rhs_col();
@@ -101,7 +113,7 @@ impl Tableau {
                     // Tie-break on smaller basis index (Bland-compatible).
                     if ratio < best_ratio - EPS
                         || (ratio < best_ratio + EPS
-                            && pr.map_or(true, |p| self.basis[r] < self.basis[p]))
+                            && pr.is_none_or(|p| self.basis[r] < self.basis[p]))
                     {
                         best_ratio = ratio;
                         pr = Some(r);
@@ -109,8 +121,14 @@ impl Tableau {
                 }
             }
             match pr {
-                Some(r) => self.pivot(r, pc),
-                None => return LpStatus::Unbounded,
+                Some(r) => {
+                    pivots_ctr.inc();
+                    if best_ratio <= EPS {
+                        degen_ctr.inc();
+                    }
+                    self.pivot(r, pc)
+                }
+                None => return (LpStatus::Unbounded, iters as u64 - 1),
             }
         }
     }
@@ -118,6 +136,7 @@ impl Tableau {
 
 /// Solves `lp` (maximize `c · x`, `x >= 0`).
 pub(crate) fn solve(lp: &LinearProgram) -> LpSolution {
+    let _span = dcn_obs::span!("lp.simplex.solve");
     let n = lp.n_vars();
     let m = lp.rows().len();
 
@@ -206,7 +225,8 @@ pub(crate) fn solve(lp: &LinearProgram) -> LpSolution {
                 }
             }
         }
-        let status = t.optimize(total);
+        let (status, p1_iters) = t.optimize(total);
+        dcn_obs::counter!("lp.simplex.phase1_iters").add(p1_iters);
         debug_assert_ne!(status, LpStatus::Unbounded, "phase 1 cannot be unbounded");
         let phase1 = -t.at(m, cols - 1);
         if phase1 > 1e-7 {
@@ -251,7 +271,8 @@ pub(crate) fn solve(lp: &LinearProgram) -> LpSolution {
             }
         }
     }
-    let status = t.optimize(art_start); // price only real + slack columns
+    let (status, p2_iters) = t.optimize(art_start); // price only real + slack columns
+    dcn_obs::counter!("lp.simplex.phase2_iters").add(p2_iters);
     if status == LpStatus::Unbounded {
         return LpSolution {
             status,

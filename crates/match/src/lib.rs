@@ -160,10 +160,11 @@ pub fn greedy_max(n: usize, w: impl Fn(usize, usize) -> i64) -> Matching {
             continue;
         }
         let mut best: Option<(usize, i64)> = None;
+        #[allow(clippy::needless_range_loop)]
         for v in 0..n {
             if v != u && !matched[v] {
                 let wt = w(u, v);
-                if best.map_or(true, |(_, bw)| wt > bw) {
+                if best.is_none_or(|(_, bw)| wt > bw) {
                     best = Some((v, wt));
                 }
             }
@@ -296,6 +297,7 @@ mod tests {
             let n = rng.gen_range(2..=16);
             // Symmetric weights (distances).
             let mut mat = vec![vec![0i64; n]; n];
+            #[allow(clippy::needless_range_loop)]
             for i in 0..n {
                 for j in (i + 1)..n {
                     let d = rng.gen_range(1..10);
@@ -335,6 +337,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(7);
         let n = 14;
         let mut mat = vec![vec![0i64; n]; n];
+        #[allow(clippy::needless_range_loop)]
         for i in 0..n {
             for j in 0..n {
                 if i != j {

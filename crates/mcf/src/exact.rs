@@ -14,7 +14,9 @@ use dcn_lp::{Cmp, LinearProgram, LpStatus};
 /// Solves the path LP exactly. Also reports the shortest-path flow
 /// fraction from the optimal basic solution.
 pub fn solve(ps: &PathSet) -> Result<ThroughputResult, McfError> {
+    let _span = dcn_obs::span!("mcf.exact.solve");
     let n_paths = ps.total_paths();
+    dcn_obs::histogram!("mcf.exact.columns").record_u64(n_paths as u64 + 1);
     let theta_var = n_paths; // last variable
     let mut lp = LinearProgram::new(n_paths + 1);
     lp.set_objective(&[(theta_var, 1.0)]);
@@ -41,6 +43,7 @@ pub fn solve(ps: &PathSet) -> Result<ThroughputResult, McfError> {
         }
     }
 
+    dcn_obs::histogram!("mcf.exact.rows").record_u64(lp.n_constraints() as u64);
     let sol = lp.solve();
     match sol.status {
         LpStatus::Optimal => {}

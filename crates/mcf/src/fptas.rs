@@ -24,6 +24,10 @@ pub fn solve(ps: &PathSet, eps: f64) -> Result<ThroughputResult, McfError> {
     if !(0.0 < eps && eps < 0.5) {
         return Err(McfError::BadEps(eps));
     }
+    let _span = dcn_obs::span!("mcf.fptas.solve");
+    // Hoisted so the inner augmentation loop touches only relaxed atomics.
+    let phases_ctr = dcn_obs::counter!("mcf.fptas.phases");
+    let aug_ctr = dcn_obs::counter!("mcf.fptas.augmentations");
     let n_dir = ps.n_directed_edges();
     let m = n_dir as f64;
     let delta = (m / (1.0 - eps)).powf(-1.0 / eps);
@@ -90,10 +94,12 @@ pub fn solve(ps: &PathSet, eps: f64) -> Result<ThroughputResult, McfError> {
             return finish(ps, flows, routed, theta_lb, theta_ub);
         }
         phases += 1;
+        phases_ctr.inc();
         // One Fleischer phase: push each commodity's full demand.
         for (j, c) in ps.commodities().iter().enumerate() {
             let mut remaining = c.demand;
             while remaining > 0.0 {
+                aug_ctr.inc();
                 let (p, _) = cheapest(j, &length);
                 let hops = &c.paths[p].hops;
                 let min_cap = hops
@@ -141,6 +147,9 @@ fn finish(
     theta_ub: f64,
 ) -> Result<ThroughputResult, McfError> {
     let _ = routed;
+    if theta_ub > 0.0 && theta_ub.is_finite() {
+        dcn_obs::gauge!("mcf.fptas.achieved_eps").set((theta_ub - theta_lb) / theta_ub);
+    }
     let sp_frac = ps.shortest_path_fraction(&flows);
     Ok(ThroughputResult {
         theta_lb,

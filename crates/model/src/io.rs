@@ -8,10 +8,10 @@
 
 use crate::{ModelError, Topology};
 use dcn_graph::Graph;
-use serde::{Deserialize, Serialize};
+use dcn_obs::json::Json;
 
 /// The serializable form of a [`Topology`].
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TopologySpec {
     /// Human-readable name.
     pub name: String,
@@ -44,21 +44,87 @@ impl TopologySpec {
         let g = Graph::from_weighted_edges(n, &self.links)?;
         Topology::new(g, self.servers, self.name)
     }
+
+    /// Renders the spec as pretty JSON.
+    pub fn to_json(&self) -> String {
+        Json::obj([
+            ("name", Json::from(self.name.as_str())),
+            (
+                "servers",
+                Json::Arr(self.servers.iter().map(|&h| Json::from(h)).collect()),
+            ),
+            (
+                "links",
+                Json::Arr(
+                    self.links
+                        .iter()
+                        .map(|&(u, v, c)| {
+                            Json::Arr(vec![Json::from(u), Json::from(v), Json::Num(c)])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+        .to_string_pretty()
+    }
+
+    /// Parses a spec from the JSON interchange format.
+    pub fn parse_json(json: &str) -> Result<TopologySpec, ModelError> {
+        let bad = |msg: &str| ModelError::InfeasibleParams(format!("invalid topology json: {msg}"));
+        let v = Json::parse(json).map_err(|e| bad(&e.to_string()))?;
+        let name = v
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| bad("missing string field 'name'"))?
+            .to_string();
+        let servers = v
+            .get("servers")
+            .and_then(Json::as_array)
+            .ok_or_else(|| bad("missing array field 'servers'"))?
+            .iter()
+            .map(|h| {
+                h.as_u64()
+                    .and_then(|h| u32::try_from(h).ok())
+                    .ok_or_else(|| bad("server count not a u32"))
+            })
+            .collect::<Result<Vec<u32>, _>>()?;
+        let mut links = Vec::new();
+        for link in v
+            .get("links")
+            .and_then(Json::as_array)
+            .ok_or_else(|| bad("missing array field 'links'"))?
+        {
+            let parts = link
+                .as_array()
+                .filter(|p| p.len() == 3)
+                .ok_or_else(|| bad("link is not a [u, v, capacity] triple"))?;
+            let end = |j: &Json| {
+                j.as_u64()
+                    .and_then(|x| u32::try_from(x).ok())
+                    .ok_or_else(|| bad("link endpoint not a u32"))
+            };
+            let cap = parts[2]
+                .as_f64()
+                .ok_or_else(|| bad("link capacity not a number"))?;
+            links.push((end(&parts[0])?, end(&parts[1])?, cap));
+        }
+        Ok(TopologySpec {
+            name,
+            servers,
+            links,
+        })
+    }
 }
 
 impl Topology {
     /// Serializes to pretty JSON.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(&TopologySpec::from_topology(self))
-            .expect("topology spec serializes")
+        TopologySpec::from_topology(self).to_json()
     }
 
     /// Parses a topology from the JSON interchange format.
     pub fn from_json(json: &str) -> Result<Topology, ModelError> {
-        let spec: TopologySpec = serde_json::from_str(json).map_err(|e| {
-            ModelError::InfeasibleParams(format!("invalid topology json: {e}"))
-        })?;
-        spec.into_topology()
+        TopologySpec::parse_json(json)?.into_topology()
     }
 
     /// Graphviz DOT rendering: switches as nodes (labeled with server

@@ -129,7 +129,7 @@ impl Topology {
             .copied()
             .filter(|&s| s > 0)
             .collect();
-        let any_zero = self.servers.iter().any(|&s| s == 0);
+        let any_zero = self.servers.contains(&0);
         let min = *with.iter().min().expect("validated: at least one server");
         let max = *with.iter().max().expect("validated: at least one server");
         if !any_zero {

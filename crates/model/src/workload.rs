@@ -27,7 +27,7 @@ use rand::Rng;
 /// `(i + stride) mod |K|`. `stride` must not be a multiple of `|K|`.
 pub fn stride_permutation(topo: &Topology, stride: usize) -> Result<TrafficMatrix, ModelError> {
     let k = topo.switches_with_servers();
-    if k.len() < 2 || stride % k.len() == 0 {
+    if k.len() < 2 || stride.is_multiple_of(k.len()) {
         return Err(ModelError::InfeasibleParams(format!(
             "stride {stride} degenerate for {} switches",
             k.len()
@@ -257,7 +257,7 @@ mod tests {
         let tm = hotspot(&t, 2, 0.7, &mut rng).unwrap();
         tm.check_hose(&t).unwrap();
         // Receive volume at hot switches must dominate a cold switch's.
-        let mut rx = vec![0.0f64; 12];
+        let mut rx = [0.0f64; 12];
         for d in tm.demands() {
             rx[d.dst as usize] += d.amount;
         }

@@ -23,6 +23,8 @@ pub struct PartitionResult {
 /// allows. `tries` independent multilevel runs are performed and the best
 /// cut returned (like `METIS` with multiple seeds).
 pub fn bisection(topo: &Topology, tries: u32, seed: u64) -> PartitionResult {
+    let _span = dcn_obs::span!("partition.bisect.bisection");
+    let cut_hist = dcn_obs::histogram!("partition.bisect.try_cut");
     let node_w: Vec<u64> = topo.servers().iter().map(|&s| s as u64).collect();
     let g = WGraph::from_topology_graph(topo.graph(), &node_w);
     let total = g.total_node_weight();
@@ -41,16 +43,19 @@ pub fn bisection(topo: &Topology, tries: u32, seed: u64) -> PartitionResult {
         for (u, &s) in side.iter().enumerate() {
             w[s as usize] += g.node_w[u];
         }
+        cut_hist.record(cut);
         let candidate = PartitionResult {
             side,
             cut,
             weights: (w[0], w[1]),
         };
-        if best.as_ref().map_or(true, |b| candidate.cut < b.cut) {
+        if best.as_ref().is_none_or(|b| candidate.cut < b.cut) {
             best = Some(candidate);
         }
     }
-    best.expect("tries >= 1")
+    let best = best.expect("tries >= 1");
+    dcn_obs::gauge!("partition.bisect.best_cut").set(best.cut);
+    best
 }
 
 fn multilevel_bisect<R: Rng>(g: &WGraph, strict: u64, loose: u64, rng: &mut R) -> Vec<u8> {
@@ -67,6 +72,7 @@ fn multilevel_bisect<R: Rng>(g: &WGraph, strict: u64, loose: u64, rng: &mut R) -
             None => break,
         }
     }
+    dcn_obs::histogram!("partition.bisect.coarsen_levels").record_u64(levels.len() as u64);
     // Initial partition of the coarsest graph: greedy BFS region growing
     // from a random seed until half the weight is collected.
     let mut side = grow_partition(&cur, rng);
@@ -114,11 +120,10 @@ fn grow_partition<R: Rng>(g: &WGraph, rng: &mut R) -> Vec<u8> {
         // unvisited node for disconnected graphs.
         let mut best: Option<(usize, f64)> = None;
         for v in 0..n {
-            if !in_region[v] && conn[v] > 0.0 {
-                if best.map_or(true, |(_, bw)| conn[v] > bw) {
+            if !in_region[v] && conn[v] > 0.0
+                && best.is_none_or(|(_, bw)| conn[v] > bw) {
                     best = Some((v, conn[v]));
                 }
-            }
         }
         cur = match best {
             Some((v, _)) => v,

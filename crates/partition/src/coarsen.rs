@@ -14,6 +14,7 @@ pub(crate) struct Level {
 /// random order; match each unmatched node with its heaviest-edge unmatched
 /// neighbor. Returns `None` when coarsening stalls (less than 10% shrink).
 pub(crate) fn coarsen_once<R: Rng>(g: &WGraph, rng: &mut R) -> Option<Level> {
+    dcn_obs::counter!("partition.coarsen.rounds").inc();
     let n = g.n();
     let mut order: Vec<u32> = (0..n as u32).collect();
     order.shuffle(rng);
@@ -24,11 +25,10 @@ pub(crate) fn coarsen_once<R: Rng>(g: &WGraph, rng: &mut R) -> Option<Level> {
         }
         let mut best: Option<(u32, f64)> = None;
         for &(v, w) in &g.adj[u as usize] {
-            if mate[v as usize] == u32::MAX && v != u {
-                if best.map_or(true, |(_, bw)| w > bw) {
+            if mate[v as usize] == u32::MAX && v != u
+                && best.is_none_or(|(_, bw)| w > bw) {
                     best = Some((v, w));
                 }
-            }
         }
         match best {
             Some((v, _)) => {

@@ -10,6 +10,8 @@ use crate::WGraph;
 /// One FM pass. Returns the cut improvement (>= 0 when the initial state
 /// was balanced).
 pub(crate) fn fm_pass(g: &WGraph, side: &mut [u8], strict: u64, loose: u64) -> f64 {
+    dcn_obs::counter!("partition.fm.passes").inc();
+    let moves_ctr = dcn_obs::counter!("partition.fm.moves");
     let n = g.n();
     let gain_of = |u: usize, side: &[u8]| -> f64 {
         let mut gain = 0.0;
@@ -49,7 +51,7 @@ pub(crate) fn fm_pass(g: &WGraph, side: &mut [u8], strict: u64, loose: u64) -> f
             if weight[to] + g.node_w[u] > loose {
                 continue;
             }
-            if pick.map_or(true, |(_, pg)| gains[u] > pg) {
+            if pick.is_none_or(|(_, pg)| gains[u] > pg) {
                 pick = Some((u, gains[u]));
             }
         }
@@ -64,6 +66,7 @@ pub(crate) fn fm_pass(g: &WGraph, side: &mut [u8], strict: u64, loose: u64) -> f
         side[u] = to as u8;
         locked[u] = true;
         cum_gain += g_u;
+        moves_ctr.inc();
         moves.push(u);
         gains[u] = -gains[u];
         for &(v, w) in &g.adj[u] {

@@ -77,7 +77,7 @@ pub fn sparsest_cut_sweep(topo: &Topology, iters: usize) -> SweepCut {
             continue;
         }
         let sparsity = cut / min_side as f64;
-        if best.as_ref().map_or(true, |b| sparsity < b.sparsity) {
+        if best.as_ref().is_none_or(|b| sparsity < b.sparsity) {
             in_s.copy_from_slice(&current);
             best = Some(SweepCut {
                 in_s: in_s.clone(),

@@ -109,7 +109,7 @@ pub fn run_to_completion(topo: &Topology, flows: &[SizedFlow]) -> FctReport {
         .iter()
         .zip(fct.iter())
         .map(|(f, &t)| {
-            let ideal = f.size / f.routed.flow.demand.min(1.0).max(1e-12);
+            let ideal = f.size / f.routed.flow.demand.clamp(1e-12, 1.0);
             FlowOutcome {
                 fct: t,
                 slowdown: if ideal > 0.0 { t / ideal } else { 1.0 },
@@ -298,7 +298,7 @@ pub fn run_open_loop(topo: &Topology, arrivals: &[ArrivingFlow]) -> FctReport {
         .zip(fct_abs.iter())
         .map(|(a, &t_done)| {
             let fct = t_done - a.at;
-            let ideal = a.flow.size / a.flow.routed.flow.demand.min(1.0).max(1e-12);
+            let ideal = a.flow.size / a.flow.routed.flow.demand.clamp(1e-12, 1.0);
             FlowOutcome {
                 fct,
                 slowdown: if ideal > 0.0 { fct / ideal } else { 1.0 },

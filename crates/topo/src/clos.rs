@@ -271,7 +271,7 @@ pub fn folded_clos(p: ClosParams) -> Result<Topology, ModelError> {
 /// up to wiring details; provided with the canonical explicit wiring
 /// (aggregation switch `a` connects to core group `a`).
 pub fn fat_tree(k: usize) -> Result<Topology, ModelError> {
-    if k < 4 || k % 2 != 0 {
+    if k < 4 || !k.is_multiple_of(2) {
         return Err(ModelError::InfeasibleParams(format!(
             "fat-tree needs even k >= 4 (got {k})"
         )));

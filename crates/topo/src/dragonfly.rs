@@ -92,6 +92,7 @@ mod tests {
                 between[gu.min(gv)][gu.max(gv)] += 1;
             }
         }
+        #[allow(clippy::needless_range_loop)]
         for x in 0..g {
             for y in (x + 1)..g {
                 assert_eq!(between[x][y], 1, "groups {x},{y}");

@@ -21,7 +21,7 @@ use dcn_model::{ModelError, Topology};
 /// (`k` even, >= 4): `k` pods of `k/2` edge + `k/2` aggregation switches,
 /// `(k/2)^2` cores, `k^3/4` servers.
 pub fn f10(k: usize) -> Result<Topology, ModelError> {
-    if k < 4 || k % 2 != 0 {
+    if k < 4 || !k.is_multiple_of(2) {
         return Err(ModelError::InfeasibleParams(format!(
             "f10 needs even k >= 4 (got {k})"
         )));

@@ -82,7 +82,7 @@ impl FatCliqueParams {
                     // over b-1 other blocks without exceeding ports.
                     let n = p.switches() as u64 * h as u64;
                     let diff = n.abs_diff(target_servers);
-                    if best.map_or(true, |(d, _)| diff < d) {
+                    if best.is_none_or(|(d, _)| diff < d) {
                         best = Some((diff, p));
                     }
                 }
@@ -161,6 +161,7 @@ pub fn fatclique(p: FatCliqueParams) -> Result<Topology, ModelError> {
         let rem = ports_per_block % (b - 1);
         // links[x][y]: number of links between blocks x and y.
         let mut links = vec![vec![0usize; b]; b];
+        #[allow(clippy::needless_range_loop)]
         for x in 0..b {
             for y in (x + 1)..b {
                 links[x][y] = base;
@@ -192,6 +193,7 @@ pub fn fatclique(p: FatCliqueParams) -> Result<Topology, ModelError> {
         // contract the paper's Equation 18 relies on).
         let per_block = s * c;
         let mut inter_deg = vec![0usize; n];
+        #[allow(clippy::needless_range_loop)]
         for x in 0..b {
             for y in (x + 1)..b {
                 if links[x][y] > per_block * per_block {

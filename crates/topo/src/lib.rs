@@ -61,7 +61,7 @@ pub(crate) fn check_regular_feasible(n: usize, r: usize) -> Result<(), ModelErro
             "degree r={r} must be < n={n}"
         )));
     }
-    if (n * r) % 2 != 0 {
+    if !(n * r).is_multiple_of(2) {
         return Err(ModelError::InfeasibleParams(format!(
             "n*r must be even (got n={n}, r={r})"
         )));

@@ -28,7 +28,7 @@ fn is_prime(n: u32) -> bool {
     }
     let mut d = 2u32;
     while d * d <= n {
-        if n % d == 0 {
+        if n.is_multiple_of(d) {
             return false;
         }
         d += 1;
@@ -44,9 +44,9 @@ fn primitive_root(q: u32) -> u32 {
     let mut m = phi;
     let mut d = 2u32;
     while d * d <= m {
-        if m % d == 0 {
+        if m.is_multiple_of(d) {
             factors.push(d);
-            while m % d == 0 {
+            while m.is_multiple_of(d) {
                 m /= d;
             }
         }

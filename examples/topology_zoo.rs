@@ -25,11 +25,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let r_net = radix - h as usize;
     let mut rng = StdRng::seed_from_u64(101);
 
-    let mut zoo: Vec<Topology> = Vec::new();
-    zoo.push(fat_tree(radix.min(8))?);
-    zoo.push(f10(radix.min(8))?);
-    zoo.push(jellyfish(64, r_net, h, &mut rng)?);
-    zoo.push(xpander(64usize.div_ceil(r_net + 1), r_net, h, &mut rng)?);
+    let mut zoo: Vec<Topology> = vec![
+        fat_tree(radix.min(8))?,
+        f10(radix.min(8))?,
+        jellyfish(64, r_net, h, &mut rng)?,
+        xpander(64usize.div_ceil(r_net + 1), r_net, h, &mut rng)?,
+    ];
     if let Some(p) = FatCliqueParams::search(64 * h as u64, h, radix) {
         zoo.push(fatclique(p)?);
     }

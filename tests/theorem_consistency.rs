@@ -96,8 +96,11 @@ fn clos_supports_every_permutation_at_full_rate() {
 
 #[test]
 fn maximal_permutation_is_near_worst_case() {
-    // §3.1 methodology: the maximal permutation's throughput is at most
-    // that of random permutations (it is the adversarial workload).
+    // §3.1 methodology: the maximal permutation is *near* worst-case — it
+    // maximizes the TUB denominator (a proxy for difficulty), not MCF
+    // throughput itself, so a random permutation can undercut it by a few
+    // percent on small instances. Assert the trend with a 5% relative
+    // slack rather than exact dominance.
     let mut rng = StdRng::seed_from_u64(4);
     let topo = jellyfish(24, 5, 4, &mut rng).unwrap();
     let ub = tub(&topo, MatchingBackend::Exact).unwrap();
@@ -111,8 +114,8 @@ fn maximal_permutation_is_near_worst_case() {
             .unwrap()
             .theta_lb;
         assert!(
-            worst <= th + 1e-6,
-            "maximal permutation ({worst}) beat a random one ({th})"
+            worst <= th * 1.05 + 1e-6,
+            "maximal permutation ({worst}) beat a random one ({th}) by more than 5%"
         );
     }
 }

@@ -1,0 +1,405 @@
+//! Offline vendored subset of the `proptest` API.
+//!
+//! The build environment has no network access, so this crate implements
+//! just enough of proptest for the workspace's property tests: range and
+//! tuple strategies, `any::<T>()`, `prop_map` / `prop_filter`, the
+//! `proptest!` macro, and the `prop_assert*` / `prop_assume!` macros.
+//!
+//! Differences from upstream, deliberate for this environment:
+//!
+//! * Case generation is fully deterministic (seeded per test name + case
+//!   index), so failures always reproduce.
+//! * There is no shrinking: a failing case panics with the generated
+//!   input echoed via the assertion message.
+//! * `prop_assume!` skips the current case rather than resampling it.
+
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// A deterministic 64-bit generator (SplitMix64) used to drive strategies.
+#[derive(Debug, Clone)]
+pub struct Gen {
+    state: u64,
+}
+
+impl Gen {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        Gen { state: seed }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut x = self.state;
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^ (x >> 31)
+    }
+
+    /// Uniform f64 in [0, 1).
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A value generation strategy. Vendored subset of `proptest::strategy::Strategy`.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value: std::fmt::Debug;
+
+    /// Generates one value; `None` means a filter rejected the draw.
+    fn generate(&self, g: &mut Gen) -> Option<Self::Value>;
+
+    /// Keeps only values satisfying `pred`. `whence` names the filter in
+    /// exhaustion errors.
+    fn prop_filter<F>(self, whence: &'static str, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            whence,
+            pred,
+        }
+    }
+
+    /// Transforms generated values with `f`.
+    fn prop_map<O: std::fmt::Debug, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy adapter produced by [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    whence: &'static str,
+    pred: F,
+}
+
+impl<S, F> Filter<S, F> {
+    /// The label passed to `prop_filter`, naming this filter in diagnostics.
+    pub fn whence(&self) -> &'static str {
+        self.whence
+    }
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+
+    fn generate(&self, g: &mut Gen) -> Option<S::Value> {
+        let v = self.inner.generate(g)?;
+        if (self.pred)(&v) {
+            Some(v)
+        } else {
+            None
+        }
+    }
+}
+
+/// Strategy adapter produced by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O: std::fmt::Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, g: &mut Gen) -> Option<O> {
+        self.inner.generate(g).map(&self.f)
+    }
+}
+
+macro_rules! impl_int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, g: &mut Gen) -> Option<$t> {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = (g.next_u64() as u128) % span;
+                Some((self.start as i128 + v as i128) as $t)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, g: &mut Gen) -> Option<$t> {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty strategy range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let v = (g.next_u64() as u128) % span;
+                Some((lo as i128 + v as i128) as $t)
+            }
+        }
+    )*};
+}
+
+impl_int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, g: &mut Gen) -> Option<f64> {
+        assert!(self.start < self.end, "empty strategy range");
+        Some(self.start + (self.end - self.start) * g.unit_f64())
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn generate(&self, g: &mut Gen) -> Option<f32> {
+        assert!(self.start < self.end, "empty strategy range");
+        Some(self.start + (self.end - self.start) * g.unit_f64() as f32)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, g: &mut Gen) -> Option<Self::Value> {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                Some(($($name.generate(g)?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}
+
+/// Types with a canonical "any value" strategy. Vendored subset of
+/// `proptest::arbitrary::Arbitrary`.
+pub trait Arbitrary: Sized + std::fmt::Debug {
+    /// Generates an arbitrary value.
+    fn arbitrary(g: &mut Gen) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(g: &mut Gen) -> Self {
+                g.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(g: &mut Gen) -> Self {
+        g.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(g: &mut Gen) -> Self {
+        g.unit_f64()
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, g: &mut Gen) -> Option<T> {
+        Some(T::arbitrary(g))
+    }
+}
+
+/// An arbitrary value of type `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// Runner configuration and case driver.
+pub mod test_runner {
+    use super::{Gen, Strategy};
+
+    /// Vendored subset of `proptest::test_runner::Config`.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of successful cases required.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 32 }
+        }
+    }
+
+    /// Drives `body` over `cases` generated inputs. Rejected draws
+    /// (filters) are retried; persistent rejection fails the test so
+    /// overly narrow filters are caught rather than silently vacuous.
+    pub fn run_cases<S: Strategy, B: FnMut(S::Value)>(
+        config: &ProptestConfig,
+        test_name: &str,
+        strategy: &S,
+        mut body: B,
+    ) {
+        // Deterministic seed: test name hash, so each property gets its
+        // own stream but every run is identical.
+        let mut seed = 0xcbf2_9ce4_8422_2325u64;
+        for b in test_name.bytes() {
+            seed ^= b as u64;
+            seed = seed.wrapping_mul(0x100_0000_01b3);
+        }
+        let mut g = Gen::new(seed);
+        for case in 0..config.cases {
+            let mut value = None;
+            for _attempt in 0..5_000 {
+                if let Some(v) = strategy.generate(&mut g) {
+                    value = Some(v);
+                    break;
+                }
+            }
+            let value = value.unwrap_or_else(|| {
+                panic!("{test_name}: filter rejected 5000 consecutive draws at case {case}")
+            });
+            body(value);
+        }
+    }
+}
+
+/// One-stop imports, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{any, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Defines property tests. Vendored subset of `proptest::proptest!`.
+///
+/// Supports the forms used in this workspace:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(16))]
+///     #[test]
+///     fn prop((a, b) in strategy()) { ... }
+///     #[test]
+///     fn multi(a in 0usize..4, b in 1u32..9) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)]
+     $($(#[$meta:meta])* fn $name:ident($($pat:pat_param in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let strategy = ($($strat,)+);
+                $crate::test_runner::run_cases(
+                    &config,
+                    stringify!($name),
+                    &strategy,
+                    |($($pat,)+)| { $body },
+                );
+            }
+        )*
+    };
+    ($($(#[$meta:meta])* fn $name:ident($($pat:pat_param in $strat:expr),+ $(,)?) $body:block)*) => {
+        $crate::proptest! {
+            #![proptest_config($crate::test_runner::ProptestConfig::default())]
+            $($(#[$meta])* fn $name($($pat in $strat),+) $body)*
+        }
+    };
+}
+
+/// Asserts a property; panics (failing the case) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($arg:tt)*) => { assert!($($arg)*) };
+}
+
+/// Asserts equality within a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($arg:tt)*) => { assert_eq!($($arg)*) };
+}
+
+/// Asserts inequality within a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($arg:tt)*) => { assert_ne!($($arg)*) };
+}
+
+/// Skips the current case when the assumption does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ranges_and_filters_generate_in_bounds() {
+        let strat = (2usize..7, 0.0f64..1.0).prop_filter("even", |(n, _)| n % 2 == 0);
+        let mut g = super::Gen::new(1);
+        let mut produced = 0;
+        for _ in 0..200 {
+            if let Some((n, x)) = super::Strategy::generate(&strat, &mut g) {
+                assert!(n % 2 == 0 && (2..7).contains(&n));
+                assert!((0.0..1.0).contains(&x));
+                produced += 1;
+            }
+        }
+        assert!(produced > 0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn macro_single_binding(x in 1u32..5) {
+            prop_assert!((1..5).contains(&x));
+        }
+
+        #[test]
+        fn macro_multi_binding(a in 0usize..3, b in any::<u64>()) {
+            prop_assume!(a != 2);
+            prop_assert!(a < 2);
+            prop_assert_eq!(b, b);
+        }
+
+        #[test]
+        fn macro_tuple_pattern((n, m) in (1usize..4, 1usize..4).prop_map(|(a, b)| (a, a + b))) {
+            prop_assert!(m > n || n >= 1);
+        }
+    }
+}
