@@ -4,11 +4,16 @@
 //! Quantifies DESIGN.md's claim that the greedy backend trades a slightly
 //! looser (but still sound) bound for large speedups.
 
-use dcn_bench::{f3, quick_mode, timed, Table};
+use dcn_bench::{f3, quick_mode, run_guarded, timed, Table};
 use dcn_core::frontier::Family;
 use dcn_core::{tub, MatchingBackend};
+use std::process::ExitCode;
 
-fn main() {
+fn main() -> ExitCode {
+    run_guarded("ablation_matching", run)
+}
+
+fn run() -> Result<(), Box<dyn std::error::Error>> {
     let radix = 12u32;
     let h = 4u32;
     let sizes: &[usize] = if quick_mode() {
@@ -21,8 +26,9 @@ fn main() {
         &["switches", "backend", "bound", "loosening_pct", "seconds"],
     );
     for &n_sw in sizes {
-        let topo = Family::Jellyfish.build(n_sw, radix, h, 81).expect("jellyfish");
-        let (exact, te) = timed(|| tub(&topo, MatchingBackend::Exact).expect("tub"));
+        let topo = Family::Jellyfish.build(n_sw, radix, h, 81)?;
+        let (exact, te) = timed(|| tub(&topo, MatchingBackend::Exact));
+        let exact = exact?;
         let backends = [
             (
                 "greedy(0)",
@@ -45,7 +51,8 @@ fn main() {
             &format!("{te:.3}"),
         ]);
         for (name, b) in backends {
-            let (g, tg) = timed(|| tub(&topo, b).expect("tub"));
+            let (g, tg) = timed(|| tub(&topo, b));
+            let g = g?;
             let loosen = (g.bound / exact.bound - 1.0) * 100.0;
             table.row(&[
                 &topo.n_switches(),
@@ -57,4 +64,5 @@ fn main() {
         }
     }
     table.finish();
+    Ok(())
 }

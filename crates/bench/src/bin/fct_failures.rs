@@ -7,15 +7,20 @@
 //! (Figure 10) says capacity degrades less than gracefully; this shows
 //! what that costs in completion times.
 
-use dcn_bench::{quick_mode, Table};
+use dcn_bench::{quick_mode, run_guarded, Table};
 use dcn_core::frontier::Family;
 use dcn_core::{tub, MatchingBackend};
 use dcn_sim::{flows_from_tm, run_to_completion, PathPolicy, SizedFlow};
 use dcn_topo::fail_random_links;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::process::ExitCode;
 
-fn main() {
+fn main() -> ExitCode {
+    run_guarded("fct_failures", run)
+}
+
+fn run() -> Result<(), Box<dyn std::error::Error>> {
     dcn_bench::set_run_seed(7);
     let n_sw = if quick_mode() { 48 } else { 96 };
     let fractions: &[f64] = if quick_mode() {
@@ -23,9 +28,9 @@ fn main() {
     } else {
         &[0.0, 0.1, 0.2, 0.3]
     };
-    let topo = Family::Jellyfish.build(n_sw, 12, 4, 3).expect("jellyfish");
-    let bound = tub(&topo, MatchingBackend::Exact).expect("tub");
-    let tm = bound.traffic_matrix(&topo).expect("tm");
+    let topo = Family::Jellyfish.build(n_sw, 12, 4, 3)?;
+    let bound = tub(&topo, MatchingBackend::Exact)?;
+    let tm = bound.traffic_matrix(&topo)?;
     let mut rng = StdRng::seed_from_u64(7);
     let mut table = Table::new(
         "fct_failures",
@@ -66,4 +71,5 @@ fn main() {
         }
     }
     table.finish();
+    Ok(())
 }

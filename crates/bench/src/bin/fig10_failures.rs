@@ -10,12 +10,17 @@
 //! have fewer shortest paths — deviates below nominal as failures mount,
 //! and the deviation grows with size.
 
-use dcn_bench::{f3, quick_mode, Table};
+use dcn_bench::{f3, quick_mode, run_guarded, Table};
 use dcn_core::frontier::Family;
 use dcn_core::resilience::{failure_sweep, rms_deviation};
 use dcn_core::MatchingBackend;
+use std::process::ExitCode;
 
-fn main() {
+fn main() -> ExitCode {
+    run_guarded("fig10_failures", run)
+}
+
+fn run() -> Result<(), Box<dyn std::error::Error>> {
     let radix = 12u32;
     let h = 4u32;
     let backend = MatchingBackend::Auto { exact_below: 500 };
@@ -33,14 +38,17 @@ fn main() {
     );
     let mut tb = Table::new("fig10c_deviation", &["switches", "servers", "rms_deviation"]);
     for &n_sw in sizes {
-        let topo = Family::Jellyfish.build(n_sw, radix, h, 31).expect("jellyfish");
-        let pts = failure_sweep(&topo, fractions, trials, backend, 37).expect("sweep");
+        let topo = Family::Jellyfish.build(n_sw, radix, h, 31)?;
+        let pts = failure_sweep(&topo, fractions, trials, backend, 37)?;
         for p in &pts {
+            // Empty points (every sample disconnected) print as "-" rather
+            // than a fabricated zero.
+            let actual = p.actual.map(f3).unwrap_or_else(|| "-".to_string());
             ta.row(&[
                 &topo.n_switches(),
                 &f3(p.fraction),
                 &f3(p.nominal),
-                &f3(p.actual),
+                &actual,
                 &p.trials,
             ]);
         }
@@ -52,4 +60,5 @@ fn main() {
     }
     ta.finish();
     tb.finish();
+    Ok(())
 }

@@ -10,12 +10,17 @@
 //! Expected shape (paper): the gap is non-zero at small-to-medium sizes
 //! where shortest-path diversity is thin, then approaches zero.
 
-use dcn_bench::{f3, quick_mode, Table};
+use dcn_bench::{f3, quick_mode, run_guarded, Table};
 use dcn_core::frontier::Family;
 use dcn_core::{tub, MatchingBackend};
 use dcn_mcf::{ksp_mcf_throughput, Engine};
+use std::process::ExitCode;
 
-fn main() {
+fn main() -> ExitCode {
+    run_guarded("fig3_gap", run)
+}
+
+fn run() -> Result<(), Box<dyn std::error::Error>> {
     let seed = 42u64;
     dcn_bench::set_run_seed(seed);
     let radix = 12u32;
@@ -40,11 +45,10 @@ fn main() {
                         continue;
                     }
                 };
-                let ub = tub(&topo, MatchingBackend::Auto { exact_below: 400 })
-                    .expect("tub");
-                let tm = ub.traffic_matrix(&topo).expect("maximal permutation tm");
-                let mcf = ksp_mcf_throughput(&topo, &tm, k_paths, Engine::Fptas { eps })
-                    .expect("ksp-mcf");
+                let ub = tub(&topo, MatchingBackend::Auto { exact_below: 400 })?;
+                let tm = ub.traffic_matrix(&topo)?;
+                let mcf =
+                    ksp_mcf_throughput(&topo, &tm, k_paths, Engine::Fptas { eps })?;
                 // Obs-mode diagnostic on the smallest instance of each
                 // family: cross-check the FPTAS bracket against the exact
                 // simplex, and record the bisection-bandwidth proxy, so
@@ -52,8 +56,7 @@ fn main() {
                 // alongside the mcf/graph counters. Skipped entirely when
                 // observability is off (no stdout either way).
                 if dcn_obs::enabled() && h == 4 && n_sw == switch_counts[0] {
-                    let exact = ksp_mcf_throughput(&topo, &tm, k_paths, Engine::Exact)
-                        .expect("exact cross-check");
+                    let exact = ksp_mcf_throughput(&topo, &tm, k_paths, Engine::Exact)?;
                     dcn_obs::gauge!("bench.fig3.exact_theta").set(exact.theta_lb);
                     let bbw = dcn_partition::bisection_bandwidth(&topo, 2, seed);
                     dcn_obs::gauge!("bench.fig3.bbw_proxy").set(bbw);
@@ -84,4 +87,5 @@ fn main() {
         }
     }
     table.finish();
+    Ok(())
 }

@@ -9,12 +9,17 @@
 //!
 //! Paper setup: H=8, R=32, N to 300K. Scaled: H=4, R=12, switches to 512.
 
-use dcn_bench::{f3, quick_mode, Table};
+use dcn_bench::{f3, quick_mode, run_guarded, Table};
 use dcn_core::frontier::Family;
 use dcn_core::{tub, MatchingBackend};
 use dcn_mcf::{ksp_mcf_throughput, Engine};
+use std::process::ExitCode;
 
-fn main() {
+fn main() -> ExitCode {
+    run_guarded("fig4_paths", run)
+}
+
+fn run() -> Result<(), Box<dyn std::error::Error>> {
     let radix = 12u32;
     let h = 4u32;
     let family = Family::Jellyfish;
@@ -30,11 +35,10 @@ fn main() {
         &["switches", "servers", "sp_fraction", "nsp_fraction"],
     );
     for &n_sw in sizes_a {
-        let topo = family.build(n_sw, radix, h, 7).expect("jellyfish");
-        let ub = tub(&topo, MatchingBackend::Auto { exact_below: 400 }).expect("tub");
-        let tm = ub.traffic_matrix(&topo).expect("tm");
-        let mcf = ksp_mcf_throughput(&topo, &tm, 32, Engine::Fptas { eps: 0.05 })
-            .expect("mcf");
+        let topo = family.build(n_sw, radix, h, 7)?;
+        let ub = tub(&topo, MatchingBackend::Auto { exact_below: 400 })?;
+        let tm = ub.traffic_matrix(&topo)?;
+        let mcf = ksp_mcf_throughput(&topo, &tm, 32, Engine::Fptas { eps: 0.05 })?;
         ta.row(&[
             &topo.n_switches(),
             &topo.n_servers(),
@@ -55,8 +59,8 @@ fn main() {
         &["switches", "servers", "mean_sp_len", "mean_num_sp", "min_num_sp"],
     );
     for &n_sw in sizes_b {
-        let topo = family.build(n_sw, radix, h, 7).expect("jellyfish");
-        let ub = tub(&topo, MatchingBackend::Auto { exact_below: 400 }).expect("tub");
+        let topo = family.build(n_sw, radix, h, 7)?;
+        let ub = tub(&topo, MatchingBackend::Auto { exact_below: 400 })?;
         let g = topo.graph();
         let mut total_len = 0u64;
         let mut total_cnt = 0.0f64;
@@ -80,4 +84,5 @@ fn main() {
         ]);
     }
     tb.finish();
+    Ok(())
 }

@@ -12,7 +12,8 @@
 //! Expected shape (paper): tub has the smallest gap; HM/JM are loose and
 //! slow; bbw and singla are fast but considerably off; sc sits between.
 
-use dcn_bench::{f3, large_mode, quick_mode, timed, Table};
+use dcn_bench::{f3, large_mode, quick_mode, run_guarded, timed, Table};
+use std::process::ExitCode;
 use dcn_core::frontier::Family;
 use dcn_core::MatchingBackend;
 use dcn_estimators::{
@@ -34,19 +35,21 @@ fn estimators(k: usize) -> Vec<Box<dyn ThroughputEstimator>> {
     ]
 }
 
-fn main() {
-    dcn_bench::set_run_seed(9);
-    let radix = 12u32;
-    let h = 4u32;
-    let family = Family::Jellyfish;
-    if large_mode() {
-        run_large(family, radix, h);
-    } else {
-        run_small(family, radix, h);
-    }
+fn main() -> ExitCode {
+    run_guarded("fig5_compare", || {
+        dcn_bench::set_run_seed(9);
+        let radix = 12u32;
+        let h = 4u32;
+        let family = Family::Jellyfish;
+        if large_mode() {
+            run_large(family, radix, h)
+        } else {
+            run_small(family, radix, h)
+        }
+    })
 }
 
-fn run_small(family: Family, radix: u32, h: u32) {
+fn run_small(family: Family, radix: u32, h: u32) -> Result<(), Box<dyn std::error::Error>> {
     let sizes: &[usize] = if quick_mode() {
         &[24, 64]
     } else {
@@ -57,16 +60,16 @@ fn run_small(family: Family, radix: u32, h: u32) {
         &["switches", "estimator", "estimate", "reference", "gap", "seconds"],
     );
     for &n_sw in sizes {
-        let topo = family.build(n_sw, radix, h, 11).expect("topo");
-        let t = dcn_core::tub(&topo, MatchingBackend::Exact).expect("tub");
-        let tm = t.traffic_matrix(&topo).expect("tm");
+        let topo = family.build(n_sw, radix, h, 11)?;
+        let t = dcn_core::tub(&topo, MatchingBackend::Exact)?;
+        let tm = t.traffic_matrix(&topo)?;
         // Reference: KSP-MCF feasible throughput at the maximal permutation.
-        let reference = ksp_mcf_throughput(&topo, &tm, 32, Engine::Fptas { eps: 0.03 })
-            .expect("reference mcf")
+        let reference = ksp_mcf_throughput(&topo, &tm, 32, Engine::Fptas { eps: 0.03 })?
             .theta_lb
             .min(1.0);
         for est in estimators(32) {
-            let (value, secs) = timed(|| est.estimate(&topo, &tm).expect("estimate"));
+            let (value, secs) = timed(|| est.estimate(&topo, &tm));
+            let value = value?;
             let gap = (value.min(1.0) - reference).abs();
             table.row(&[
                 &topo.n_switches(),
@@ -79,9 +82,10 @@ fn run_small(family: Family, radix: u32, h: u32) {
         }
     }
     table.finish();
+    Ok(())
 }
 
-fn run_large(family: Family, radix: u32, h: u32) {
+fn run_large(family: Family, radix: u32, h: u32) -> Result<(), Box<dyn std::error::Error>> {
     let sizes: &[usize] = if quick_mode() {
         &[512, 1024]
     } else {
@@ -92,7 +96,7 @@ fn run_large(family: Family, radix: u32, h: u32) {
         &["switches", "servers", "estimator", "estimate", "seconds"],
     );
     for &n_sw in sizes {
-        let topo = family.build(n_sw, radix, h, 13).expect("topo");
+        let topo = family.build(n_sw, radix, h, 13)?;
         let scalable: Vec<Box<dyn ThroughputEstimator>> = vec![
             Box::new(TubEstimator {
                 backend: MatchingBackend::Greedy {
@@ -108,11 +112,11 @@ fn run_large(family: Family, radix: u32, h: u32) {
             MatchingBackend::Greedy {
                 improvement_passes: 0,
             },
-        )
-        .expect("tub");
-        let tm = t.traffic_matrix(&topo).expect("tm");
+        )?;
+        let tm = t.traffic_matrix(&topo)?;
         for est in scalable {
-            let (value, secs) = timed(|| est.estimate(&topo, &tm).expect("estimate"));
+            let (value, secs) = timed(|| est.estimate(&topo, &tm));
+            let value = value?;
             table.row(&[
                 &topo.n_switches(),
                 &topo.n_servers(),
@@ -123,4 +127,5 @@ fn run_large(family: Family, radix: u32, h: u32) {
         }
     }
     table.finish();
+    Ok(())
 }

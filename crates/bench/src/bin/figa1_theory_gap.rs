@@ -4,12 +4,17 @@
 //! Paper setup: Jellyfish H=8, R=32, N from ~5K to 300K. Scaled: H=4,
 //! R=12, switches 24..512.
 
-use dcn_bench::{f3, quick_mode, Table};
+use dcn_bench::{f3, quick_mode, run_guarded, Table};
 use dcn_core::frontier::Family;
 use dcn_core::lower::theoretical_gap;
 use dcn_core::MatchingBackend;
+use std::process::ExitCode;
 
-fn main() {
+fn main() -> ExitCode {
+    run_guarded("figa1_theory_gap", run)
+}
+
+fn run() -> Result<(), Box<dyn std::error::Error>> {
     let radix = 12u32;
     let h = 4u32;
     let sizes: &[usize] = if quick_mode() {
@@ -22,10 +27,9 @@ fn main() {
         &["switches", "servers", "tub", "lower_m1", "gap"],
     );
     for &n_sw in sizes {
-        let topo = Family::Jellyfish.build(n_sw, radix, h, 41).expect("jellyfish");
+        let topo = Family::Jellyfish.build(n_sw, radix, h, 41)?;
         let (ub, lb, gap) =
-            theoretical_gap(&topo, 1, MatchingBackend::Auto { exact_below: 500 })
-                .expect("gap");
+            theoretical_gap(&topo, 1, MatchingBackend::Auto { exact_below: 500 })?;
         table.row(&[
             &topo.n_switches(),
             &topo.n_servers(),
@@ -35,4 +39,5 @@ fn main() {
         ]);
     }
     table.finish();
+    Ok(())
 }

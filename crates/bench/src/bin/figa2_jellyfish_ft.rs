@@ -6,11 +6,16 @@
 //! the Jellyfish advantage is ~8% at the smallest scale and does *not*
 //! monotonically improve with radix. Scaled: radices 8..14.
 
-use dcn_bench::{quick_mode, Table};
+use dcn_bench::{quick_mode, run_guarded, Table};
 use dcn_core::frontier::Family;
 use dcn_core::{tub, MatchingBackend};
+use std::process::ExitCode;
 
-fn main() {
+fn main() -> ExitCode {
+    run_guarded("figa2_jellyfish_ft", run)
+}
+
+fn run() -> Result<(), Box<dyn std::error::Error>> {
     let radices: &[u32] = if quick_mode() { &[8, 10] } else { &[8, 10, 12, 14] };
     let mut table = Table::new(
         "figa2_jellyfish_ft",
@@ -28,7 +33,7 @@ fn main() {
                 Ok(t) => t,
                 Err(_) => continue,
             };
-            let t = tub(&topo, MatchingBackend::Auto { exact_below: 600 }).expect("tub");
+            let t = tub(&topo, MatchingBackend::Auto { exact_below: 600 })?;
             if t.bound >= 1.0 - 1e-9 {
                 best = Some((h, topo.n_servers()));
                 break;
@@ -49,4 +54,5 @@ fn main() {
         }
     }
     table.finish();
+    Ok(())
 }

@@ -8,12 +8,17 @@
 //! Expected shape (paper): small initial sizes with high H lose >20%
 //! throughput under modest expansion; larger/lower-H starts barely move.
 
-use dcn_bench::{f3, quick_mode, Table};
+use dcn_bench::{f3, quick_mode, run_guarded, Table};
 use dcn_core::expansion_eval::expansion_curve;
 use dcn_core::frontier::Family;
 use dcn_core::MatchingBackend;
+use std::process::ExitCode;
 
-fn main() {
+fn main() -> ExitCode {
+    run_guarded("figa4_expansion", run)
+}
+
+fn run() -> Result<(), Box<dyn std::error::Error>> {
     let radix = 12u32;
     let steps = if quick_mode() { 3 } else { 8 };
     let initials: &[usize] = if quick_mode() { &[48] } else { &[48, 160] };
@@ -39,8 +44,7 @@ fn main() {
                     0.2,
                     MatchingBackend::Auto { exact_below: 500 },
                     67,
-                )
-                .expect("expansion curve");
+                )?;
                 for p in &curve {
                     table.row(&[
                         &family.name(),
@@ -55,4 +59,5 @@ fn main() {
         }
     }
     table.finish();
+    Ok(())
 }

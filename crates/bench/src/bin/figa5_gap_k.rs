@@ -5,12 +5,17 @@
 //! 32} at R=12. Expected shape: too-small K leaves a persistent gap even
 //! at large sizes; beyond a sufficient K the curves coincide.
 
-use dcn_bench::{f3, quick_mode, Table};
+use dcn_bench::{f3, quick_mode, run_guarded, Table};
 use dcn_core::frontier::Family;
 use dcn_core::{tub, MatchingBackend};
 use dcn_mcf::{ksp_mcf_throughput, Engine};
+use std::process::ExitCode;
 
-fn main() {
+fn main() -> ExitCode {
+    run_guarded("figa5_gap_k", run)
+}
+
+fn run() -> Result<(), Box<dyn std::error::Error>> {
     let radix = 12u32;
     let h = 4u32;
     let ks: &[usize] = if quick_mode() { &[4, 16] } else { &[4, 8, 16, 32] };
@@ -25,11 +30,10 @@ fn main() {
     );
     for &k in ks {
         for &n_sw in sizes {
-            let topo = Family::Jellyfish.build(n_sw, radix, h, 71).expect("jellyfish");
-            let ub = tub(&topo, MatchingBackend::Auto { exact_below: 400 }).expect("tub");
-            let tm = ub.traffic_matrix(&topo).expect("tm");
-            let mcf = ksp_mcf_throughput(&topo, &tm, k, Engine::Fptas { eps: 0.05 })
-                .expect("mcf");
+            let topo = Family::Jellyfish.build(n_sw, radix, h, 71)?;
+            let ub = tub(&topo, MatchingBackend::Auto { exact_below: 400 })?;
+            let tm = ub.traffic_matrix(&topo)?;
+            let mcf = ksp_mcf_throughput(&topo, &tm, k, Engine::Fptas { eps: 0.05 })?;
             let gap = (ub.bound.min(1.0) - mcf.theta_lb.min(1.0)).max(0.0);
             table.row(&[
                 &k,
@@ -42,4 +46,5 @@ fn main() {
         }
     }
     table.finish();
+    Ok(())
 }

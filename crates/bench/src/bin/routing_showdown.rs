@@ -13,14 +13,19 @@
 //! ECMP loses badly at the worst case while KSP striping recovers most of
 //! the LP value — the open question the paper highlights.
 
-use dcn_bench::{f3, quick_mode, Table};
+use dcn_bench::{f3, quick_mode, run_guarded, Table};
 use dcn_core::frontier::Family;
 use dcn_core::{tub, MatchingBackend};
 use dcn_mcf::{ecmp_throughput, ksp_mcf_throughput, vlb_throughput, Engine};
 use dcn_sim::{flows_from_tm, simulate, PathPolicy};
 use dcn_topo::fat_tree;
+use std::process::ExitCode;
 
-fn main() {
+fn main() -> ExitCode {
+    run_guarded("routing_showdown", run)
+}
+
+fn run() -> Result<(), Box<dyn std::error::Error>> {
     let radix = 12u32;
     let h = 4u32;
     let n_sw = if quick_mode() { 48 } else { 96 };
@@ -28,7 +33,7 @@ fn main() {
         "routing_showdown",
         &["topology", "scheme", "theta", "vs_tub"],
     );
-    let mut topos = vec![fat_tree(8).expect("fat tree")];
+    let mut topos = vec![fat_tree(8)?];
     for family in [Family::Jellyfish, Family::Xpander, Family::FatClique] {
         match family.build(n_sw, radix, h, 17) {
             Ok(t) => topos.push(t),
@@ -36,8 +41,8 @@ fn main() {
         }
     }
     for topo in &topos {
-        let bound = tub(topo, MatchingBackend::Auto { exact_below: 500 }).expect("tub");
-        let tm = bound.traffic_matrix(topo).expect("tm");
+        let bound = tub(topo, MatchingBackend::Auto { exact_below: 500 })?;
+        let tm = bound.traffic_matrix(topo)?;
         let tub_v = bound.bound.min(1.0);
         let mut emit = |scheme: &str, theta: f64| {
             table.row(&[
@@ -48,23 +53,22 @@ fn main() {
             ]);
         };
         emit("tub(bound)", tub_v);
-        let mcf = ksp_mcf_throughput(topo, &tm, 16, Engine::Fptas { eps: 0.05 })
-            .expect("mcf")
-            .theta_lb;
+        let mcf = ksp_mcf_throughput(topo, &tm, 16, Engine::Fptas { eps: 0.05 })?.theta_lb;
         emit("ksp-mcf(ideal)", mcf);
-        emit("ecmp(fluid)", ecmp_throughput(topo, &tm).expect("ecmp"));
-        emit("vlb(fluid)", vlb_throughput(topo, &tm).expect("vlb"));
+        emit("ecmp(fluid)", ecmp_throughput(topo, &tm)?);
+        emit("vlb(fluid)", vlb_throughput(topo, &tm)?);
         // Flow-level simulation: worst service across server flows.
         for (name, policy) in [
             ("ecmp(flows)", PathPolicy::EcmpHash),
             ("ksp8(flows)", PathPolicy::KspStripe { k: 8 }),
             ("vlb(flows)", PathPolicy::Vlb),
         ] {
-            let alloc = simulate(topo, &tm, policy, 23).expect("simulate");
+            let alloc = simulate(topo, &tm, policy, 23)?;
             let flows = flows_from_tm(&tm);
-            let routed = policy.route_all(topo, &flows, 23).expect("route");
+            let routed = policy.route_all(topo, &flows, 23)?;
             emit(name, alloc.worst_service(&routed));
         }
     }
     table.finish();
+    Ok(())
 }

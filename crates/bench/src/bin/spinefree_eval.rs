@@ -7,14 +7,19 @@
 //! the spine-ful Clos baseline, and reports tub and the worst-case
 //! KSP-MCF throughput of the pod fabric.
 
-use dcn_bench::{f3, quick_mode, Table};
+use dcn_bench::{f3, quick_mode, run_guarded, Table};
 use dcn_core::{tub, MatchingBackend};
 use dcn_mcf::{ksp_mcf_throughput, Engine};
 use dcn_topo::{spinefree, SpineFreeParams};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::process::ExitCode;
 
-fn main() {
+fn main() -> ExitCode {
+    run_guarded("spinefree_eval", run)
+}
+
+fn run() -> Result<(), Box<dyn std::error::Error>> {
     dcn_bench::set_run_seed(91);
     let pods = if quick_mode() { 16 } else { 32 };
     let servers_per_pod = 64u32;
@@ -48,14 +53,13 @@ fn main() {
                 continue;
             }
         };
-        let b = tub(&topo, MatchingBackend::Exact).expect("tub");
-        let tm = b.traffic_matrix(&topo).expect("tm");
+        let b = tub(&topo, MatchingBackend::Exact)?;
+        let tm = b.traffic_matrix(&topo)?;
         // Path budget scales with pods: a full mesh needs all `pods - 1`
         // two-hop detours to realize its capacity.
         let k_paths = pods.min(48);
-        let mcf = ksp_mcf_throughput(&topo, &tm, k_paths, Engine::Fptas { eps: 0.05 })
-            .expect("mcf")
-            .theta_lb;
+        let mcf =
+            ksp_mcf_throughput(&topo, &tm, k_paths, Engine::Fptas { eps: 0.05 })?.theta_lb;
         let design = if degree == pods - 1 { "full-mesh" } else { "random" };
         table.row(&[
             &design,
@@ -74,4 +78,5 @@ fn main() {
          burn 2-hop detours — the Figure 7 phenomenon at pod scale. The mcf_lb \
          column is the trustworthy ranking; tub still soundly upper-bounds it.)"
     );
+    Ok(())
 }

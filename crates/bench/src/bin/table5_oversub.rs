@@ -8,13 +8,18 @@
 //! throughput-based ratio (tub) is *lower* (more conservative) than the
 //! BBW-based one; for Clos the two coincide.
 
-use dcn_bench::{f3, Table};
+use dcn_bench::{f3, run_guarded, Table};
 use dcn_core::frontier::Family;
 use dcn_core::oversub::{oversubscription, Oversubscription};
 use dcn_core::MatchingBackend;
 use dcn_topo::{folded_clos, ClosParams};
+use std::process::ExitCode;
 
-fn main() {
+fn main() -> ExitCode {
+    run_guarded("table5_oversub", run)
+}
+
+fn run() -> Result<(), Box<dyn std::error::Error>> {
     let mut table = Table::new(
         "table5_oversub",
         &["topology", "n_servers", "h", "bbw_ratio", "tub_ratio", "bbw_frac", "tub_frac"],
@@ -33,7 +38,7 @@ fn main() {
                 continue;
             }
         };
-        let o = oversubscription(&topo, backend, 4, 17).expect("oversub");
+        let o = oversubscription(&topo, backend, 4, 17)?;
         table.row(&[
             &family.name(),
             &topo.n_servers(),
@@ -54,9 +59,8 @@ fn main() {
         top_pods: 12,
         spine_uplink_fraction: 1.0,
         leaf_servers: 8,
-    })
-    .expect("oversubscribed clos");
-    let o = oversubscription(&clos, backend, 4, 17).expect("oversub");
+    })?;
+    let o = oversubscription(&clos, backend, 4, 17)?;
     table.row(&[
         &"clos(1:2)",
         &clos.n_servers(),
@@ -67,4 +71,5 @@ fn main() {
         &f3(o.tub_fraction),
     ]);
     table.finish();
+    Ok(())
 }

@@ -9,11 +9,16 @@
 //! * constructed scaled instances (radix 8 and 16) whose tub is computed
 //!   and must equal 1.00.
 
-use dcn_bench::{f3, quick_mode, Table};
+use dcn_bench::{f3, quick_mode, run_guarded, Table};
 use dcn_core::{tub, MatchingBackend};
 use dcn_topo::{folded_clos, ClosParams};
+use std::process::ExitCode;
 
-fn main() {
+fn main() -> ExitCode {
+    run_guarded("tablea1_clos", run)
+}
+
+fn run() -> Result<(), Box<dyn std::error::Error>> {
     // Part 1: the paper's rows, analytically.
     let mut ta = Table::new(
         "tablea1_paper_counts",
@@ -74,8 +79,8 @@ fn main() {
         });
     }
     for p in instances {
-        let topo = folded_clos(p).expect("clos builds");
-        let t = tub(&topo, MatchingBackend::Auto { exact_below: 700 }).expect("tub");
+        let topo = folded_clos(p)?;
+        let t = tub(&topo, MatchingBackend::Auto { exact_below: 700 })?;
         tb.row(&[
             &p.radix,
             &p.layers,
@@ -86,4 +91,5 @@ fn main() {
         ]);
     }
     tb.finish();
+    Ok(())
 }

@@ -6,15 +6,20 @@
 //! permutations on large ones. Scaled: FPTAS throughput vs 8 random
 //! permutations per size.
 
-use dcn_bench::{f3, quick_mode, Table};
+use dcn_bench::{f3, quick_mode, run_guarded, Table};
 use dcn_core::frontier::Family;
 use dcn_core::{tub, MatchingBackend};
 use dcn_mcf::{ksp_mcf_throughput, Engine};
 use dcn_model::TrafficMatrix;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::process::ExitCode;
 
-fn main() {
+fn main() -> ExitCode {
+    run_guarded("validate_worstcase", run)
+}
+
+fn run() -> Result<(), Box<dyn std::error::Error>> {
     dcn_bench::set_run_seed(11);
     let radix = 12u32;
     let h = 4u32;
@@ -25,19 +30,17 @@ fn main() {
         &["switches", "theta_maximal", "theta_random_min", "theta_random_mean", "separation"],
     );
     for &n_sw in sizes {
-        let topo = Family::Jellyfish.build(n_sw, radix, h, 5).expect("jellyfish");
-        let bound = tub(&topo, MatchingBackend::Auto { exact_below: 400 }).expect("tub");
-        let worst_tm = bound.traffic_matrix(&topo).expect("tm");
-        let theta_worst = ksp_mcf_throughput(&topo, &worst_tm, 16, Engine::Fptas { eps: 0.05 })
-            .expect("mcf")
-            .theta_lb;
+        let topo = Family::Jellyfish.build(n_sw, radix, h, 5)?;
+        let bound = tub(&topo, MatchingBackend::Auto { exact_below: 400 })?;
+        let worst_tm = bound.traffic_matrix(&topo)?;
+        let theta_worst =
+            ksp_mcf_throughput(&topo, &worst_tm, 16, Engine::Fptas { eps: 0.05 })?.theta_lb;
         let mut rng = StdRng::seed_from_u64(11);
         let mut rand_thetas = Vec::new();
         for _ in 0..trials {
-            let tm = TrafficMatrix::random_permutation(&topo, &mut rng).expect("perm");
-            let th = ksp_mcf_throughput(&topo, &tm, 16, Engine::Fptas { eps: 0.05 })
-                .expect("mcf")
-                .theta_lb;
+            let tm = TrafficMatrix::random_permutation(&topo, &mut rng)?;
+            let th =
+                ksp_mcf_throughput(&topo, &tm, 16, Engine::Fptas { eps: 0.05 })?.theta_lb;
             rand_thetas.push(th);
         }
         let min = rand_thetas.iter().cloned().fold(f64::INFINITY, f64::min);
@@ -57,4 +60,5 @@ fn main() {
         }
     }
     table.finish();
+    Ok(())
 }

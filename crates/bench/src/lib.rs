@@ -213,6 +213,30 @@ pub fn f3(x: f64) -> String {
     format!("{x:.3}")
 }
 
+/// Runs an experiment body that may fail, turning errors into a short
+/// stderr diagnostic and a non-zero [`std::process::ExitCode`] instead of
+/// a panic backtrace. Experiment binaries wrap their `main` logic in this
+/// so that an infeasible configuration (or an exhausted budget) exits
+/// cleanly and scripted sweeps can tell "experiment failed" from
+/// "experiment crashed".
+pub fn run_guarded(
+    name: &str,
+    body: impl FnOnce() -> Result<(), Box<dyn std::error::Error>>,
+) -> std::process::ExitCode {
+    match body() {
+        Ok(()) => std::process::ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("{name}: error: {e}");
+            let mut src = e.source();
+            while let Some(s) = src {
+                eprintln!("{name}:   caused by: {s}");
+                src = s.source();
+            }
+            std::process::ExitCode::FAILURE
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

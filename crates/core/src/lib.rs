@@ -38,8 +38,9 @@ pub mod universal;
 pub use birkhoff::{birkhoff_decompose, BirkhoffComponent};
 pub use nearworst::{adversarial_search, AdversarialResult};
 pub use report::{report_card, ReportCard};
-pub use tub::{tub, MatchingBackend, TubResult};
+pub use tub::{tub, tub_budgeted, MatchingBackend, TubResult};
 
+use dcn_guard::BudgetError;
 use dcn_mcf::McfError;
 use dcn_model::ModelError;
 
@@ -54,6 +55,8 @@ pub enum CoreError {
     Mcf(McfError),
     /// Parameters outside the regime a theorem applies to.
     OutOfRegime(String),
+    /// The execution budget ran out and no fallback could absorb it.
+    Budget(BudgetError),
 }
 
 impl From<ModelError> for CoreError {
@@ -74,6 +77,12 @@ impl From<McfError> for CoreError {
     }
 }
 
+impl From<BudgetError> for CoreError {
+    fn from(e: BudgetError) -> Self {
+        CoreError::Budget(e)
+    }
+}
+
 impl std::fmt::Display for CoreError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
@@ -81,6 +90,7 @@ impl std::fmt::Display for CoreError {
             CoreError::Graph(e) => write!(f, "graph error: {e}"),
             CoreError::Mcf(e) => write!(f, "mcf error: {e}"),
             CoreError::OutOfRegime(s) => write!(f, "out of regime: {s}"),
+            CoreError::Budget(e) => write!(f, "computation aborted: {e}"),
         }
     }
 }

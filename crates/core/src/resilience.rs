@@ -20,15 +20,26 @@ pub struct FailurePoint {
     pub fraction: f64,
     /// `(1 - f) * θ0`.
     pub nominal: f64,
-    /// Mean tub over the sampled failure patterns.
-    pub actual: f64,
+    /// Mean tub over the sampled failure patterns, or `None` when every
+    /// sampled pattern disconnected the topology (`trials == 0`) — an
+    /// explicitly-marked empty point, never a silent `0.0`.
+    pub actual: Option<f64>,
     /// Trials that produced a connected degraded topology.
     pub trials: u32,
 }
 
+impl FailurePoint {
+    /// Deviation of actual from nominal, or `None` for an empty point.
+    pub fn deviation(&self) -> Option<f64> {
+        self.actual.map(|a| self.nominal - a)
+    }
+}
+
 /// Sweeps failure fractions, sampling `trials` random failure patterns per
-/// fraction. Disconnecting samples are skipped (and reflected in the
-/// returned per-point `trials` count).
+/// fraction. Disconnecting samples are skipped — each skip bumps the
+/// `core.resilience.disconnected_samples` counter and is reflected in the
+/// returned per-point `trials` count; a point where *every* sample
+/// disconnected carries `actual: None` rather than a fabricated zero.
 pub fn failure_sweep(
     topo: &Topology,
     fractions: &[f64],
@@ -39,6 +50,7 @@ pub fn failure_sweep(
     let theta0 = tub(topo, backend)?.bound.min(1.0);
     let mut out = Vec::with_capacity(fractions.len());
     let mut rng = StdRng::seed_from_u64(seed);
+    let skipped_ctr = dcn_obs::counter!("core.resilience.disconnected_samples");
     for &f in fractions {
         let mut sum = 0.0;
         let mut ok = 0u32;
@@ -48,10 +60,13 @@ pub fn failure_sweep(
                     sum += tub(&degraded, backend)?.bound.min(1.0);
                     ok += 1;
                 }
-                Err(_) => continue,
+                Err(_) => {
+                    skipped_ctr.inc();
+                    continue;
+                }
             }
         }
-        let actual = if ok > 0 { sum / ok as f64 } else { 0.0 };
+        let actual = if ok > 0 { Some(sum / ok as f64) } else { None };
         out.push(FailurePoint {
             fraction: f,
             nominal: (1.0 - f) * theta0,
@@ -63,16 +78,16 @@ pub fn failure_sweep(
 }
 
 /// Root-mean-square deviation of actual from nominal over a sweep
-/// (Figure 10(c)).
+/// (Figure 10(c)). Empty points (`trials == 0`, no connected sample) are
+/// excluded from the mean rather than counted as zero-throughput; a sweep
+/// consisting only of empty points has deviation 0.
 pub fn rms_deviation(points: &[FailurePoint]) -> f64 {
-    if points.is_empty() {
+    let deviations: Vec<f64> = points.iter().filter_map(FailurePoint::deviation).collect();
+    if deviations.is_empty() {
         return 0.0;
     }
-    let sum: f64 = points
-        .iter()
-        .map(|p| (p.nominal - p.actual).powi(2))
-        .sum();
-    (sum / points.len() as f64).sqrt()
+    let sum: f64 = deviations.iter().map(|d| d.powi(2)).sum();
+    (sum / deviations.len() as f64).sqrt()
 }
 
 #[cfg(test)]
@@ -94,13 +109,14 @@ mod tests {
         .unwrap();
         assert_eq!(pts.len(), 3);
         // Zero failures: actual == nominal == θ0.
-        assert!((pts[0].nominal - pts[0].actual).abs() < 1e-9);
+        assert!((pts[0].nominal - pts[0].actual.unwrap()).abs() < 1e-9);
         // Nominal decreases linearly.
         assert!(pts[1].nominal < pts[0].nominal);
         assert!(pts[2].nominal < pts[1].nominal);
         // Actual can never exceed 1 and stays non-negative.
         for p in &pts {
-            assert!((0.0..=1.0 + 1e-9).contains(&p.actual), "{p:?}");
+            let a = p.actual.expect("connected samples at low f");
+            assert!((0.0..=1.0 + 1e-9).contains(&a), "{p:?}");
             assert!(p.trials > 0);
         }
     }
@@ -111,13 +127,13 @@ mod tests {
             FailurePoint {
                 fraction: 0.1,
                 nominal: 0.9,
-                actual: 0.9,
+                actual: Some(0.9),
                 trials: 1,
             },
             FailurePoint {
                 fraction: 0.2,
                 nominal: 0.8,
-                actual: 0.8,
+                actual: Some(0.8),
                 trials: 1,
             },
         ];
@@ -130,9 +146,34 @@ mod tests {
         let pts = vec![FailurePoint {
             fraction: 0.1,
             nominal: 0.9,
-            actual: 0.7,
+            actual: Some(0.7),
             trials: 1,
         }];
         assert!((rms_deviation(&pts) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_points_are_excluded_not_zeroed() {
+        // One real point with zero deviation plus one empty point: the
+        // old behavior treated the empty point as actual = 0.0 and
+        // reported a huge spurious deviation; now it is skipped.
+        let pts = vec![
+            FailurePoint {
+                fraction: 0.1,
+                nominal: 0.9,
+                actual: Some(0.9),
+                trials: 3,
+            },
+            FailurePoint {
+                fraction: 0.9,
+                nominal: 0.1,
+                actual: None,
+                trials: 0,
+            },
+        ];
+        assert_eq!(rms_deviation(&pts), 0.0);
+        assert_eq!(pts[1].deviation(), None);
+        // A sweep made only of empty points degrades to 0, not NaN.
+        assert_eq!(rms_deviation(&pts[1..]), 0.0);
     }
 }

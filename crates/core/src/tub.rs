@@ -17,7 +17,8 @@
 
 use crate::CoreError;
 use dcn_graph::{DistMatrix, NodeId};
-use dcn_match::{greedy_max, hungarian_max, improve_2swap, Matching};
+use dcn_guard::Budget;
+use dcn_match::{greedy_max, hungarian_max_budgeted, improve_2swap, Matching};
 use dcn_model::{Topology, TrafficMatrix};
 
 /// Which matching algorithm computes the maximal permutation.
@@ -58,6 +59,9 @@ pub struct TubResult {
     pub capacity: f64,
     /// Which backend produced the matching.
     pub backend: &'static str,
+    /// True when the requested exact matching exhausted its budget and the
+    /// greedy fallback produced this (still sound, possibly looser) bound.
+    pub fallback: bool,
 }
 
 impl TubResult {
@@ -87,6 +91,20 @@ impl TubResult {
 /// # Ok::<(), dcn_core::CoreError>(())
 /// ```
 pub fn tub(topo: &Topology, backend: MatchingBackend) -> Result<TubResult, CoreError> {
+    tub_budgeted(topo, backend, &Budget::unlimited())
+}
+
+/// [`tub`] under an execution [`Budget`]. The Hungarian matcher meters the
+/// budget; if it is exhausted the computation *degrades* rather than
+/// fails: the paper's own greedy Algorithm 1 (plus 2-swap sweeps) stands
+/// in, which still yields a sound upper bound — any permutation does.
+/// The degradation is flagged in [`TubResult::fallback`] and counted in
+/// `core.tub.fallbacks`, so manifests record it.
+pub fn tub_budgeted(
+    topo: &Topology,
+    backend: MatchingBackend,
+    budget: &Budget,
+) -> Result<TubResult, CoreError> {
     let _span = dcn_obs::span!("core.tub");
     let k = topo.switches_with_servers();
     if k.len() < 2 {
@@ -107,9 +125,9 @@ pub fn tub(topo: &Topology, backend: MatchingBackend) -> Result<TubResult, CoreE
         dist.dist(u, v) as i64 * h
     };
     let n = k.len();
-    let (matching, backend_name) = {
+    let (matching, backend_name, fallback) = {
         let _m = dcn_obs::span!("core.tub.matching");
-        run_matching(n, weight, backend)
+        run_matching(n, weight, backend, budget)
     };
     let mut pairs = Vec::with_capacity(n);
     let mut weighted_path_len = 0.0;
@@ -134,6 +152,7 @@ pub fn tub(topo: &Topology, backend: MatchingBackend) -> Result<TubResult, CoreE
         weighted_path_len,
         capacity,
         backend: backend_name,
+        fallback,
     })
 }
 
@@ -141,21 +160,36 @@ fn run_matching(
     n: usize,
     weight: impl Fn(usize, usize) -> i64 + Copy,
     backend: MatchingBackend,
-) -> (Matching, &'static str) {
+    budget: &Budget,
+) -> (Matching, &'static str, bool) {
+    // Exact matching with greedy degradation on budget exhaustion. The
+    // greedy path is O(n^2) with no unbounded loops, so it always
+    // completes; soundness is preserved because Equation 1 minimizes over
+    // permutations — any permutation upper-bounds throughput.
+    let exact_or_greedy = |passes: usize| match hungarian_max_budgeted(n, weight, budget) {
+        Ok(m) => (m, "hungarian", false),
+        Err(e) => {
+            dcn_obs::counter!("core.tub.fallbacks").inc();
+            dcn_obs::obs_log!("core.tub: hungarian aborted ({e}); using greedy fallback");
+            let mut m = greedy_max(n, weight);
+            improve_2swap(n, weight, &mut m, passes);
+            (m, "greedy+2swap(fallback)", true)
+        }
+    };
     match backend {
-        MatchingBackend::Exact => (hungarian_max(n, weight), "hungarian"),
+        MatchingBackend::Exact => exact_or_greedy(2),
         MatchingBackend::Greedy { improvement_passes } => {
             let mut m = greedy_max(n, weight);
             improve_2swap(n, weight, &mut m, improvement_passes);
-            (m, "greedy+2swap")
+            (m, "greedy+2swap", false)
         }
         MatchingBackend::Auto { exact_below } => {
             if n < exact_below {
-                (hungarian_max(n, weight), "hungarian")
+                exact_or_greedy(2)
             } else {
                 let mut m = greedy_max(n, weight);
                 improve_2swap(n, weight, &mut m, 2);
-                (m, "greedy+2swap")
+                (m, "greedy+2swap", false)
             }
         }
     }
@@ -277,6 +311,22 @@ mod tests {
         let t = Topology::new(g, vec![1, 3], "pair").unwrap();
         let r = tub(&t, MatchingBackend::Exact).unwrap();
         assert!((r.bound - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exhausted_hungarian_degrades_to_greedy() {
+        let t = ring(8, 1);
+        let tiny = Budget::unlimited().with_iter_cap(1);
+        let r = tub_budgeted(&t, MatchingBackend::Exact, &tiny).unwrap();
+        assert!(r.fallback);
+        assert_eq!(r.backend, "greedy+2swap(fallback)");
+        // Still a sound upper bound: no tighter than the exact one.
+        let exact = tub(&t, MatchingBackend::Exact).unwrap();
+        assert!(!exact.fallback);
+        assert!(r.bound >= exact.bound - 1e-12);
+        // And an unlimited budgeted call matches the legacy entry point.
+        let b = tub_budgeted(&t, MatchingBackend::Exact, &Budget::unlimited()).unwrap();
+        assert_eq!(b.bound, exact.bound);
     }
 
     #[test]

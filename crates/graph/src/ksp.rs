@@ -15,7 +15,13 @@
 //! capacity should run on [`Graph::coalesced`] graphs.
 
 use crate::csr::{Graph, NodeId};
+use dcn_guard::{Budget, BudgetError, BudgetMeter};
 use std::collections::{BinaryHeap, HashSet};
+
+/// How many DFS node expansions share one deadline/cancellation check in
+/// the slack enumerator. Expansions are a few array reads each, so a clock
+/// read per tick would dominate; the iteration cap stays exact regardless.
+const DFS_METER_STRIDE: u32 = 1024;
 
 /// A loopless path, stored as the sequence of visited nodes
 /// (`path[0] = src`, `path.last() = dst`).
@@ -101,14 +107,32 @@ impl PartialOrd for Candidate {
 /// in non-decreasing length order. Returns fewer than `k` paths when the
 /// graph does not contain that many simple paths.
 pub fn yen(g: &Graph, src: NodeId, dst: NodeId, k: usize) -> Vec<Path> {
+    match yen_budgeted(g, src, dst, k, &Budget::unlimited()) {
+        Ok(paths) => paths,
+        Err(e) => unreachable!("unlimited budget exhausted in yen: {e}"),
+    }
+}
+
+/// [`yen`] under an execution [`Budget`]: one tick per spur search (a
+/// restricted BFS), so a deadline or iteration cap aborts the quadratic
+/// candidate generation with a typed error instead of stalling on dense
+/// graphs with large `k`.
+pub fn yen_budgeted(
+    g: &Graph,
+    src: NodeId,
+    dst: NodeId,
+    k: usize,
+    budget: &Budget,
+) -> Result<Vec<Path>, BudgetError> {
+    let mut meter = budget.meter();
     if k == 0 || src == dst {
-        return Vec::new();
+        return Ok(Vec::new());
     }
     let mut banned_nodes = vec![false; g.n()];
     let banned_links = HashSet::new();
     let first = match restricted_shortest_path(g, src, dst, &banned_nodes, &banned_links) {
         Some(p) => p,
-        None => return Vec::new(),
+        None => return Ok(Vec::new()),
     };
     let mut paths: Vec<Path> = vec![first];
     let mut candidates: BinaryHeap<Candidate> = BinaryHeap::new();
@@ -120,6 +144,7 @@ pub fn yen(g: &Graph, src: NodeId, dst: NodeId, k: usize) -> Vec<Path> {
         let prev = paths.last().unwrap().clone();
         // Each node of the previous path except the last is a spur node.
         for i in 0..prev.len() - 1 {
+            meter.tick()?;
             spur_ctr.inc();
             let spur = prev[i];
             let root = &prev[..=i];
@@ -154,7 +179,7 @@ pub fn yen(g: &Graph, src: NodeId, dst: NodeId, k: usize) -> Vec<Path> {
             None => break,
         }
     }
-    paths
+    Ok(paths)
 }
 
 /// All loopless paths from `src` to `dst` whose length is at most
@@ -169,7 +194,24 @@ pub fn paths_within_slack(
     slack: u16,
     cap: usize,
 ) -> Vec<Path> {
-    k_shortest_impl(g, src, dst, cap, slack, false)
+    match paths_within_slack_budgeted(g, src, dst, slack, cap, &Budget::unlimited()) {
+        Ok(paths) => paths,
+        Err(e) => unreachable!("unlimited budget exhausted in slack enumeration: {e}"),
+    }
+}
+
+/// [`paths_within_slack`] under an execution [`Budget`]: one tick per DFS
+/// node expansion (deadline/cancellation checked every
+/// [`DFS_METER_STRIDE`] ticks).
+pub fn paths_within_slack_budgeted(
+    g: &Graph,
+    src: NodeId,
+    dst: NodeId,
+    slack: u16,
+    cap: usize,
+    budget: &Budget,
+) -> Result<Vec<Path>, BudgetError> {
+    k_shortest_impl(g, src, dst, cap, slack, false, budget)
 }
 
 /// Up to `k` shortest loopless paths, produced by increasing slack levels.
@@ -184,7 +226,24 @@ pub fn k_shortest_by_slack(
     k: usize,
     max_slack: u16,
 ) -> Vec<Path> {
-    k_shortest_impl(g, src, dst, k, max_slack, true)
+    match k_shortest_by_slack_budgeted(g, src, dst, k, max_slack, &Budget::unlimited()) {
+        Ok(paths) => paths,
+        Err(e) => unreachable!("unlimited budget exhausted in slack enumeration: {e}"),
+    }
+}
+
+/// [`k_shortest_by_slack`] under an execution [`Budget`]: one tick per DFS
+/// node expansion (deadline/cancellation checked every
+/// [`DFS_METER_STRIDE`] ticks).
+pub fn k_shortest_by_slack_budgeted(
+    g: &Graph,
+    src: NodeId,
+    dst: NodeId,
+    k: usize,
+    max_slack: u16,
+    budget: &Budget,
+) -> Result<Vec<Path>, BudgetError> {
+    k_shortest_impl(g, src, dst, k, max_slack, true, budget)
 }
 
 fn k_shortest_impl(
@@ -194,14 +253,16 @@ fn k_shortest_impl(
     cap: usize,
     max_slack: u16,
     stop_at_cap_per_level: bool,
-) -> Vec<Path> {
+    exec_budget: &Budget,
+) -> Result<Vec<Path>, BudgetError> {
+    let mut meter = exec_budget.meter_every(DFS_METER_STRIDE);
     if cap == 0 || src == dst {
-        return Vec::new();
+        return Ok(Vec::new());
     }
     let dist_to_dst = g.bfs_distances(dst);
     let sp = dist_to_dst[src as usize];
     if sp == u16::MAX {
-        return Vec::new();
+        return Ok(Vec::new());
     }
     let mut out: Vec<Path> = Vec::new();
     let max_possible = (g.n() as u32 - 1).min(sp as u32 + max_slack as u32) as u16;
@@ -217,14 +278,15 @@ fn k_shortest_impl(
             cap,
             &mut out,
             stop_at_cap_per_level,
-        );
+            &mut meter,
+        )?;
         if budget == u16::MAX {
             break;
         }
         budget += 1;
     }
     out.truncate(cap);
-    out
+    Ok(out)
 }
 
 /// Iterative DFS collecting all simple paths of length exactly `budget`.
@@ -238,7 +300,8 @@ fn dfs_exact(
     cap: usize,
     out: &mut Vec<Path>,
     stop_at_cap: bool,
-) {
+    meter: &mut BudgetMeter<'_>,
+) -> Result<(), BudgetError> {
     let mut on_path = vec![false; g.n()];
     let mut path: Vec<NodeId> = vec![src];
     on_path[src as usize] = true;
@@ -253,9 +316,10 @@ fn dfs_exact(
     iters.push(collect_nbrs(src));
     let expand_ctr = dcn_obs::counter!("graph.ksp.slack_dfs_expansions");
     while let Some(it) = iters.last_mut() {
+        meter.tick()?;
         expand_ctr.inc();
         if stop_at_cap && out.len() >= cap {
-            return;
+            return Ok(());
         }
         let depth = path.len() as u16 - 1; // edges so far
         match it.next() {
@@ -288,6 +352,7 @@ fn dfs_exact(
             }
         }
     }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -378,6 +443,52 @@ mod tests {
         let g = Graph::from_edges(3, &[(0, 1), (0, 1), (1, 2)]).unwrap();
         let p = k_shortest_by_slack(&g, 0, 2, 10, u16::MAX);
         assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn budget_caps_yen_and_slack_search() {
+        let g = diamond();
+        let tiny = Budget::unlimited().with_iter_cap(1);
+        // Yen needs several spur searches for k=10 → the cap fires.
+        assert!(matches!(
+            yen_budgeted(&g, 0, 3, 10, &tiny),
+            Err(BudgetError::IterationsExceeded { cap: 1 })
+        ));
+        assert!(matches!(
+            k_shortest_by_slack_budgeted(&g, 0, 3, 10, u16::MAX, &tiny),
+            Err(BudgetError::IterationsExceeded { cap: 1 })
+        ));
+        assert!(matches!(
+            paths_within_slack_budgeted(&g, 0, 3, 5, 100, &tiny),
+            Err(BudgetError::IterationsExceeded { cap: 1 })
+        ));
+        // A roomy budget returns the same paths as the unbudgeted calls.
+        let roomy = Budget::unlimited().with_iter_cap(1_000_000);
+        assert_eq!(yen_budgeted(&g, 0, 3, 10, &roomy).unwrap(), yen(&g, 0, 3, 10));
+        assert_eq!(
+            k_shortest_by_slack_budgeted(&g, 0, 3, 10, u16::MAX, &roomy).unwrap(),
+            k_shortest_by_slack(&g, 0, 3, 10, u16::MAX)
+        );
+    }
+
+    #[test]
+    fn expired_deadline_aborts_dfs_despite_stride() {
+        // A zero deadline fires at the first strided checkpoint; the DFS
+        // stride is 1024 so give it a graph needing more expansions.
+        let g = diamond();
+        let expired = Budget::unlimited().with_wall(std::time::Duration::ZERO);
+        // Yen meters every tick, so it errs immediately.
+        assert!(matches!(
+            yen_budgeted(&g, 0, 3, 10, &expired),
+            Err(BudgetError::DeadlineExceeded { .. })
+        ));
+        // The slack DFS on this small graph finishes under one stride —
+        // both outcomes (done or deadline) are acceptable; no hang either way.
+        let r = k_shortest_by_slack_budgeted(&g, 0, 3, 10, u16::MAX, &expired);
+        match r {
+            Ok(paths) => assert_eq!(paths.len(), 3),
+            Err(e) => assert!(matches!(e, BudgetError::DeadlineExceeded { .. })),
+        }
     }
 
     #[test]

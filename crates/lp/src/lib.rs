@@ -28,6 +28,51 @@ mod simplex;
 
 pub use simplex::solve_tableau;
 
+use dcn_guard::{Budget, BudgetError, CertError};
+
+/// A failure of the guarded solve path ([`LinearProgram::solve_budgeted`]).
+///
+/// `Infeasible`/`Unbounded` are *outcomes*, reported through
+/// [`LpSolution::status`]; this enum covers only the cases where no usable
+/// solution object exists at all.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LpError {
+    /// The execution budget (deadline, iteration cap, or cancellation)
+    /// was exhausted mid-solve.
+    Budget(BudgetError),
+    /// The program contains a non-finite coefficient or RHS; solving it
+    /// would only propagate NaN/inf into the tableau.
+    BadInput(CertError),
+    /// The solver claimed optimality but the solution failed a post-solve
+    /// certificate check (feasibility residual or duality gap).
+    Certificate(CertError),
+}
+
+impl std::fmt::Display for LpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LpError::Budget(e) => write!(f, "lp solve aborted: {e}"),
+            LpError::BadInput(e) => write!(f, "lp input rejected: {e}"),
+            LpError::Certificate(e) => write!(f, "lp certificate failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LpError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LpError::Budget(e) => Some(e),
+            LpError::BadInput(e) | LpError::Certificate(e) => Some(e),
+        }
+    }
+}
+
+impl From<BudgetError> for LpError {
+    fn from(e: BudgetError) -> Self {
+        LpError::Budget(e)
+    }
+}
+
 /// Constraint comparison operator.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Cmp {
@@ -126,8 +171,64 @@ impl LinearProgram {
     }
 
     /// Solves the program with two-phase primal simplex.
+    ///
+    /// Infallible legacy entry point: unlimited budget, no input screening,
+    /// no certificate validation. Prefer [`LinearProgram::solve_budgeted`]
+    /// for anything that could receive adversarial or degenerate input.
     pub fn solve(&self) -> LpSolution {
-        simplex::solve(self)
+        match simplex::solve_budgeted(self, &Budget::unlimited(), false) {
+            Ok(sol) => sol,
+            // Unlimited budget cannot exhaust and validation is off, so the
+            // guarded path has no error source left.
+            Err(e) => unreachable!("unbudgeted, unvalidated solve failed: {e}"),
+        }
+    }
+
+    /// Solves the program under an execution [`Budget`].
+    ///
+    /// The input is screened for NaN/inf coefficients up front (rejected
+    /// as [`LpError::BadInput`]); the simplex loop ticks the budget once
+    /// per pivot, so a deadline, iteration cap, or cancellation surfaces
+    /// as [`LpError::Budget`] instead of a stall. When certificate
+    /// validation is enabled (`DCN_VALIDATE`, or by default in debug
+    /// builds) the returned optimum is re-checked against the constraints
+    /// and the duality gap.
+    ///
+    /// ```
+    /// use dcn_guard::Budget;
+    /// use dcn_lp::{Cmp, LinearProgram, LpError};
+    /// let mut lp = LinearProgram::new(1);
+    /// lp.set_objective(&[(0, 1.0)]);
+    /// lp.add_constraint(&[(0, 1.0)], Cmp::Le, 2.0);
+    /// let sol = lp.solve_budgeted(&Budget::unlimited()).unwrap();
+    /// assert!((sol.objective - 2.0).abs() < 1e-9);
+    /// ```
+    pub fn solve_budgeted(&self, budget: &Budget) -> Result<LpSolution, LpError> {
+        for (j, &c) in self.objective.iter().enumerate() {
+            if !c.is_finite() {
+                return Err(LpError::BadInput(CertError::NotFinite {
+                    context: "objective coefficient",
+                    value: self.objective[j],
+                }));
+            }
+        }
+        for row in &self.rows {
+            if !row.rhs.is_finite() {
+                return Err(LpError::BadInput(CertError::NotFinite {
+                    context: "constraint rhs",
+                    value: row.rhs,
+                }));
+            }
+            for &(_, c) in &row.coeffs {
+                if !c.is_finite() {
+                    return Err(LpError::BadInput(CertError::NotFinite {
+                        context: "constraint coefficient",
+                        value: c,
+                    }));
+                }
+            }
+        }
+        simplex::solve_budgeted(self, budget, dcn_guard::validation_enabled())
     }
 
     pub(crate) fn rows(&self) -> &[ConstraintRow] {
@@ -267,6 +368,76 @@ mod tests {
     fn out_of_range_var_panics() {
         let mut lp = LinearProgram::new(1);
         lp.set_objective(&[(3, 1.0)]);
+    }
+
+    #[test]
+    fn budget_cap_aborts_solve() {
+        // An LP that needs several pivots, but a cap of 1 tick.
+        let mut lp = LinearProgram::new(2);
+        lp.set_objective(&[(0, 3.0), (1, 5.0)]);
+        lp.add_constraint(&[(0, 1.0)], Cmp::Le, 4.0);
+        lp.add_constraint(&[(1, 2.0)], Cmp::Le, 12.0);
+        lp.add_constraint(&[(0, 3.0), (1, 2.0)], Cmp::Le, 18.0);
+        let budget = Budget::unlimited().with_iter_cap(1);
+        assert!(matches!(
+            lp.solve_budgeted(&budget),
+            Err(LpError::Budget(BudgetError::IterationsExceeded { cap: 1 }))
+        ));
+        // With room to finish, the same program solves.
+        let sol = lp.solve_budgeted(&Budget::unlimited()).unwrap();
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert!((sol.objective - 36.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn expired_deadline_aborts_solve() {
+        let mut lp = LinearProgram::new(1);
+        lp.set_objective(&[(0, 1.0)]);
+        lp.add_constraint(&[(0, 1.0)], Cmp::Le, 1.0);
+        let budget = Budget::unlimited().with_wall(std::time::Duration::ZERO);
+        assert!(matches!(
+            lp.solve_budgeted(&budget),
+            Err(LpError::Budget(BudgetError::DeadlineExceeded { .. }))
+        ));
+    }
+
+    #[test]
+    fn non_finite_input_rejected() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let mut lp = LinearProgram::new(1);
+            lp.set_objective(&[(0, bad)]);
+            assert!(matches!(
+                lp.solve_budgeted(&Budget::unlimited()),
+                Err(LpError::BadInput(_))
+            ));
+
+            let mut lp = LinearProgram::new(1);
+            lp.add_constraint(&[(0, 1.0)], Cmp::Le, bad);
+            assert!(matches!(
+                lp.solve_budgeted(&Budget::unlimited()),
+                Err(LpError::BadInput(_))
+            ));
+
+            let mut lp = LinearProgram::new(1);
+            lp.add_constraint(&[(0, bad)], Cmp::Le, 1.0);
+            assert!(matches!(
+                lp.solve_budgeted(&Budget::unlimited()),
+                Err(LpError::BadInput(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn budgeted_solve_matches_unbudgeted() {
+        let mut lp = LinearProgram::new(2);
+        lp.set_objective(&[(0, 1.0), (1, 1.0)]);
+        lp.add_constraint(&[(0, 1.0), (1, 1.0)], Cmp::Le, 10.0);
+        lp.add_constraint(&[(0, 1.0)], Cmp::Ge, 3.0);
+        lp.add_constraint(&[(1, 1.0)], Cmp::Eq, 2.0);
+        let plain = lp.solve();
+        let guarded = lp.solve_budgeted(&Budget::unlimited()).unwrap();
+        assert_eq!(plain.status, guarded.status);
+        assert!((plain.objective - guarded.objective).abs() < 1e-9);
     }
 
     #[test]

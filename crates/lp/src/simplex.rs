@@ -5,10 +5,28 @@
 //! RHS. Pricing is Dantzig (most negative reduced cost); after a large
 //! number of iterations the solver switches to Bland's rule, which
 //! guarantees termination on degenerate problems.
+//!
+//! Both phases meter a [`dcn_guard::Budget`]: one tick per pivot
+//! iteration, so a deadline or iteration cap turns a pathological solve
+//! into a typed [`LpError::Budget`] instead of a multi-minute stall.
 
-use crate::{Cmp, LinearProgram, LpSolution, LpStatus};
+use crate::{Cmp, LinearProgram, LpError, LpSolution, LpStatus};
+use dcn_guard::{validate, Budget, BudgetMeter};
 
 const EPS: f64 = 1e-9;
+/// Minimum magnitude for a ratio-test pivot element. Accumulated
+/// cancellation noise in the tableau sits just above `EPS`; pivoting on it
+/// (dividing the row by ~1e-8) amplifies that noise into O(1) primal error
+/// on degenerate problems. Entries below this are treated as zero.
+const PIVOT_TOL: f64 = 1e-7;
+
+/// Per-row normalization applied at tableau setup: rows with negative RHS
+/// are sign-flipped so all RHS are non-negative.
+#[derive(Clone, Copy)]
+struct RowInfo {
+    flip: bool,
+    cmp: Cmp,
+}
 
 struct Tableau {
     rows: usize, // constraint rows
@@ -60,21 +78,44 @@ impl Tableau {
     /// Runs simplex iterations on the current objective row until optimal
     /// or unbounded. `n_price` columns are eligible for entering.
     /// Returns the iteration count alongside the status so callers can
-    /// attribute work to phase 1 vs phase 2.
-    fn optimize(&mut self, n_price: usize) -> (LpStatus, u64) {
+    /// attribute work to phase 1 vs phase 2. One budget tick per pivot.
+    ///
+    /// `refresh` carries the pristine standard-form rows plus the phase
+    /// objective; when present the tableau is refactorized from them every
+    /// ~`rows` pivots, so pivot decisions are always made within one
+    /// refresh period of a numerically clean tableau. Without this, long
+    /// degenerate runs (thousands of pivots on path LPs) accumulate enough
+    /// drift to admit linearly dependent columns into the basis.
+    fn optimize(
+        &mut self,
+        n_price: usize,
+        meter: &mut BudgetMeter<'_>,
+        refresh: Option<(&[f64], &[f64])>,
+    ) -> Result<(LpStatus, u64), LpError> {
         let mut iters = 0usize;
         let bland_after = 50 * (self.rows + n_price).max(64);
+        let refresh_every = self.rows.max(64);
         // Hoisted registry handles: the per-pivot cost stays at a couple
         // of relaxed atomic adds, no locks.
         let pivots_ctr = dcn_obs::counter!("lp.simplex.pivots");
         let degen_ctr = dcn_obs::counter!("lp.simplex.degenerate_pivots");
         let bland_ctr = dcn_obs::counter!("lp.simplex.bland_activations");
+        let refactor_ctr = dcn_obs::counter!("lp.simplex.refactorizations");
         let mut bland_counted = false;
         loop {
+            meter.tick()?;
             iters += 1;
             if iters > bland_after && !bland_counted {
                 bland_ctr.inc();
                 bland_counted = true;
+            }
+            if let Some((pristine, objective)) = refresh {
+                if iters.is_multiple_of(refresh_every) {
+                    self.refactor(pristine, objective).map_err(|col| {
+                        LpError::Certificate(dcn_guard::CertError::SingularBasis { col })
+                    })?;
+                    refactor_ctr.inc();
+                }
             }
             // Entering column.
             let obj_row = self.rows;
@@ -100,22 +141,30 @@ impl Tableau {
             }
             let pc = match enter {
                 Some(c) => c,
-                None => return (LpStatus::Optimal, iters as u64 - 1),
+                None => return Ok((LpStatus::Optimal, iters as u64 - 1)),
             };
-            // Ratio test.
+            // Two-pass ratio test. Pass 1: minimum ratio over eligible
+            // pivots (magnitude above PIVOT_TOL, so tableau noise never
+            // becomes a divisor).
             let rhs = self.rhs_col();
-            let mut pr: Option<usize> = None;
             let mut best_ratio = f64::INFINITY;
             for r in 0..self.rows {
                 let a = self.at(r, pc);
-                if a > EPS {
-                    let ratio = self.at(r, rhs) / a;
-                    // Tie-break on smaller basis index (Bland-compatible).
-                    if ratio < best_ratio - EPS
-                        || (ratio < best_ratio + EPS
-                            && pr.is_none_or(|p| self.basis[r] < self.basis[p]))
+                if a > PIVOT_TOL {
+                    best_ratio = best_ratio.min(self.at(r, rhs) / a);
+                }
+            }
+            // Pass 2 over near-ties: smallest basis index (the
+            // anti-cycling tie-break; a stability tie-break on pivot
+            // magnitude stalls on these highly degenerate path LPs).
+            let mut pr: Option<usize> = None;
+            if best_ratio.is_finite() {
+                for r in 0..self.rows {
+                    let a = self.at(r, pc);
+                    if a > PIVOT_TOL
+                        && self.at(r, rhs) / a <= best_ratio + EPS
+                        && pr.is_none_or(|p| self.basis[r] < self.basis[p])
                     {
-                        best_ratio = ratio;
                         pr = Some(r);
                     }
                 }
@@ -128,25 +177,87 @@ impl Tableau {
                     }
                     self.pivot(r, pc)
                 }
-                None => return (LpStatus::Unbounded, iters as u64 - 1),
+                None => return Ok((LpStatus::Unbounded, iters as u64 - 1)),
             }
         }
     }
+
+    /// Rebuilds the tableau from the pristine standard-form rows for the
+    /// current basis (Gauss–Jordan with partial pivoting), discarding the
+    /// floating-point drift accumulated over the pivot history, and
+    /// installs `objective` as a freshly canonicalized objective row.
+    /// Rank-revealing: returns the basis column that cannot be reduced to
+    /// a unit vector if the recorded basis is numerically singular.
+    fn refactor(&mut self, pristine: &[f64], objective: &[f64]) -> Result<(), usize> {
+        let cols = self.cols;
+        let m = self.rows;
+        self.a[..m * cols].copy_from_slice(pristine);
+        for c in 0..cols {
+            self.a[m * cols + c] = 0.0;
+        }
+        for (j, &cj) in objective.iter().enumerate() {
+            self.a[m * cols + j] = -cj;
+        }
+        let basis_cols = std::mem::take(&mut self.basis);
+        let mut owned = vec![false; m];
+        let mut new_basis = vec![usize::MAX; m];
+        for &bc in &basis_cols {
+            // Partial pivoting: the free row with the largest magnitude.
+            let mut pr = usize::MAX;
+            let mut best = 1e-10;
+            for (r, &taken) in owned.iter().enumerate() {
+                if !taken {
+                    let v = self.at(r, bc).abs();
+                    if v > best {
+                        best = v;
+                        pr = r;
+                    }
+                }
+            }
+            if pr == usize::MAX {
+                self.basis = basis_cols;
+                return Err(bc);
+            }
+            owned[pr] = true;
+            new_basis[pr] = bc;
+            let inv = 1.0 / self.at(pr, bc);
+            for c in 0..cols {
+                self.a[pr * cols + c] *= inv;
+            }
+            for r in 0..=m {
+                if r == pr {
+                    continue;
+                }
+                let factor = self.at(r, bc);
+                if factor != 0.0 {
+                    for c in 0..cols {
+                        let v = self.a[pr * cols + c];
+                        self.a[r * cols + c] -= factor * v;
+                    }
+                }
+            }
+        }
+        self.basis = new_basis;
+        Ok(())
+    }
 }
 
-/// Solves `lp` (maximize `c · x`, `x >= 0`).
-pub(crate) fn solve(lp: &LinearProgram) -> LpSolution {
+/// Solves `lp` (maximize `c · x`, `x >= 0`) under `budget`. When
+/// `validate_certs` is set, the returned optimum is checked against its
+/// certificates (finiteness, primal feasibility, duality gap) before being
+/// handed back.
+pub(crate) fn solve_budgeted(
+    lp: &LinearProgram,
+    budget: &Budget,
+    validate_certs: bool,
+) -> Result<LpSolution, LpError> {
     let _span = dcn_obs::span!("lp.simplex.solve");
+    let mut meter = budget.meter();
     let n = lp.n_vars();
     let m = lp.rows().len();
 
     // Count auxiliary columns. Rows with negative RHS are sign-flipped
     // first so that all RHS are non-negative.
-    #[derive(Clone, Copy)]
-    struct RowInfo {
-        flip: bool,
-        cmp: Cmp,
-    }
     let mut infos = Vec::with_capacity(m);
     let mut n_slack = 0usize;
     let mut n_art = 0usize;
@@ -180,6 +291,10 @@ pub(crate) fn solve(lp: &LinearProgram) -> LpSolution {
     let mut slack_at = n;
     let mut art_at = n + n_slack;
     let art_start = n + n_slack;
+    // Identity column introduced for each row (slack for Le, artificial
+    // for Ge/Eq): its phase-2 reduced cost is the row's dual value, used
+    // for the duality-gap certificate below.
+    let mut id_col = vec![0usize; m];
     for (r, (row, info)) in lp.rows().iter().zip(infos.iter()).enumerate() {
         let sign = if info.flip { -1.0 } else { 1.0 };
         for &(j, c) in &row.coeffs {
@@ -191,6 +306,7 @@ pub(crate) fn solve(lp: &LinearProgram) -> LpSolution {
             Cmp::Le => {
                 t.set(r, slack_at, 1.0);
                 t.basis[r] = slack_at;
+                id_col[r] = slack_at;
                 slack_at += 1;
             }
             Cmp::Ge => {
@@ -198,15 +314,21 @@ pub(crate) fn solve(lp: &LinearProgram) -> LpSolution {
                 slack_at += 1;
                 t.set(r, art_at, 1.0);
                 t.basis[r] = art_at;
+                id_col[r] = art_at;
                 art_at += 1;
             }
             Cmp::Eq => {
                 t.set(r, art_at, 1.0);
                 t.basis[r] = art_at;
+                id_col[r] = art_at;
                 art_at += 1;
             }
         }
     }
+
+    // Pristine copy of the standard-form constraint rows: refactorization
+    // rebuilds the tableau from these to shed accumulated rounding drift.
+    let pristine = t.a[..m * cols].to_vec();
 
     // Phase 1: minimize sum of artificials == maximize -sum.
     if n_art > 0 {
@@ -225,21 +347,23 @@ pub(crate) fn solve(lp: &LinearProgram) -> LpSolution {
                 }
             }
         }
-        let (status, p1_iters) = t.optimize(total);
+        let mut p1_obj = vec![0.0; total];
+        p1_obj[art_start..total].fill(-1.0);
+        let (status, p1_iters) = t.optimize(total, &mut meter, Some((&pristine, &p1_obj)))?;
         dcn_obs::counter!("lp.simplex.phase1_iters").add(p1_iters);
         debug_assert_ne!(status, LpStatus::Unbounded, "phase 1 cannot be unbounded");
         let phase1 = -t.at(m, cols - 1);
         if phase1 > 1e-7 {
-            return LpSolution {
+            return Ok(LpSolution {
                 status: LpStatus::Infeasible,
                 objective: 0.0,
                 x: vec![0.0; n],
-            };
+            });
         }
         // Drive remaining artificials out of the basis where possible.
         for r in 0..m {
             if t.basis[r] >= art_start {
-                let pc = (0..art_start).find(|&c| t.at(r, c).abs() > EPS);
+                let pc = (0..art_start).find(|&c| t.at(r, c).abs() > PIVOT_TOL);
                 if let Some(pc) = pc {
                     t.pivot(r, pc);
                 }
@@ -249,36 +373,47 @@ pub(crate) fn solve(lp: &LinearProgram) -> LpSolution {
         }
     }
 
-    // Phase 2: real objective. Reset objective row.
-    for c in 0..cols {
-        t.set(m, c, 0.0);
-    }
-    for (j, &cj) in lp.objective().iter().enumerate() {
-        t.set(m, j, -cj);
-    }
-    // Zero out artificial columns so they can never re-enter.
-    // (Pricing below excludes them, but keep reduced costs consistent.)
-    for r in 0..m {
-        let b = t.basis[r];
-        if b < total {
-            let factor = t.at(m, b);
-            if factor.abs() > EPS {
-                for c in 0..cols {
-                    let v = t.at(r, c);
-                    let cur = t.at(m, c);
-                    t.set(m, c, cur - factor * v);
-                }
-            }
+    // Phase 2: rebuild the tableau from pristine data with the real
+    // objective. Refactorization both canonicalizes the objective row over
+    // the phase-1 basis and discards phase-1 rounding drift. (Artificial
+    // columns never re-enter: pricing below excludes them.)
+    let singular =
+        |col: usize| LpError::Certificate(dcn_guard::CertError::SingularBasis { col });
+    t.refactor(&pristine, lp.objective()).map_err(singular)?;
+    let mut resumes = 0u32;
+    let status = loop {
+        // Price real + slack columns only; periodic refreshes rebuild the
+        // tableau from pristine data mid-run.
+        let (status, p2_iters) =
+            t.optimize(art_start, &mut meter, Some((&pristine, lp.objective())))?;
+        dcn_obs::counter!("lp.simplex.phase2_iters").add(p2_iters);
+        if status != LpStatus::Optimal {
+            break status;
         }
-    }
-    let (status, p2_iters) = t.optimize(art_start); // price only real + slack columns
-    dcn_obs::counter!("lp.simplex.phase2_iters").add(p2_iters);
+        // Refresh the tableau for the final basis. If the drift-free
+        // reduced costs still price out non-negative the basis is truly
+        // optimal; otherwise drift mis-terminated the run — keep pivoting
+        // from the refreshed (numerically clean) tableau.
+        t.refactor(&pristine, lp.objective()).map_err(singular)?;
+        dcn_obs::counter!("lp.simplex.refactorizations").inc();
+        if (0..art_start).all(|c| t.at(m, c) >= -EPS) {
+            break status;
+        }
+        resumes += 1;
+        if resumes > 20 {
+            // Never observed; a backstop so a pathological oscillation
+            // cannot hang an unbudgeted solve. The certificate checks
+            // below judge whatever this basis yields.
+            break status;
+        }
+        dcn_obs::counter!("lp.simplex.refactor_resumes").inc();
+    };
     if status == LpStatus::Unbounded {
-        return LpSolution {
+        return Ok(LpSolution {
             status,
             objective: f64::INFINITY,
             x: vec![0.0; n],
-        };
+        });
     }
 
     let mut x = vec![0.0; n];
@@ -294,11 +429,57 @@ pub(crate) fn solve(lp: &LinearProgram) -> LpSolution {
         .zip(x.iter())
         .map(|(c, v)| c * v)
         .sum();
-    LpSolution {
+    let sol = LpSolution {
         status: LpStatus::Optimal,
         objective,
         x,
+    };
+    if validate_certs {
+        verify_certificate(lp, &sol, &t, &infos, &id_col).map_err(LpError::Certificate)?;
     }
+    Ok(sol)
+}
+
+/// Post-solve certificate checks for an `Optimal` solution: finiteness,
+/// primal feasibility of every constraint, and the strong-duality gap
+/// recovered from the final tableau's reduced costs.
+fn verify_certificate(
+    lp: &LinearProgram,
+    sol: &LpSolution,
+    t: &Tableau,
+    infos: &[RowInfo],
+    id_col: &[usize],
+) -> Result<(), dcn_guard::CertError> {
+    const TOL: f64 = 1e-6;
+    validate::ensure_finite("lp solution", &sol.x)?;
+    validate::ensure_finite_scalar("lp objective", sol.objective)?;
+    let m = lp.rows().len();
+    // Primal feasibility.
+    for (r, row) in lp.rows().iter().enumerate() {
+        let lhs: f64 = row.coeffs.iter().map(|&(j, c)| c * sol.x[j]).sum();
+        let slack_tol = TOL * (1.0 + row.rhs.abs());
+        let residual = match row.cmp {
+            Cmp::Le => lhs - row.rhs,
+            Cmp::Ge => row.rhs - lhs,
+            Cmp::Eq => (lhs - row.rhs).abs(),
+        };
+        if residual > slack_tol {
+            dcn_obs::counter!("guard.validate.failures").inc();
+            return Err(dcn_guard::CertError::ConstraintViolated { row: r, residual });
+        }
+    }
+    // Strong duality: the reduced cost of each row's identity column is
+    // its dual value; the dual objective over the (sign-flipped) RHS must
+    // equal the primal objective at optimality.
+    let obj_row = t.rows;
+    let dual: f64 = (0..m)
+        .map(|r| {
+            let y = t.at(obj_row, id_col[r]);
+            let sign = if infos[r].flip { -1.0 } else { 1.0 };
+            y * sign * lp.rows()[r].rhs
+        })
+        .sum();
+    validate::check_duality_gap(sol.objective, dual, TOL)
 }
 
 /// Solves a raw dense tableau problem: maximize `c · x` s.t. `A x <= b`,

@@ -18,6 +18,8 @@
 
 #![warn(missing_docs)]
 
+use dcn_guard::{Budget, BudgetError};
+
 /// A permutation assignment: `assignment[u] = v` means `u` sends to `v`.
 /// Entries with `assignment[u] == u` represent unmatched nodes (possible
 /// only for [`greedy_max`] with odd `n`).
@@ -71,11 +73,28 @@ impl Matching {
 /// assert_eq!(m.assignment, vec![1, 0]);
 /// ```
 pub fn hungarian_max(n: usize, w: impl Fn(usize, usize) -> i64) -> Matching {
+    match hungarian_max_budgeted(n, w, &Budget::unlimited()) {
+        Ok(m) => m,
+        Err(e) => unreachable!("unlimited budget exhausted in hungarian: {e}"),
+    }
+}
+
+/// [`hungarian_max`] under an execution [`Budget`]: one tick per
+/// shortest-augmenting-path step (each an `O(n)` column scan), so the
+/// `O(n^3)` exact matcher can be deadline-capped and fall back to
+/// [`greedy_max`] — which is the paper's own Algorithm 1 and still yields
+/// a valid (looser) TUB witness.
+pub fn hungarian_max_budgeted(
+    n: usize,
+    w: impl Fn(usize, usize) -> i64,
+    budget: &Budget,
+) -> Result<Matching, BudgetError> {
+    let mut meter = budget.meter();
     if n == 0 {
-        return Matching {
+        return Ok(Matching {
             assignment: Vec::new(),
             total_weight: 0,
-        };
+        });
     }
     // Convert maximization to minimization: cost = -w. The potentials
     // formulation (e-maxx / JV) computes a minimum-cost perfect matching.
@@ -92,6 +111,7 @@ pub fn hungarian_max(n: usize, w: impl Fn(usize, usize) -> i64) -> Matching {
         let mut minv = vec![INF; n + 1];
         let mut used = vec![false; n + 1];
         loop {
+            meter.tick()?;
             used[j0] = true;
             let i0 = p[j0];
             let mut delta = INF;
@@ -140,10 +160,10 @@ pub fn hungarian_max(n: usize, w: impl Fn(usize, usize) -> i64) -> Matching {
         .enumerate()
         .map(|(i, &j)| w(i, j))
         .sum();
-    Matching {
+    Ok(Matching {
         assignment,
         total_weight,
-    }
+    })
 }
 
 /// The paper's Algorithm 1 (Appendix D): greedy farthest-pair matching.
@@ -354,6 +374,19 @@ mod tests {
         assert_eq!(g.total_weight, g.weight_under(w));
         let h = hungarian_max(n, w);
         assert!(g.total_weight <= h.total_weight);
+    }
+
+    #[test]
+    fn budget_caps_hungarian() {
+        let mat = [[1i64, 10], [10, 1]];
+        let tiny = Budget::unlimited().with_iter_cap(1);
+        assert!(matches!(
+            hungarian_max_budgeted(2, |i, j| mat[i][j], &tiny),
+            Err(BudgetError::IterationsExceeded { cap: 1 })
+        ));
+        let roomy = Budget::unlimited().with_iter_cap(1000);
+        let m = hungarian_max_budgeted(2, |i, j| mat[i][j], &roomy).unwrap();
+        assert_eq!(m.total_weight, 20);
     }
 
     #[test]

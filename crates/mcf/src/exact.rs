@@ -8,12 +8,23 @@
 //! * `f_p, θ >= 0`
 
 use crate::pathset::PathSet;
-use crate::{McfError, ThroughputResult};
-use dcn_lp::{Cmp, LinearProgram, LpStatus};
+use crate::{McfError, Provenance, ThroughputResult};
+use dcn_guard::{validate, Budget};
+use dcn_lp::{Cmp, LinearProgram, LpError, LpStatus};
 
 /// Solves the path LP exactly. Also reports the shortest-path flow
 /// fraction from the optimal basic solution.
 pub fn solve(ps: &PathSet) -> Result<ThroughputResult, McfError> {
+    solve_budgeted(ps, &Budget::unlimited())
+}
+
+/// [`solve`] under an execution [`Budget`]: the simplex ticks the budget
+/// once per pivot, so a deadline or iteration cap aborts the solve as
+/// [`McfError::Budget`] — the hook [`crate::throughput_with_fallback`]
+/// uses to degrade to the FPTAS. When certificate validation is enabled
+/// the routed flow is additionally checked against edge capacities and
+/// per-commodity service at `θ`.
+pub fn solve_budgeted(ps: &PathSet, budget: &Budget) -> Result<ThroughputResult, McfError> {
     let _span = dcn_obs::span!("mcf.exact.solve");
     let n_paths = ps.total_paths();
     dcn_obs::histogram!("mcf.exact.columns").record_u64(n_paths as u64 + 1);
@@ -44,7 +55,10 @@ pub fn solve(ps: &PathSet) -> Result<ThroughputResult, McfError> {
     }
 
     dcn_obs::histogram!("mcf.exact.rows").record_u64(lp.n_constraints() as u64);
-    let sol = lp.solve();
+    let sol = lp.solve_budgeted(budget).map_err(|e| match e {
+        LpError::Budget(b) => McfError::Budget(b),
+        LpError::BadInput(c) | LpError::Certificate(c) => McfError::Certificate(c),
+    })?;
     match sol.status {
         LpStatus::Optimal => {}
         LpStatus::Infeasible => return Err(McfError::SolverFailure("infeasible path LP")),
@@ -62,11 +76,46 @@ pub fn solve(ps: &PathSet) -> Result<ThroughputResult, McfError> {
         }
         flows.push(fc);
     }
+    if dcn_guard::validation_enabled() {
+        verify_flow_certificate(ps, theta, &flows)?;
+    }
     Ok(ThroughputResult {
         theta_lb: theta,
         theta_ub: theta,
         shortest_path_fraction: ps.shortest_path_fraction(&flows),
+        provenance: Provenance::Exact,
     })
+}
+
+/// MCF-level certificate: the recovered per-path flows must respect every
+/// directed edge capacity and serve each commodity at `θ · demand`.
+fn verify_flow_certificate(
+    ps: &PathSet,
+    theta: f64,
+    flows: &[Vec<f64>],
+) -> Result<(), McfError> {
+    let n_dir = ps.n_directed_edges();
+    let mut load = vec![0.0f64; n_dir];
+    let mut served = Vec::with_capacity(ps.commodities().len());
+    let mut demands = Vec::with_capacity(ps.commodities().len());
+    for (c, fc) in ps.commodities().iter().zip(flows.iter()) {
+        let mut total = 0.0;
+        for (p, &f) in c.paths.iter().zip(fc.iter()) {
+            total += f;
+            for &hop in &p.hops {
+                load[PathSet::dir_index(hop)] += f;
+            }
+        }
+        served.push(total);
+        demands.push(c.demand);
+    }
+    let cap: Vec<f64> = (0..n_dir)
+        .map(|i| ps.graph().capacity((i / 2) as u32))
+        .collect();
+    validate::ensure_finite_scalar("mcf theta", theta)?;
+    validate::check_capacity(&load, &cap, validate::DEFAULT_TOL)?;
+    validate::check_demands_served(&served, &demands, theta, validate::DEFAULT_TOL)?;
+    Ok(())
 }
 
 #[cfg(test)]

@@ -17,13 +17,30 @@
 //! usually much tighter than the worst-case guarantee.
 
 use crate::pathset::PathSet;
-use crate::{McfError, ThroughputResult};
+use crate::{McfError, Provenance, ThroughputResult};
+use dcn_guard::{validate, Budget};
 
 /// Solves max concurrent flow on `ps` with accuracy `eps`.
 pub fn solve(ps: &PathSet, eps: f64) -> Result<ThroughputResult, McfError> {
+    solve_budgeted(ps, eps, &Budget::unlimited())
+}
+
+/// [`solve`] under an execution [`Budget`]: one tick per augmentation, so
+/// the multiplicative-weights loop honors deadlines and iteration caps.
+/// Unlike the exact backend, a mid-run exhaustion is *not* fatal when at
+/// least one phase completed: the accumulated flow already certifies a
+/// valid (looser) bracket, which is returned with the achieved gap
+/// recorded. Exhaustion before any flow is routed propagates as
+/// [`McfError::Budget`].
+pub fn solve_budgeted(
+    ps: &PathSet,
+    eps: f64,
+    budget: &Budget,
+) -> Result<ThroughputResult, McfError> {
     if !(0.0 < eps && eps < 0.5) {
         return Err(McfError::BadEps(eps));
     }
+    let mut meter = budget.meter();
     let _span = dcn_obs::span!("mcf.fptas.solve");
     // Hoisted so the inner augmentation loop touches only relaxed atomics.
     let phases_ctr = dcn_obs::counter!("mcf.fptas.phases");
@@ -87,11 +104,11 @@ pub fn solve(ps: &PathSet, eps: f64) -> Result<ThroughputResult, McfError> {
         // Primal certificate: scale accumulated flow to feasibility.
         let theta_lb = current_lb(ps, &flow_on_edge, &cap, &routed);
         if theta_lb > 0.0 && theta_ub - theta_lb <= eps * theta_ub {
-            return finish(ps, flows, routed, theta_lb, theta_ub);
+            return finish(ps, flows, routed, theta_lb, theta_ub, eps);
         }
         if d_of(&length) >= 1.0 || phases >= max_phases {
             let theta_lb = current_lb(ps, &flow_on_edge, &cap, &routed);
-            return finish(ps, flows, routed, theta_lb, theta_ub);
+            return finish(ps, flows, routed, theta_lb, theta_ub, eps);
         }
         phases += 1;
         phases_ctr.inc();
@@ -99,6 +116,17 @@ pub fn solve(ps: &PathSet, eps: f64) -> Result<ThroughputResult, McfError> {
         for (j, c) in ps.commodities().iter().enumerate() {
             let mut remaining = c.demand;
             while remaining > 0.0 {
+                if let Err(e) = meter.tick() {
+                    // Budget ran out mid-phase. The flow accumulated so
+                    // far still certifies a bracket — return it if there
+                    // is one; otherwise surface the exhaustion.
+                    let theta_lb = current_lb(ps, &flow_on_edge, &cap, &routed);
+                    if theta_lb > 0.0 {
+                        dcn_obs::counter!("mcf.fptas.truncated_runs").inc();
+                        return finish(ps, flows, routed, theta_lb, theta_ub, eps);
+                    }
+                    return Err(McfError::Budget(e));
+                }
                 aug_ctr.inc();
                 let (p, _) = cheapest(j, &length);
                 let hops = &c.paths[p].hops;
@@ -145,16 +173,22 @@ fn finish(
     routed: Vec<f64>,
     theta_lb: f64,
     theta_ub: f64,
+    eps: f64,
 ) -> Result<ThroughputResult, McfError> {
     let _ = routed;
     if theta_ub > 0.0 && theta_ub.is_finite() {
         dcn_obs::gauge!("mcf.fptas.achieved_eps").set((theta_ub - theta_lb) / theta_ub);
     }
     let sp_frac = ps.shortest_path_fraction(&flows);
+    let theta_ub = theta_ub.max(theta_lb);
+    if dcn_guard::validation_enabled() {
+        validate::check_bracket(theta_lb, theta_ub, validate::DEFAULT_TOL)?;
+    }
     Ok(ThroughputResult {
         theta_lb,
-        theta_ub: theta_ub.max(theta_lb),
+        theta_ub,
         shortest_path_fraction: sp_frac,
+        provenance: Provenance::Fptas { eps },
     })
 }
 

@@ -27,6 +27,7 @@ pub mod routing;
 pub use pathset::{Commodity, PathSet};
 pub use routing::{ecmp_throughput, vlb_throughput};
 
+use dcn_guard::{Budget, BudgetError, CertError};
 use dcn_model::{ModelError, Topology, TrafficMatrix};
 
 /// Throughput computation backend.
@@ -41,6 +42,34 @@ pub enum Engine {
     },
 }
 
+/// How a [`ThroughputResult`] was produced. Degraded paths (an FPTAS
+/// answer standing in for a budget-exhausted exact solve) are recorded
+/// here so downstream tables can distinguish exact numbers from certified
+/// brackets.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Provenance {
+    /// Exact simplex solve of the path LP; `theta_lb == theta_ub`.
+    Exact,
+    /// FPTAS bracket requested directly.
+    Fptas {
+        /// The accuracy parameter the bracket was computed with.
+        eps: f64,
+    },
+    /// FPTAS bracket produced because the exact solve exhausted its
+    /// budget and the fallback chain stepped in.
+    FptasFallback {
+        /// The accuracy parameter used by the fallback solve.
+        eps: f64,
+    },
+}
+
+impl Provenance {
+    /// True when this result came from a degraded (fallback) path.
+    pub fn is_degraded(&self) -> bool {
+        matches!(self, Provenance::FptasFallback { .. })
+    }
+}
+
 /// Result of a throughput computation.
 #[derive(Debug, Clone)]
 pub struct ThroughputResult {
@@ -50,6 +79,8 @@ pub struct ThroughputResult {
     pub theta_ub: f64,
     /// Fraction of total routed flow volume carried on shortest paths.
     pub shortest_path_fraction: f64,
+    /// Which solver produced this result (and whether it was a fallback).
+    pub provenance: Provenance,
 }
 
 impl ThroughputResult {
@@ -77,11 +108,27 @@ pub enum McfError {
     BadEps(f64),
     /// The LP solver reported an unexpected status.
     SolverFailure(&'static str),
+    /// The execution budget ran out mid-solve (and no fallback applied).
+    Budget(BudgetError),
+    /// A post-solve certificate check failed.
+    Certificate(CertError),
 }
 
 impl From<ModelError> for McfError {
     fn from(e: ModelError) -> Self {
         McfError::Model(e)
+    }
+}
+
+impl From<BudgetError> for McfError {
+    fn from(e: BudgetError) -> Self {
+        McfError::Budget(e)
+    }
+}
+
+impl From<CertError> for McfError {
+    fn from(e: CertError) -> Self {
+        McfError::Certificate(e)
     }
 }
 
@@ -93,11 +140,22 @@ impl std::fmt::Display for McfError {
             McfError::EmptyTraffic => write!(f, "traffic matrix is empty"),
             McfError::BadEps(e) => write!(f, "fptas eps must be in (0, 0.5), got {e}"),
             McfError::SolverFailure(s) => write!(f, "lp solver failure: {s}"),
+            McfError::Budget(e) => write!(f, "throughput solve aborted: {e}"),
+            McfError::Certificate(e) => write!(f, "throughput certificate failed: {e}"),
         }
     }
 }
 
-impl std::error::Error for McfError {}
+impl std::error::Error for McfError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            McfError::Model(e) => Some(e),
+            McfError::Budget(e) => Some(e),
+            McfError::Certificate(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 /// Computes `θ(T)` with each commodity restricted to its `k` shortest
 /// paths (the paper's KSP-MCF). Convenience wrapper that builds the path
@@ -126,13 +184,128 @@ pub fn ksp_mcf_throughput(
     throughput_on_paths(&ps, engine)
 }
 
+/// [`ksp_mcf_throughput`] under an execution [`Budget`]. The budget spans
+/// the whole computation — path enumeration and the solve share one
+/// deadline — and exhaustion surfaces as [`McfError::Budget`].
+pub fn ksp_mcf_throughput_budgeted(
+    topo: &Topology,
+    tm: &TrafficMatrix,
+    k: usize,
+    engine: Engine,
+    budget: &Budget,
+) -> Result<ThroughputResult, McfError> {
+    let ps = PathSet::k_shortest_budgeted(topo, tm, k, budget)?;
+    throughput_on_paths_budgeted(&ps, engine, budget)
+}
+
 /// Computes `θ(T)` over an explicit path set.
 pub fn throughput_on_paths(
     ps: &PathSet,
     engine: Engine,
 ) -> Result<ThroughputResult, McfError> {
+    throughput_on_paths_budgeted(ps, engine, &Budget::unlimited())
+}
+
+/// [`throughput_on_paths`] under an execution [`Budget`].
+pub fn throughput_on_paths_budgeted(
+    ps: &PathSet,
+    engine: Engine,
+    budget: &Budget,
+) -> Result<ThroughputResult, McfError> {
     match engine {
-        Engine::Exact => exact::solve(ps),
-        Engine::Fptas { eps } => fptas::solve(ps, eps),
+        Engine::Exact => exact::solve_budgeted(ps, budget),
+        Engine::Fptas { eps } => fptas::solve_budgeted(ps, eps, budget),
+    }
+}
+
+/// Exact solve with an FPTAS fallback chain: attempts the exact path LP
+/// under `budget`; if the budget is exhausted mid-simplex, retries with
+/// the Garg–Könemann FPTAS at accuracy `fallback_eps` on whatever budget
+/// remains (the deadline is shared, so the chain as a whole still honors
+/// it). The fallback's provenance is stamped as
+/// [`Provenance::FptasFallback`] and counted in
+/// `mcf.fallback.exact_to_fptas`, so run manifests record every degraded
+/// result. Non-budget errors from the exact solve propagate unchanged —
+/// the FPTAS cannot fix a malformed instance.
+pub fn throughput_with_fallback(
+    ps: &PathSet,
+    fallback_eps: f64,
+    budget: &Budget,
+) -> Result<ThroughputResult, McfError> {
+    match exact::solve_budgeted(ps, budget) {
+        Ok(r) => Ok(r),
+        Err(McfError::Budget(_)) => {
+            dcn_obs::counter!("mcf.fallback.exact_to_fptas").inc();
+            dcn_obs::obs_log!(
+                "mcf: exact solve exhausted its budget; falling back to fptas eps={fallback_eps}"
+            );
+            let mut r = fptas::solve_budgeted(ps, fallback_eps, budget)?;
+            r.provenance = Provenance::FptasFallback { eps: fallback_eps };
+            Ok(r)
+        }
+        Err(e) => Err(e),
+    }
+}
+
+#[cfg(test)]
+mod fallback_tests {
+    use super::*;
+    use dcn_graph::Graph;
+
+    fn c5_instance() -> PathSet {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]).unwrap();
+        let topo = Topology::new(g, vec![1; 5], "c5").unwrap();
+        let tm =
+            TrafficMatrix::permutation(&topo, &[(0, 3), (3, 1), (1, 4), (4, 2), (2, 0)])
+                .unwrap();
+        PathSet::k_shortest(&topo, &tm, 8).unwrap()
+    }
+
+    #[test]
+    fn roomy_budget_stays_exact() {
+        let ps = c5_instance();
+        let r = throughput_with_fallback(&ps, 0.05, &Budget::unlimited()).unwrap();
+        assert_eq!(r.provenance, Provenance::Exact);
+        assert!(!r.provenance.is_degraded());
+        assert!((r.theta_lb - 5.0 / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exhausted_exact_degrades_to_fptas() {
+        let ps = c5_instance();
+        // Too few ticks for the simplex (each tick = one pivot), but
+        // enough for the FPTAS to route at least one full phase (each
+        // tick = one augmentation; C5 needs 5 per phase).
+        let budget = Budget::unlimited().with_iter_cap(6);
+        let r = throughput_with_fallback(&ps, 0.05, &budget).unwrap();
+        assert_eq!(r.provenance, Provenance::FptasFallback { eps: 0.05 });
+        assert!(r.provenance.is_degraded());
+        // The degraded bracket still contains the true θ = 5/6.
+        assert!(r.theta_lb <= 5.0 / 6.0 + 1e-9);
+        assert!(r.theta_ub >= 5.0 / 6.0 - 1e-9);
+    }
+
+    #[test]
+    fn hopeless_budget_propagates_typed_error() {
+        let ps = c5_instance();
+        // One tick total: exact exhausts, then the fallback FPTAS cannot
+        // route even one commodity — the chain reports Budget, not a hang.
+        let budget = Budget::unlimited().with_iter_cap(1);
+        assert!(matches!(
+            throughput_with_fallback(&ps, 0.05, &budget),
+            Err(McfError::Budget(_))
+        ));
+    }
+
+    #[test]
+    fn non_budget_errors_skip_the_fallback() {
+        let ps = c5_instance();
+        // A bad eps only matters once the fallback runs; verify the
+        // fallback path surfaces it rather than looping.
+        let budget = Budget::unlimited().with_iter_cap(6);
+        assert!(matches!(
+            throughput_with_fallback(&ps, 0.9, &budget),
+            Err(McfError::BadEps(_))
+        ));
     }
 }

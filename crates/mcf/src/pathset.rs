@@ -3,6 +3,7 @@
 use crate::McfError;
 use dcn_graph::ksp;
 use dcn_graph::{EdgeId, Graph, NodeId};
+use dcn_guard::Budget;
 use dcn_model::{Topology, TrafficMatrix};
 use std::collections::HashMap;
 
@@ -59,7 +60,23 @@ impl PathSet {
         k: usize,
     ) -> Result<Self, McfError> {
         Self::build(topo, tm, |g, src, dst| {
-            ksp::k_shortest_by_slack(g, src, dst, k, u16::MAX)
+            Ok(ksp::k_shortest_by_slack(g, src, dst, k, u16::MAX))
+        })
+    }
+
+    /// [`PathSet::k_shortest`] under an execution [`Budget`]: path
+    /// enumeration for each commodity meters the budget, so adversarial
+    /// graphs with combinatorially many near-shortest paths cannot stall
+    /// the build phase.
+    pub fn k_shortest_budgeted(
+        topo: &Topology,
+        tm: &TrafficMatrix,
+        k: usize,
+        budget: &Budget,
+    ) -> Result<Self, McfError> {
+        Self::build(topo, tm, |g, src, dst| {
+            ksp::k_shortest_by_slack_budgeted(g, src, dst, k, u16::MAX, budget)
+                .map_err(McfError::Budget)
         })
     }
 
@@ -73,14 +90,14 @@ impl PathSet {
         cap: usize,
     ) -> Result<Self, McfError> {
         Self::build(topo, tm, |g, src, dst| {
-            ksp::paths_within_slack(g, src, dst, slack, cap)
+            Ok(ksp::paths_within_slack(g, src, dst, slack, cap))
         })
     }
 
     fn build(
         topo: &Topology,
         tm: &TrafficMatrix,
-        enumerate: impl Fn(&Graph, NodeId, NodeId) -> Vec<ksp::Path>,
+        enumerate: impl Fn(&Graph, NodeId, NodeId) -> Result<Vec<ksp::Path>, McfError>,
     ) -> Result<Self, McfError> {
         if tm.is_empty() {
             return Err(McfError::EmptyTraffic);
@@ -94,7 +111,7 @@ impl PathSet {
         }
         let mut commodities = Vec::with_capacity(tm.len());
         for d in tm.demands() {
-            let raw = enumerate(&graph, d.src, d.dst);
+            let raw = enumerate(&graph, d.src, d.dst)?;
             if raw.is_empty() {
                 return Err(McfError::NoPath {
                     src: d.src,

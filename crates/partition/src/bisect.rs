@@ -3,6 +3,7 @@
 use crate::coarsen::coarsen_once;
 use crate::fm::refine;
 use crate::WGraph;
+use dcn_guard::{Budget, BudgetError, BudgetMeter};
 use dcn_model::Topology;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -23,7 +24,25 @@ pub struct PartitionResult {
 /// allows. `tries` independent multilevel runs are performed and the best
 /// cut returned (like `METIS` with multiple seeds).
 pub fn bisection(topo: &Topology, tries: u32, seed: u64) -> PartitionResult {
+    match bisection_budgeted(topo, tries, seed, &Budget::unlimited()) {
+        Ok(r) => r,
+        Err(e) => unreachable!("unlimited budget exhausted in bisection: {e}"),
+    }
+}
+
+/// [`bisection`] under an execution [`Budget`]: one tick per FM move step
+/// across all multilevel tries. When the budget runs out after at least
+/// one completed try, the best result so far is returned (a valid, if
+/// possibly looser, cut upper bound); exhaustion before any try finishes
+/// propagates as an error.
+pub fn bisection_budgeted(
+    topo: &Topology,
+    tries: u32,
+    seed: u64,
+    budget: &Budget,
+) -> Result<PartitionResult, BudgetError> {
     let _span = dcn_obs::span!("partition.bisect.bisection");
+    let mut meter = budget.meter();
     let cut_hist = dcn_obs::histogram!("partition.bisect.try_cut");
     let node_w: Vec<u64> = topo.servers().iter().map(|&s| s as u64).collect();
     let g = WGraph::from_topology_graph(topo.graph(), &node_w);
@@ -37,7 +56,21 @@ pub fn bisection(topo: &Topology, tries: u32, seed: u64) -> PartitionResult {
     let mut best: Option<PartitionResult> = None;
     for t in 0..tries.max(1) {
         let mut rng = StdRng::seed_from_u64(seed.wrapping_add(t as u64));
-        let side = multilevel_bisect(&g, strict, loose, &mut rng);
+        let side = match multilevel_bisect(&g, strict, loose, &mut rng, &mut meter) {
+            Ok(side) => side,
+            Err(e) => {
+                // Keep the best completed try, if any; otherwise the
+                // exhaustion is fatal.
+                return match best {
+                    Some(b) => {
+                        dcn_obs::counter!("partition.bisect.truncated_tries").inc();
+                        dcn_obs::gauge!("partition.bisect.best_cut").set(b.cut);
+                        Ok(b)
+                    }
+                    None => Err(e),
+                };
+            }
+        };
         let cut = g.cut(&side);
         let mut w = [0u64; 2];
         for (u, &s) in side.iter().enumerate() {
@@ -53,12 +86,22 @@ pub fn bisection(topo: &Topology, tries: u32, seed: u64) -> PartitionResult {
             best = Some(candidate);
         }
     }
-    let best = best.expect("tries >= 1");
+    // `tries.max(1)` guarantees at least one loop body ran to completion.
+    let best = match best {
+        Some(b) => b,
+        None => unreachable!("bisection loop ran zero completed tries"),
+    };
     dcn_obs::gauge!("partition.bisect.best_cut").set(best.cut);
-    best
+    Ok(best)
 }
 
-fn multilevel_bisect<R: Rng>(g: &WGraph, strict: u64, loose: u64, rng: &mut R) -> Vec<u8> {
+fn multilevel_bisect<R: Rng>(
+    g: &WGraph,
+    strict: u64,
+    loose: u64,
+    rng: &mut R,
+    meter: &mut BudgetMeter<'_>,
+) -> Result<Vec<u8>, BudgetError> {
     // Coarsen.
     let mut levels = Vec::new();
     let mut cur = g.clone();
@@ -76,7 +119,7 @@ fn multilevel_bisect<R: Rng>(g: &WGraph, strict: u64, loose: u64, rng: &mut R) -
     // Initial partition of the coarsest graph: greedy BFS region growing
     // from a random seed until half the weight is collected.
     let mut side = grow_partition(&cur, rng);
-    refine(&cur, &mut side, strict, loose, 10);
+    refine(&cur, &mut side, strict, loose, 10, meter)?;
     // Uncoarsen with refinement. Level i maps the graph at level i-1
     // (or the input graph for i == 0) onto `levels[i].coarse`.
     for i in (0..levels.len()).rev() {
@@ -87,9 +130,9 @@ fn multilevel_bisect<R: Rng>(g: &WGraph, strict: u64, loose: u64, rng: &mut R) -
         }
         side = fine_side;
         let fine_graph = if i == 0 { g } else { &levels[i - 1].coarse };
-        refine(fine_graph, &mut side, strict, loose, 6);
+        refine(fine_graph, &mut side, strict, loose, 6, meter)?;
     }
-    side
+    Ok(side)
 }
 
 /// Greedy BFS region growing: start from a random node, absorb the
@@ -213,6 +256,26 @@ mod tests {
         let bbw = bisection_bandwidth(&t, 8, 5);
         assert_eq!(bbw, 2.0);
         assert!(!has_full_bisection(&t, 8, 5));
+    }
+
+    #[test]
+    fn budget_exhaustion_reports_or_returns_partial() {
+        let t = fat_tree(4).unwrap();
+        // Cap so tight the first multilevel try cannot finish.
+        let tiny = Budget::unlimited().with_iter_cap(1);
+        assert!(matches!(
+            bisection_budgeted(&t, 4, 3, &tiny),
+            Err(BudgetError::IterationsExceeded { cap: 1 })
+        ));
+        // A cap that lets some tries finish returns a valid partition.
+        let medium = Budget::unlimited().with_iter_cap(10_000);
+        if let Ok(r) = bisection_budgeted(&t, 64, 3, &medium) {
+            assert_eq!(r.weights.0 + r.weights.1, t.n_servers() as u64);
+        }
+        // Unlimited matches the legacy entry point.
+        let a = bisection(&t, 4, 3);
+        let b = bisection_budgeted(&t, 4, 3, &Budget::unlimited()).unwrap();
+        assert_eq!(a.cut, b.cut);
     }
 
     #[test]

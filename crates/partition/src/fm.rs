@@ -6,10 +6,20 @@
 //! without drifting away from a true bisection.
 
 use crate::WGraph;
+use dcn_guard::{BudgetError, BudgetMeter};
 
 /// One FM pass. Returns the cut improvement (>= 0 when the initial state
-/// was balanced).
-pub(crate) fn fm_pass(g: &WGraph, side: &mut [u8], strict: u64, loose: u64) -> f64 {
+/// was balanced). One budget tick per move step (each an `O(n)` scan for
+/// the best unlocked move); on exhaustion the tentative moves made so far
+/// are rolled back to the best balanced prefix before the error
+/// propagates, so `side` is never left mid-pass.
+pub(crate) fn fm_pass(
+    g: &WGraph,
+    side: &mut [u8],
+    strict: u64,
+    loose: u64,
+    meter: &mut BudgetMeter<'_>,
+) -> Result<f64, BudgetError> {
     dcn_obs::counter!("partition.fm.passes").inc();
     let moves_ctr = dcn_obs::counter!("partition.fm.moves");
     let n = g.n();
@@ -40,7 +50,13 @@ pub(crate) fn fm_pass(g: &WGraph, side: &mut [u8], strict: u64, loose: u64) -> f
         f64::NEG_INFINITY
     };
     let mut best_prefix: Option<usize> = if initial_balanced { Some(0) } else { None };
+    let mut exhausted: Option<BudgetError> = None;
     for _step in 0..n {
+        if let Err(e) = meter.tick() {
+            // Roll back to the best balanced prefix below, then report.
+            exhausted = Some(e);
+            break;
+        }
         // Pick the best unlocked move that stays within the loose limit.
         let mut pick: Option<(usize, f64)> = None;
         for u in 0..n {
@@ -86,24 +102,42 @@ pub(crate) fn fm_pass(g: &WGraph, side: &mut [u8], strict: u64, loose: u64) -> f
     for &u in moves.iter().skip(prefix).rev() {
         side[u] ^= 1;
     }
-    best_gain.max(0.0)
+    match exhausted {
+        Some(e) => Err(e),
+        None => Ok(best_gain.max(0.0)),
+    }
 }
 
 /// Runs FM passes until no improvement (bounded by `max_passes`).
-pub(crate) fn refine(g: &WGraph, side: &mut [u8], strict: u64, loose: u64, max_passes: usize) {
+pub(crate) fn refine(
+    g: &WGraph,
+    side: &mut [u8],
+    strict: u64,
+    loose: u64,
+    max_passes: usize,
+    meter: &mut BudgetMeter<'_>,
+) -> Result<(), BudgetError> {
     for pass in 0..max_passes {
-        let gain = fm_pass(g, side, strict, loose);
+        let gain = fm_pass(g, side, strict, loose, meter)?;
         // Keep iterating at least once even with zero gain: the first pass
         // may only have restored balance.
         if gain <= 1e-12 && pass > 0 {
             break;
         }
     }
+    Ok(())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dcn_guard::Budget;
+
+    fn refine_unlimited(g: &WGraph, side: &mut [u8], strict: u64, loose: u64, passes: usize) {
+        let budget = Budget::unlimited();
+        let mut meter = budget.meter();
+        refine(g, side, strict, loose, passes, &mut meter).unwrap();
+    }
 
     /// Two K4 cliques joined by a single bridge edge: ideal cut = 1.
     fn two_cliques() -> WGraph {
@@ -132,7 +166,7 @@ mod tests {
         let g = two_cliques();
         // Bad initial partition: alternate sides.
         let mut side: Vec<u8> = (0..8).map(|i| (i % 2) as u8).collect();
-        refine(&g, &mut side, 4, 6, 20);
+        refine_unlimited(&g, &mut side, 4, 6, 20);
         assert_eq!(g.cut(&side), 1.0, "side = {side:?}");
         let w0: u64 = side.iter().filter(|&&s| s == 0).count() as u64;
         assert_eq!(w0, 4);
@@ -143,7 +177,9 @@ mod tests {
         let g = two_cliques();
         let mut side: Vec<u8> = vec![0, 0, 0, 0, 1, 1, 1, 1];
         let before = g.cut(&side);
-        let gain = fm_pass(&g, &mut side, 4, 6);
+        let budget = Budget::unlimited();
+        let mut meter = budget.meter();
+        let gain = fm_pass(&g, &mut side, 4, 6, &mut meter).unwrap();
         assert!(gain >= 0.0);
         assert!(g.cut(&side) <= before);
         let w0: u64 = side.iter().filter(|&&s| s == 0).count() as u64;
@@ -154,7 +190,7 @@ mod tests {
     fn strict_limit_enforced_on_result() {
         let g = two_cliques();
         let mut side: Vec<u8> = (0..8).map(|i| (i % 2) as u8).collect();
-        refine(&g, &mut side, 5, 8, 20);
+        refine_unlimited(&g, &mut side, 5, 8, 20);
         let w0 = side.iter().filter(|&&s| s == 0).count();
         assert!((3..=5).contains(&w0), "w0 = {w0}");
     }
@@ -165,11 +201,27 @@ mod tests {
         // Everything on side 0: strict limit 4 forces a rebalance if any
         // balanced prefix is reachable, else no change.
         let mut side = vec![0u8; 8];
-        fm_pass(&g, &mut side, 4, 8);
+        let budget = Budget::unlimited();
+        let mut meter = budget.meter();
+        fm_pass(&g, &mut side, 4, 8, &mut meter).unwrap();
         let w0 = side.iter().filter(|&&s| s == 0).count();
         assert!(w0 == 8 || w0 <= 4 + 4);
         // In practice the pass finds the 4/4 split.
-        refine(&g, &mut side, 4, 8, 10);
+        refine_unlimited(&g, &mut side, 4, 8, 10);
+        let w0 = side.iter().filter(|&&s| s == 0).count();
+        assert_eq!(w0, 4, "side = {side:?}");
+    }
+
+    #[test]
+    fn exhausted_pass_leaves_balanced_state_and_reports() {
+        let g = two_cliques();
+        let mut side: Vec<u8> = vec![0, 0, 0, 0, 1, 1, 1, 1];
+        let budget = Budget::unlimited().with_iter_cap(1);
+        let mut meter = budget.meter();
+        // First tick consumes the cap; the second move step errors out.
+        let r = fm_pass(&g, &mut side, 4, 6, &mut meter);
+        assert!(matches!(r, Err(BudgetError::IterationsExceeded { cap: 1 })));
+        // The rollback keeps the partition balanced.
         let w0 = side.iter().filter(|&&s| s == 0).count();
         assert_eq!(w0, 4, "side = {side:?}");
     }

@@ -157,7 +157,8 @@ pub fn fail_switch_range(
     len: usize,
 ) -> Result<Topology, ModelError> {
     let n = topo.n_switches();
-    if start + len > n || len == 0 {
+    // checked_add: `start + len` must not wrap for adversarial usize inputs.
+    if start.checked_add(len).is_none_or(|end| end > n) || len == 0 {
         return Err(ModelError::InfeasibleParams(format!(
             "range {start}+{len} out of bounds for {n} switches"
         )));

@@ -1,0 +1,95 @@
+//! Property tests for the failure-injection helpers: whatever the inputs,
+//! they either return a usable degraded topology or a typed `ModelError` —
+//! never a panic, never a silently broken topology.
+
+use dcn_model::ModelError;
+use dcn_topo::{fail_random_links, fail_random_switches, fail_switch_range, jellyfish};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn small_jellyfish(seed: u64) -> dcn_model::Topology {
+    let mut rng = StdRng::seed_from_u64(seed);
+    jellyfish(20, 6, 3, &mut rng).expect("jellyfish(20, 6, 3) always builds")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any fraction in [0, 1] and any RNG seed: the call returns (Ok or a
+    /// typed error) without panicking, Ok results stay connected, keep
+    /// every server, and lose exactly the requested number of links.
+    #[test]
+    fn link_failures_never_panic_in_unit_range(f in 0.0f64..1.0, seed in any::<u64>()) {
+        let topo = small_jellyfish(17);
+        let mut rng = StdRng::seed_from_u64(seed);
+        match fail_random_links(&topo, f, &mut rng) {
+            Ok(d) => {
+                prop_assert!(d.graph().is_connected());
+                prop_assert_eq!(d.n_servers(), topo.n_servers());
+                let expect_removed = (topo.graph().m() as f64 * f).round() as usize;
+                prop_assert_eq!(d.graph().m(), topo.graph().m() - expect_removed);
+            }
+            Err(ModelError::InfeasibleParams(_)) => {}
+            Err(e) => prop_assert!(false, "unexpected error kind: {e}"),
+        }
+    }
+
+    /// Fractions outside [0, 1) are rejected with a typed error, including
+    /// non-finite values — no panic, no NaN-driven cast shenanigans.
+    #[test]
+    fn out_of_range_fractions_rejected(pick in 0usize..6, seed in any::<u64>()) {
+        let hostile = [1.0, 1.5, -0.01, f64::NAN, f64::INFINITY, f64::NEG_INFINITY];
+        let topo = small_jellyfish(18);
+        let mut rng = StdRng::seed_from_u64(seed);
+        prop_assert!(matches!(
+            fail_random_links(&topo, hostile[pick], &mut rng),
+            Err(ModelError::InfeasibleParams(_))
+        ));
+    }
+
+    /// Switch failures for any count: Ok results keep switch ids stable
+    /// and drop exactly the dead switches' servers; infeasible counts are
+    /// typed errors.
+    #[test]
+    fn switch_failures_never_panic(count in 0usize..30, seed in any::<u64>()) {
+        let topo = small_jellyfish(19);
+        let mut rng = StdRng::seed_from_u64(seed);
+        match fail_random_switches(&topo, count, false, &mut rng) {
+            Ok(d) => {
+                prop_assert_eq!(d.n_switches(), topo.n_switches());
+                prop_assert_eq!(d.n_servers(), topo.n_servers() - count as u64 * 3);
+            }
+            Err(ModelError::InfeasibleParams(_) | ModelError::NoServers) => {}
+            Err(e) => prop_assert!(false, "unexpected error kind: {e}"),
+        }
+    }
+
+    /// Range failures for arbitrary (start, len), including values whose
+    /// sum would overflow usize: always Ok-or-typed-error.
+    #[test]
+    fn range_failures_never_panic(start in any::<usize>(), len in any::<usize>()) {
+        let topo = small_jellyfish(20);
+        match fail_switch_range(&topo, start, len) {
+            Ok(d) => {
+                prop_assert!(start + len <= topo.n_switches());
+                prop_assert!(len > 0);
+                prop_assert!(d.n_servers() < topo.n_servers());
+            }
+            Err(ModelError::InfeasibleParams(_) | ModelError::NoServers) => {}
+            Err(e) => prop_assert!(false, "unexpected error kind: {e}"),
+        }
+    }
+
+    /// In-bounds range failures on the same topology: stable outcome shape
+    /// (ids preserved, dead block's servers gone) whenever they succeed.
+    #[test]
+    fn in_bounds_range_failures_account_servers(start in 0usize..20, len in 1usize..8) {
+        let topo = small_jellyfish(21);
+        prop_assume!(start + len <= topo.n_switches());
+        if let Ok(d) = fail_switch_range(&topo, start, len) {
+            prop_assert_eq!(d.n_switches(), topo.n_switches());
+            prop_assert_eq!(d.n_servers(), topo.n_servers() - len as u64 * 3);
+        }
+    }
+}

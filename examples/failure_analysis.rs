@@ -35,13 +35,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
     println!("{:>9} {:>9} {:>9} {:>10}", "failed", "nominal", "actual", "deviation");
     for p in &points {
-        println!(
-            "{:>8.0}% {:>9.3} {:>9.3} {:>10.3}",
-            p.fraction * 100.0,
-            p.nominal,
-            p.actual,
-            p.nominal - p.actual
-        );
+        match (p.actual, p.deviation()) {
+            (Some(actual), Some(dev)) => println!(
+                "{:>8.0}% {:>9.3} {:>9.3} {:>10.3}",
+                p.fraction * 100.0,
+                p.nominal,
+                actual,
+                dev
+            ),
+            _ => println!(
+                "{:>8.0}% {:>9.3} {:>9} {:>10}   (all samples disconnected)",
+                p.fraction * 100.0,
+                p.nominal,
+                "-",
+                "-"
+            ),
+        }
     }
     let rms = rms_deviation(&points);
     println!("\nRMS deviation from graceful degradation: {rms:.4}");

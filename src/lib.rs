@@ -4,6 +4,7 @@
 pub use dcn_core as core;
 pub use dcn_estimators as estimators;
 pub use dcn_graph as graph;
+pub use dcn_guard as guard;
 pub use dcn_lp as lp;
 pub use dcn_match as matching;
 pub use dcn_mcf as mcf;

@@ -1,0 +1,359 @@
+//! Workspace-level fault-injection harness.
+//!
+//! Materializes every attack class in `dcn_guard::adversarial::CaseSpec`
+//! into concrete topologies, traffic matrices, LPs, and budgets, and
+//! drives them through the public solver entry points. The contract under
+//! test is uniform: hostile input yields a **typed error** (or a sound
+//! degraded result) — never a panic, never a hang, never a silent NaN.
+
+use dcn::graph::ksp::yen_budgeted;
+use dcn::graph::{Graph, GraphError};
+use dcn::guard::adversarial::{all_cases, hostile_floats, CaseSpec, Xorshift};
+use dcn::guard::{Budget, BudgetError, CancelFlag};
+use dcn::lp::{Cmp, LinearProgram, LpError, LpStatus};
+use dcn::matching::hungarian_max_budgeted;
+use dcn::mcf::{
+    ksp_mcf_throughput, ksp_mcf_throughput_budgeted, throughput_with_fallback, Engine,
+    McfError, PathSet,
+};
+use dcn::model::{Demand, ModelError, Topology, TrafficMatrix};
+use dcn::partition::bisection_budgeted;
+use dcn::core::{tub_budgeted, MatchingBackend};
+use std::time::{Duration, Instant};
+
+/// A 6-cycle with one server per switch: small enough that every solver
+/// finishes instantly under a sane budget, structured enough (two paths
+/// per antipodal pair) that path enumeration and the LP are non-trivial.
+fn ring6() -> Topology {
+    let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)])
+        .expect("ring6 edges are valid");
+    Topology::new(g, vec![1; 6], "ring6").expect("ring6 builds")
+}
+
+fn antipodal_tm(topo: &Topology) -> TrafficMatrix {
+    TrafficMatrix::permutation(topo, &[(0, 3), (3, 0), (1, 4), (4, 1), (2, 5), (5, 2)])
+        .expect("antipodal permutation is valid")
+}
+
+/// An LP whose phase-2 simplex needs several pivots: maximize x0 + x1
+/// subject to a small polytope. Used wherever a case needs "an LP that
+/// does real work".
+fn working_lp() -> LinearProgram {
+    let mut lp = LinearProgram::new(2);
+    lp.set_objective(&[(0, 1.0), (1, 1.0)]);
+    lp.add_constraint(&[(0, 1.0), (1, 2.0)], Cmp::Le, 4.0);
+    lp.add_constraint(&[(0, 2.0), (1, 1.0)], Cmp::Le, 4.0);
+    lp
+}
+
+fn materialize_and_assert(case: CaseSpec) {
+    let topo = ring6();
+    match case {
+        CaseSpec::NanDemand => {
+            let err = TrafficMatrix::new(
+                &topo,
+                vec![Demand { src: 0, dst: 3, amount: f64::NAN }],
+            )
+            .unwrap_err();
+            assert!(matches!(err, ModelError::InvalidDemand { .. }), "{err:?}");
+        }
+        CaseSpec::NegativeDemand => {
+            let err = TrafficMatrix::new(
+                &topo,
+                vec![Demand { src: 0, dst: 3, amount: -1.0 }],
+            )
+            .unwrap_err();
+            assert!(matches!(err, ModelError::InvalidDemand { .. }), "{err:?}");
+        }
+        CaseSpec::ZeroDemand => {
+            let err = TrafficMatrix::new(
+                &topo,
+                vec![Demand { src: 0, dst: 3, amount: 0.0 }],
+            )
+            .unwrap_err();
+            assert!(matches!(err, ModelError::InvalidDemand { .. }), "{err:?}");
+        }
+        CaseSpec::SelfLoopDemand => {
+            let err = TrafficMatrix::new(
+                &topo,
+                vec![Demand { src: 2, dst: 2, amount: 1.0 }],
+            )
+            .unwrap_err();
+            assert!(matches!(err, ModelError::InvalidDemand { .. }), "{err:?}");
+        }
+        CaseSpec::ZeroCapacityEdge => {
+            // A path graph 0-1-2 whose second hop has zero capacity: the
+            // only route for the demand is dead, so θ must come out 0 (or
+            // a typed error) — not NaN, not a hang.
+            let g = Graph::from_weighted_edges(3, &[(0, 1, 1.0), (1, 2, 0.0)])
+                .expect("zero capacity is representable");
+            let t = Topology::new(g, vec![1; 3], "deadlink").expect("builds");
+            let tm = TrafficMatrix::permutation(&t, &[(0, 2)]).expect("valid tm");
+            match ksp_mcf_throughput(&t, &tm, 4, Engine::Exact) {
+                Ok(r) => {
+                    assert!(r.theta_lb.is_finite() && r.theta_lb.abs() < 1e-9, "{r:?}");
+                }
+                Err(e) => {
+                    assert!(
+                        matches!(e, McfError::Certificate(_) | McfError::SolverFailure(_)),
+                        "{e:?}"
+                    );
+                }
+            }
+        }
+        CaseSpec::SelfLoopEdge => {
+            let err = Graph::from_edges(3, &[(0, 1), (1, 1)]).unwrap_err();
+            assert_eq!(err, GraphError::SelfLoop { node: 1 });
+        }
+        CaseSpec::DisconnectedGraph => {
+            let g = Graph::from_edges(4, &[(0, 1), (2, 3)]).expect("two components");
+            let t = Topology::new(g, vec![1; 4], "split").expect("builds");
+            let tm = TrafficMatrix::permutation(&t, &[(0, 2)]).expect("valid tm");
+            let err = ksp_mcf_throughput(&t, &tm, 4, Engine::Exact).unwrap_err();
+            assert_eq!(err, McfError::NoPath { src: 0, dst: 2 });
+        }
+        CaseSpec::EmptyTraffic => {
+            let tm = TrafficMatrix::new(&topo, Vec::new()).expect("empty tm is legal");
+            let err = ksp_mcf_throughput(&topo, &tm, 4, Engine::Exact).unwrap_err();
+            assert_eq!(err, McfError::EmptyTraffic);
+        }
+        CaseSpec::DegenerateLp => {
+            // Many redundant copies of the same binding constraint — the
+            // classic cycling trap. Must reach Optimal under a finite
+            // iteration cap, proving the solver does not cycle forever.
+            let mut lp = LinearProgram::new(2);
+            lp.set_objective(&[(0, 1.0), (1, 1.0)]);
+            for _ in 0..24 {
+                lp.add_constraint(&[(0, 1.0), (1, 1.0)], Cmp::Le, 1.0);
+            }
+            let sol = lp
+                .solve_budgeted(&Budget::unlimited().with_iter_cap(10_000))
+                .expect("degenerate LP must terminate");
+            assert_eq!(sol.status, LpStatus::Optimal);
+            assert!((sol.objective - 1.0).abs() < 1e-9);
+        }
+        CaseSpec::InfeasibleLp => {
+            let mut lp = LinearProgram::new(1);
+            lp.set_objective(&[(0, 1.0)]);
+            lp.add_constraint(&[(0, 1.0)], Cmp::Ge, 2.0);
+            lp.add_constraint(&[(0, 1.0)], Cmp::Le, 1.0);
+            let sol = lp
+                .solve_budgeted(&Budget::unlimited())
+                .expect("infeasibility is a status, not an error");
+            assert_eq!(sol.status, LpStatus::Infeasible);
+        }
+        CaseSpec::UnboundedLp => {
+            let mut lp = LinearProgram::new(2);
+            lp.set_objective(&[(0, 1.0)]);
+            lp.add_constraint(&[(1, 1.0)], Cmp::Le, 1.0);
+            let sol = lp
+                .solve_budgeted(&Budget::unlimited())
+                .expect("unboundedness is a status, not an error");
+            assert_eq!(sol.status, LpStatus::Unbounded);
+        }
+        CaseSpec::NearExpiredBudget => {
+            let tm = antipodal_tm(&topo);
+            let budget = Budget::unlimited().with_wall(Duration::from_nanos(1));
+            let started = Instant::now();
+            let err = ksp_mcf_throughput_budgeted(&topo, &tm, 8, Engine::Exact, &budget)
+                .unwrap_err();
+            assert!(
+                matches!(err, McfError::Budget(BudgetError::DeadlineExceeded { .. })),
+                "{err:?}"
+            );
+            // Termination tolerance: deadline plus at most one iteration,
+            // generously bounded here.
+            assert!(started.elapsed() < Duration::from_secs(5));
+        }
+        CaseSpec::TinyIterationCap => {
+            let zero_ticks = Budget::unlimited().with_iter_cap(0);
+            // Simplex: the first pivot already exceeds the cap.
+            assert!(matches!(
+                working_lp().solve_budgeted(&zero_ticks),
+                Err(LpError::Budget(BudgetError::IterationsExceeded { .. }))
+            ));
+            // Yen: the spur loop ticks before any extra path is found.
+            assert!(matches!(
+                yen_budgeted(topo.graph(), 0, 3, 8, &zero_ticks),
+                Err(BudgetError::IterationsExceeded { .. })
+            ));
+            // Hungarian: ticks per augmenting-path step.
+            assert!(matches!(
+                hungarian_max_budgeted(4, |i, j| (i + j) as i64, &zero_ticks),
+                Err(BudgetError::IterationsExceeded { .. })
+            ));
+            // FM bisection: exhaustion before the first completed try.
+            assert!(matches!(
+                bisection_budgeted(&topo, 2, 11, &zero_ticks),
+                Err(BudgetError::IterationsExceeded { .. })
+            ));
+        }
+        CaseSpec::PreCancelled => {
+            let flag = CancelFlag::new();
+            flag.cancel();
+            let budget = Budget::unlimited().with_cancel(flag);
+            let tm = antipodal_tm(&topo);
+            let err = ksp_mcf_throughput_budgeted(&topo, &tm, 8, Engine::Exact, &budget)
+                .unwrap_err();
+            assert!(
+                matches!(err, McfError::Budget(BudgetError::Cancelled { .. })),
+                "{err:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn every_attack_class_yields_typed_errors() {
+    for &case in all_cases() {
+        materialize_and_assert(case);
+    }
+}
+
+#[test]
+fn hostile_floats_never_panic_model_constructors() {
+    let topo = ring6();
+    for &v in &hostile_floats() {
+        // Demands: only positive finite values may survive.
+        match TrafficMatrix::new(&topo, vec![Demand { src: 0, dst: 3, amount: v }]) {
+            Ok(_) => assert!(v.is_finite() && v > 0.0, "accepted hostile demand {v}"),
+            Err(ModelError::InvalidDemand { .. }) => {}
+            Err(e) => panic!("unexpected error kind for demand {v}: {e:?}"),
+        }
+        // Traffic scaling must not manufacture NaN demands that later
+        // solvers choke on without a typed error.
+        let tm = antipodal_tm(&topo).scaled(v);
+        match ksp_mcf_throughput(&topo, &tm, 4, Engine::Exact) {
+            Ok(r) => assert!(r.theta_lb.is_finite(), "theta from scale {v}: {r:?}"),
+            Err(e) => assert!(
+                matches!(e, McfError::Certificate(_) | McfError::SolverFailure(_)),
+                "scale {v}: {e:?}"
+            ),
+        }
+    }
+}
+
+#[test]
+fn hostile_floats_screened_out_of_lps() {
+    for &v in &hostile_floats() {
+        if v.is_finite() {
+            continue;
+        }
+        // Poisoned objective.
+        let mut lp = working_lp();
+        lp.set_objective(&[(0, v)]);
+        assert!(
+            matches!(lp.solve_budgeted(&Budget::unlimited()), Err(LpError::BadInput(_))),
+            "objective {v} must be screened"
+        );
+        // Poisoned rhs.
+        let mut lp = working_lp();
+        lp.add_constraint(&[(0, 1.0)], Cmp::Le, v);
+        assert!(
+            matches!(lp.solve_budgeted(&Budget::unlimited()), Err(LpError::BadInput(_))),
+            "rhs {v} must be screened"
+        );
+        // Poisoned coefficient.
+        let mut lp = working_lp();
+        lp.add_constraint(&[(0, v)], Cmp::Le, 1.0);
+        assert!(
+            matches!(lp.solve_budgeted(&Budget::unlimited()), Err(LpError::BadInput(_))),
+            "coefficient {v} must be screened"
+        );
+    }
+}
+
+#[test]
+fn fallback_chains_absorb_exhaustion_end_to_end() {
+    let topo = ring6();
+    let tm = antipodal_tm(&topo);
+    // Simplex starved, FPTAS viable: the chain degrades instead of failing.
+    let ps = PathSet::k_shortest(&topo, &tm, 8).expect("paths");
+    let r = throughput_with_fallback(&ps, 0.05, &Budget::unlimited().with_iter_cap(8))
+        .expect("fallback absorbs the exhaustion");
+    assert!(r.provenance.is_degraded());
+    assert!(r.theta_lb.is_finite() && r.theta_ub.is_finite());
+    // Hungarian starved: tub degrades to the greedy witness, still sound.
+    let t = tub_budgeted(
+        &topo,
+        MatchingBackend::Exact,
+        &Budget::unlimited().with_iter_cap(0),
+    )
+    .expect("greedy fallback absorbs the exhaustion");
+    assert!(t.fallback);
+    assert!(t.bound.is_finite() && t.bound > 0.0);
+}
+
+#[test]
+fn cancellation_mid_run_stops_promptly() {
+    // Cancel from another thread while a (budgeted but roomy) solve runs
+    // on an instance large enough to take a moment.
+    let g = {
+        let mut rng = Xorshift::new(5);
+        // Random 6-regular-ish multigraph on 64 nodes, deduplicated.
+        let mut edges = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        while edges.len() < 192 {
+            let u = rng.next_below(64) as u32;
+            let v = rng.next_below(64) as u32;
+            if u != v && seen.insert((u.min(v), u.max(v))) {
+                edges.push((u, v));
+            }
+        }
+        Graph::from_edges(64, &edges).expect("random graph builds")
+    };
+    let topo = Topology::new(g, vec![2; 64], "rand64").expect("builds");
+    let flag = CancelFlag::new();
+    let budget = Budget::unlimited().with_cancel(flag.clone());
+    let canceller = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(2));
+        flag.cancel();
+    });
+    let started = Instant::now();
+    // Either it finishes before the flag trips (tiny instance, fast box)
+    // or it reports Cancelled — never a wedge.
+    match tub_budgeted(&topo, MatchingBackend::Exact, &budget) {
+        Ok(t) => assert!(t.bound.is_finite()),
+        Err(e) => assert!(format!("{e}").contains("cancelled"), "{e:?}"),
+    }
+    assert!(started.elapsed() < Duration::from_secs(30));
+    canceller.join().expect("canceller thread");
+}
+
+#[test]
+fn random_hostile_lps_terminate_under_budget() {
+    // Fuzz-ish sweep: random small LPs with mixed constraint senses and
+    // sign-varied coefficients. Every one must reach a status or a typed
+    // error within the iteration cap — no panic, no spin.
+    let mut rng = Xorshift::new(0xfau64);
+    for case in 0..60 {
+        let n = 1 + rng.next_below(4) as usize;
+        let mut lp = LinearProgram::new(n);
+        let obj: Vec<(usize, f64)> = (0..n)
+            .map(|j| (j, rng.next_f64() * 4.0 - 2.0))
+            .collect();
+        lp.set_objective(&obj);
+        let rows = 1 + rng.next_below(5);
+        for _ in 0..rows {
+            let coeffs: Vec<(usize, f64)> = (0..n)
+                .map(|j| (j, rng.next_f64() * 4.0 - 2.0))
+                .collect();
+            let cmp = match rng.next_below(3) {
+                0 => Cmp::Le,
+                1 => Cmp::Ge,
+                _ => Cmp::Eq,
+            };
+            let rhs = rng.next_f64() * 6.0 - 3.0;
+            lp.add_constraint(&coeffs, cmp, rhs);
+        }
+        match lp.solve_budgeted(&Budget::unlimited().with_iter_cap(50_000)) {
+            Ok(sol) => {
+                if sol.status == LpStatus::Optimal {
+                    assert!(sol.objective.is_finite(), "case {case}: {sol:?}");
+                }
+            }
+            Err(LpError::Budget(_)) | Err(LpError::Certificate(_)) => {}
+            Err(e) => panic!("case {case}: unexpected error {e:?}"),
+        }
+    }
+}
