@@ -57,9 +57,9 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
                 // observability is off (no stdout either way).
                 if dcn_obs::enabled() && h == 4 && n_sw == switch_counts[0] {
                     let exact = ksp_mcf_throughput(&topo, &tm, k_paths, Engine::Exact)?;
-                    dcn_obs::gauge!("bench.fig3.exact_theta").set(exact.theta_lb);
+                    dcn_obs::gauge!(dcn_obs::names::BENCH_FIG3_EXACT_THETA).set(exact.theta_lb);
                     let bbw = dcn_partition::bisection_bandwidth(&topo, 2, seed);
-                    dcn_obs::gauge!("bench.fig3.bbw_proxy").set(bbw);
+                    dcn_obs::gauge!(dcn_obs::names::BENCH_FIG3_BBW_PROXY).set(bbw);
                     dcn_obs::obs_log!(
                         "cross-check {}: fptas [{:.4},{:.4}] exact {:.4} bbw {:.4}",
                         family.name(),

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Shared harness support for the experiment binaries.
 //!
 //! Every binary in `src/bin/` regenerates one table or figure of the paper
@@ -73,6 +74,7 @@ pub fn results_dir() -> Result<PathBuf, ResultsDirError> {
 
 fn process_start() -> Instant {
     static START: OnceLock<Instant> = OnceLock::new();
+    // dcn-lint: allow(nondeterminism) — wall-clock anchor for human-facing progress lines only; never feeds solver results
     *START.get_or_init(Instant::now)
 }
 
@@ -195,7 +197,7 @@ impl Table {
 /// Timing is measured regardless of mode; the span is recorded only when
 /// observability is on.
 pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
-    dcn_obs::time_scope("bench.timed", f)
+    dcn_obs::time_scope(dcn_obs::names::BENCH_TIMED, f)
 }
 
 /// True when `--quick` was passed (smaller sweeps for CI-style runs).

@@ -31,6 +31,7 @@ pub struct BirkhoffComponent {
 /// Errors when the matrix is not saturated (row/column sums differing
 /// from `H` by more than 0.1%) or the peeling needs more components than
 /// allowed (Birkhoff guarantees at most `(|K|-1)^2 + 1`).
+// dcn-lint: allow(budget-coverage) — peeling is capped by max_components and the level binary search by log(levels)
 pub fn birkhoff_decompose(
     topo: &Topology,
     tm: &TrafficMatrix,
@@ -79,7 +80,7 @@ pub fn birkhoff_decompose(
         // weights: keep only edges >= threshold and test for a perfect
         // matching (exists at the smallest weight by Birkhoff/Hall).
         let mut levels: Vec<f64> = residual.iter().copied().filter(|&x| x > EPS).collect();
-        levels.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        levels.sort_by(|a, b| b.total_cmp(a));
         levels.dedup_by(|a, b| (*a - *b).abs() < EPS);
         let adj_at = |threshold: f64| -> Vec<Vec<usize>> {
             (0..n)

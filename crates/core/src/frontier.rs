@@ -111,6 +111,7 @@ pub fn satisfies(topo: &Topology, criterion: Criterion, seed: u64) -> Result<boo
 /// the paper's regime up to instance noise); a doubling scan brackets the
 /// transition and binary search pins it down. Returns `None` when even the
 /// smallest instance fails.
+// dcn-lint: allow(budget-coverage) — doubling scan is bounded by max_switches; each probe is a full TUB solve with its own budget story
 pub fn frontier_max_servers(
     family: Family,
     radix: u32,

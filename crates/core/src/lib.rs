@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! The paper's primary contribution, as a library.
 //!
 //! * [`tub`] — the throughput upper bound of Theorem 2.2 (Equation 1) and

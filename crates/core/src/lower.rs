@@ -22,7 +22,7 @@ pub fn throughput_lower_bound(
     tm: &TrafficMatrix,
     m_slack: u16,
 ) -> Result<f64, CoreError> {
-    let _span = dcn_obs::span!("core.lower");
+    let _span = dcn_obs::span!(dcn_obs::names::CORE_LOWER);
     let k = topo.switches_with_servers();
     let dist = DistMatrix::from_sources(topo.graph(), &k)?;
     let mut weighted = 0.0;

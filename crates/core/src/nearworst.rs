@@ -58,9 +58,11 @@ pub fn adversarial_search(
             break;
         }
         let a = rng.gen_range(0..pairs.len());
-        let mut b = rng.gen_range(0..pairs.len());
-        while b == a {
-            b = rng.gen_range(0..pairs.len());
+        // Draw b uniformly from the other len-1 indices directly, rather
+        // than rejection-sampling until b != a.
+        let mut b = rng.gen_range(0..pairs.len() - 1);
+        if b >= a {
+            b += 1;
         }
         let mut candidate = pairs.clone();
         let (da, db) = (candidate[a].1, candidate[b].1);

@@ -63,31 +63,29 @@ impl ReportCard {
     pub fn render(&self) -> String {
         let mut s = String::new();
         use std::fmt::Write;
-        writeln!(
+        // fmt::Write into a String cannot fail; discard the Results.
+        let _ = writeln!(
             s,
             "{} — {:?}, {} switches, {} servers, {} links",
             self.name, self.class, self.n_switches, self.n_servers, self.n_links
-        )
-        .unwrap();
-        writeln!(s, "  tub            = {:.4}", self.tub).unwrap();
-        writeln!(
+        );
+        let _ = writeln!(s, "  tub            = {:.4}", self.tub);
+        let _ = writeln!(
             s,
             "  bisection      = {:.1} ({:.3} of N/2)",
             self.bbw, self.bbw_fraction
-        )
-        .unwrap();
+        );
         if let Some(u) = self.universal_bound {
-            writeln!(s, "  Thm 4.1 bound  = {u:.4}").unwrap();
+            let _ = writeln!(s, "  Thm 4.1 bound  = {u:.4}");
         }
         if let (Some(l2), Some(rb)) = (self.lambda2, self.ramanujan_bound) {
-            writeln!(s, "  λ2             = {l2:.3} (Ramanujan {rb:.3})").unwrap();
+            let _ = writeln!(s, "  λ2             = {l2:.3} (Ramanujan {rb:.3})");
         }
         if self.bisection_overpromises() {
-            writeln!(
+            let _ = writeln!(
                 s,
                 "  ⚠ full bisection bandwidth but NOT full throughput (Figure 2 wedge)"
-            )
-            .unwrap();
+            );
         }
         s
     }

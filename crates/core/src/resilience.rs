@@ -50,7 +50,7 @@ pub fn failure_sweep(
     let theta0 = tub(topo, backend)?.bound.min(1.0);
     let mut out = Vec::with_capacity(fractions.len());
     let mut rng = StdRng::seed_from_u64(seed);
-    let skipped_ctr = dcn_obs::counter!("core.resilience.disconnected_samples");
+    let skipped_ctr = dcn_obs::counter!(dcn_obs::names::CORE_RESILIENCE_DISCONNECTED_SAMPLES);
     for &f in fractions {
         let mut sum = 0.0;
         let mut ok = 0u32;

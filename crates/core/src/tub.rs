@@ -105,7 +105,7 @@ pub fn tub_budgeted(
     backend: MatchingBackend,
     budget: &Budget,
 ) -> Result<TubResult, CoreError> {
-    let _span = dcn_obs::span!("core.tub");
+    let _span = dcn_obs::span!(dcn_obs::names::CORE_TUB);
     let k = topo.switches_with_servers();
     if k.len() < 2 {
         return Err(CoreError::OutOfRegime(
@@ -113,7 +113,7 @@ pub fn tub_budgeted(
         ));
     }
     let dist = {
-        let _apsp = dcn_obs::span!("core.tub.apsp");
+        let _apsp = dcn_obs::span!(dcn_obs::names::CORE_TUB_APSP);
         DistMatrix::from_sources(topo.graph(), &k)?
     };
     let weight = |i: usize, j: usize| -> i64 {
@@ -126,7 +126,7 @@ pub fn tub_budgeted(
     };
     let n = k.len();
     let (matching, backend_name, fallback) = {
-        let _m = dcn_obs::span!("core.tub.matching");
+        let _m = dcn_obs::span!(dcn_obs::names::CORE_TUB_MATCHING);
         run_matching(n, weight, backend, budget)
     };
     let mut pairs = Vec::with_capacity(n);
@@ -145,7 +145,7 @@ pub fn tub_budgeted(
         ));
     }
     let bound = capacity / weighted_path_len;
-    dcn_obs::gauge!("core.tub.bound").set(bound);
+    dcn_obs::gauge!(dcn_obs::names::CORE_TUB_BOUND).set(bound);
     Ok(TubResult {
         bound,
         pairs,
@@ -169,7 +169,7 @@ fn run_matching(
     let exact_or_greedy = |passes: usize| match hungarian_max_budgeted(n, weight, budget) {
         Ok(m) => (m, "hungarian", false),
         Err(e) => {
-            dcn_obs::counter!("core.tub.fallbacks").inc();
+            dcn_obs::counter!(dcn_obs::names::CORE_TUB_FALLBACKS).inc();
             dcn_obs::obs_log!("core.tub: hungarian aborted ({e}); using greedy fallback");
             let mut m = greedy_max(n, weight);
             improve_2swap(n, weight, &mut m, passes);

@@ -62,6 +62,7 @@ pub fn full_throughput_possible(p: UniRegularParams) -> bool {
 /// still admits a full-throughput uni-regular topology. Beyond this size,
 /// **no** wiring of radix-`R` switches with `H` servers each can sustain
 /// arbitrary traffic. Returns `None` when even the smallest size fails.
+// dcn-lint: allow(budget-coverage) — closed-form scan bounded by the caller-supplied cap
 pub fn max_full_throughput_servers(radix: u32, h: u32, cap: u64) -> Option<u64> {
     if h == 0 || radix <= h {
         return None;

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! The throughput estimators the paper compares **tub** against (§3.2,
 //! Figure 5), reimplemented from their original descriptions:
 //!

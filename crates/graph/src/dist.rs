@@ -23,12 +23,12 @@ impl DistMatrix {
     /// Fails with [`GraphError::Disconnected`] if any source cannot reach
     /// some node — topology metrics in this workspace assume connectivity.
     pub fn from_sources(g: &Graph, sources: &[NodeId]) -> Result<Self, GraphError> {
-        let _span = dcn_obs::span!("graph.dist.from_sources");
+        let _span = dcn_obs::span!(dcn_obs::names::GRAPH_DIST_FROM_SOURCES);
         let n = g.n();
         let mut data = vec![0u16; sources.len() * n];
         let mut queue = Vec::with_capacity(n);
         let mut row_of = vec![u32::MAX; n];
-        let bfs_ctr = dcn_obs::counter!("graph.dist.bfs_runs");
+        let bfs_ctr = dcn_obs::counter!(dcn_obs::names::GRAPH_DIST_BFS_RUNS);
         for (i, &s) in sources.iter().enumerate() {
             if s as usize >= n {
                 return Err(GraphError::NodeOutOfRange { node: s, n });
@@ -45,7 +45,7 @@ impl DistMatrix {
         // proxy for expansion. Derived from the finished rows, and only
         // when observability is on: the scan is O(rows * n).
         if dcn_obs::enabled() && !sources.is_empty() {
-            let frontier_hist = dcn_obs::histogram!("graph.dist.bfs_frontier_peak");
+            let frontier_hist = dcn_obs::histogram!(dcn_obs::names::GRAPH_DIST_BFS_FRONTIER_PEAK);
             let mut level_count = vec![0u32; n + 1];
             for i in 0..sources.len() {
                 let row = &data[i * n..(i + 1) * n];

@@ -109,6 +109,7 @@ impl PartialOrd for Candidate {
 pub fn yen(g: &Graph, src: NodeId, dst: NodeId, k: usize) -> Vec<Path> {
     match yen_budgeted(g, src, dst, k, &Budget::unlimited()) {
         Ok(paths) => paths,
+        // dcn-lint: allow(panic-freedom) — an unlimited budget cannot exhaust; this wrapper keeps the infallible pre-budget API
         Err(e) => unreachable!("unlimited budget exhausted in yen: {e}"),
     }
 }
@@ -137,11 +138,13 @@ pub fn yen_budgeted(
     let mut paths: Vec<Path> = vec![first];
     let mut candidates: BinaryHeap<Candidate> = BinaryHeap::new();
     let mut seen_candidates: HashSet<Path> = HashSet::new();
-    let spur_ctr = dcn_obs::counter!("graph.ksp.spur_searches");
-    let cand_ctr = dcn_obs::counter!("graph.ksp.candidates");
+    let spur_ctr = dcn_obs::counter!(dcn_obs::names::GRAPH_KSP_SPUR_SEARCHES);
+    let cand_ctr = dcn_obs::counter!(dcn_obs::names::GRAPH_KSP_CANDIDATES);
 
     while paths.len() < k {
-        let prev = paths.last().unwrap().clone();
+        let Some(prev) = paths.last().cloned() else {
+            break;
+        };
         // Each node of the previous path except the last is a spur node.
         for i in 0..prev.len() - 1 {
             meter.tick()?;
@@ -196,6 +199,7 @@ pub fn paths_within_slack(
 ) -> Vec<Path> {
     match paths_within_slack_budgeted(g, src, dst, slack, cap, &Budget::unlimited()) {
         Ok(paths) => paths,
+        // dcn-lint: allow(panic-freedom) — an unlimited budget cannot exhaust; this wrapper keeps the infallible pre-budget API
         Err(e) => unreachable!("unlimited budget exhausted in slack enumeration: {e}"),
     }
 }
@@ -228,6 +232,7 @@ pub fn k_shortest_by_slack(
 ) -> Vec<Path> {
     match k_shortest_by_slack_budgeted(g, src, dst, k, max_slack, &Budget::unlimited()) {
         Ok(paths) => paths,
+        // dcn-lint: allow(panic-freedom) — an unlimited budget cannot exhaust; this wrapper keeps the infallible pre-budget API
         Err(e) => unreachable!("unlimited budget exhausted in slack enumeration: {e}"),
     }
 }
@@ -314,7 +319,7 @@ fn dfs_exact(
         Box::new(v.into_iter())
     };
     iters.push(collect_nbrs(src));
-    let expand_ctr = dcn_obs::counter!("graph.ksp.slack_dfs_expansions");
+    let expand_ctr = dcn_obs::counter!(dcn_obs::names::GRAPH_KSP_SLACK_DFS_EXPANSIONS);
     while let Some(it) = iters.last_mut() {
         meter.tick()?;
         expand_ctr.inc();
@@ -347,8 +352,9 @@ fn dfs_exact(
             }
             None => {
                 iters.pop();
-                let u = path.pop().unwrap();
-                on_path[u as usize] = false;
+                if let Some(u) = path.pop() {
+                    on_path[u as usize] = false;
+                }
             }
         }
     }

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Graph substrate for the `dcn` workspace.
 //!
 //! Datacenter topologies at the switch level are sparse undirected

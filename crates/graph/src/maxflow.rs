@@ -6,6 +6,7 @@
 //! metric complementary to the paper's throughput-under-failure curves.
 
 use crate::csr::{Graph, NodeId};
+use dcn_guard::{Budget, BudgetError};
 
 /// A directed residual-graph arc.
 #[derive(Debug, Clone, Copy)]
@@ -42,10 +43,31 @@ impl MaxFlow {
     /// state; call on a fresh instance per query (see
     /// [`max_flow_value`] for the convenience form).
     pub fn solve(&mut self, s: NodeId, t: NodeId) -> f64 {
+        match self.solve_budgeted(s, t, &Budget::unlimited()) {
+            Ok(v) => v,
+            // dcn-lint: allow(panic-freedom) — an unlimited budget cannot exhaust; this wrapper keeps the infallible pre-budget API
+            Err(e) => unreachable!("unlimited budget exhausted in max flow: {e}"),
+        }
+    }
+
+    /// [`solve`](MaxFlow::solve) under an execution [`Budget`]: one tick
+    /// per BFS phase. Dinic runs `O(n)` phases on these graphs, but a
+    /// deadline or cancellation flag can still cap a pathological
+    /// float-capacity instance mid-solve.
+    pub fn solve_budgeted(
+        &mut self,
+        s: NodeId,
+        t: NodeId,
+        budget: &Budget,
+    ) -> Result<f64, BudgetError> {
         assert_ne!(s, t, "max flow needs distinct endpoints");
+        let mut meter = budget.meter();
+        let phase_ctr = dcn_obs::counter!(dcn_obs::names::GRAPH_MAXFLOW_PHASES);
         let n = self.arcs.len();
         let mut total = 0.0;
         loop {
+            meter.tick()?;
+            phase_ctr.inc();
             // BFS level graph.
             let mut level = vec![u32::MAX; n];
             let mut queue = std::collections::VecDeque::new();
@@ -60,7 +82,7 @@ impl MaxFlow {
                 }
             }
             if level[t as usize] == u32::MAX {
-                return total;
+                return Ok(total);
             }
             // DFS blocking flow with iteration pointers.
             let mut it = vec![0usize; n];
@@ -96,6 +118,7 @@ impl MaxFlow {
 
     /// After [`solve`], the source side of a minimum cut: nodes reachable
     /// from `s` in the residual graph.
+    // dcn-lint: allow(budget-coverage) — residual-graph BFS visits each node once; bounded by n
     pub fn min_cut_side(&self, s: NodeId) -> Vec<bool> {
         let n = self.arcs.len();
         let mut seen = vec![false; n];

@@ -30,6 +30,7 @@ pub fn moore_nodes(r: u32, k: u32) -> f64 {
 /// Minimum diameter needed for `n` nodes of degree `r` (Moore bound):
 /// the smallest `k` with `moore_nodes(r, k) >= n`. Returns `None` when no
 /// diameter suffices (e.g. `r <= 1` and `n` too large).
+// dcn-lint: allow(budget-coverage) — the scan grows moore_nodes geometrically, terminating in O(log n) steps
 pub fn min_diameter(r: u32, n: u64) -> Option<u32> {
     if n <= 1 {
         return Some(0);

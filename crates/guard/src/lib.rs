@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! `dcn-guard`: budgeted, panic-free solver execution.
 //!
 //! The iterative kernels of this workspace — the two-phase simplex, the
@@ -43,6 +44,7 @@
 #![warn(missing_docs)]
 
 pub mod adversarial;
+pub mod tol;
 pub mod validate;
 
 pub use validate::{validation_enabled, CertError};
@@ -216,7 +218,7 @@ impl BudgetMeter<'_> {
         self.used += 1;
         if let Some(cap) = self.budget.iter_cap {
             if self.used > cap {
-                dcn_obs::counter!("guard.budget.iterations_exceeded").inc();
+                dcn_obs::counter!(dcn_obs::names::GUARD_BUDGET_ITERATIONS_EXCEEDED).inc();
                 return Err(BudgetError::IterationsExceeded { cap });
             }
         }
@@ -232,7 +234,7 @@ impl BudgetMeter<'_> {
     pub fn checkpoint(&self) -> Result<(), BudgetError> {
         if let Some(deadline) = self.budget.deadline {
             if Instant::now() >= deadline {
-                dcn_obs::counter!("guard.budget.deadline_exceeded").inc();
+                dcn_obs::counter!(dcn_obs::names::GUARD_BUDGET_DEADLINE_EXCEEDED).inc();
                 return Err(BudgetError::DeadlineExceeded {
                     limit: self.budget.wall.unwrap_or_default(),
                     used_iters: self.used,
@@ -240,7 +242,7 @@ impl BudgetMeter<'_> {
             }
         }
         if self.budget.is_cancelled() {
-            dcn_obs::counter!("guard.budget.cancelled").inc();
+            dcn_obs::counter!(dcn_obs::names::GUARD_BUDGET_CANCELLED).inc();
             return Err(BudgetError::Cancelled {
                 used_iters: self.used,
             });

@@ -148,7 +148,7 @@ impl std::fmt::Display for CertError {
 impl std::error::Error for CertError {}
 
 fn fail(e: CertError) -> Result<(), CertError> {
-    dcn_obs::counter!("guard.validate.failures").inc();
+    dcn_obs::counter!(dcn_obs::names::GUARD_VALIDATE_FAILURES).inc();
     Err(e)
 }
 

@@ -1,0 +1,101 @@
+#![forbid(unsafe_code)]
+//! dcn-lint: a self-contained static-analysis pass over the workspace's
+//! own Rust sources.
+//!
+//! The linter enforces the invariants that keep the TUB pipeline honest:
+//! solver code is panic-free, every unbounded loop answers to a
+//! [`Budget`](../dcn_guard/struct.Budget.html), float comparisons go
+//! through tolerance helpers, metric names live in one registry, and
+//! nothing reads wall clocks or entropy where a manifest could not
+//! reproduce it.
+//!
+//! It deliberately has **zero dependencies** and no real Rust parser: a
+//! lossy scanner ([`scan`]) masks comments and string contents while
+//! preserving byte offsets, which is enough for the token-level rules in
+//! [`rules`]. The trade-offs of that choice are documented in DESIGN.md §9.
+
+pub mod rules;
+pub mod scan;
+
+use rules::{run_all, Diagnostic, Severity};
+use scan::SourceFile;
+use std::path::{Path, PathBuf};
+
+/// Result of linting a tree.
+pub struct Report {
+    /// Surviving diagnostics, sorted by (file, line, rule).
+    pub diagnostics: Vec<Diagnostic>,
+    /// Justified allow annotations that suppressed at least one finding.
+    pub allows_honored: usize,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// True when any error-severity diagnostic survived.
+    pub fn has_errors(&self) -> bool {
+        self.diagnostics
+            .iter()
+            .any(|d| d.severity == Severity::Error)
+    }
+}
+
+/// Directory names never descended into: build output, vendored deps,
+/// VCS metadata, and the lint fixture corpus (which contains deliberate
+/// violations).
+const SKIP_DIRS: &[&str] = &["target", "vendor", ".git", "fixtures"];
+
+/// Collects every `.rs` file under `root`, relative paths sorted.
+fn collect_sources(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in std::fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if entry.file_type()?.is_dir() {
+                if !SKIP_DIRS.contains(&name.as_ref()) && !name.starts_with('.') {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Lints the workspace rooted at `root` and returns the report.
+pub fn lint_root(root: &Path) -> std::io::Result<Report> {
+    let paths = collect_sources(root)?;
+    let mut files = Vec::with_capacity(paths.len());
+    for p in &paths {
+        let raw = std::fs::read_to_string(p)?;
+        let rel = p
+            .strip_prefix(root)
+            .unwrap_or(p)
+            .to_string_lossy()
+            .replace('\\', "/");
+        files.push(SourceFile::new(rel, raw));
+    }
+    let outcome = run_all(&files);
+    Ok(Report {
+        diagnostics: outcome.diagnostics,
+        allows_honored: outcome.allows_honored,
+        files_scanned: files.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn skip_list_covers_fixture_corpus() {
+        assert!(SKIP_DIRS.contains(&"fixtures"));
+        assert!(SKIP_DIRS.contains(&"vendor"));
+    }
+}

@@ -1,0 +1,813 @@
+//! The rule engine: six workspace invariants plus the allow-annotation
+//! escape hatch.
+//!
+//! Every rule emits [`Diagnostic`]s anchored to `file:line`. A diagnostic
+//! can be suppressed by an inline annotation on the same line or the line
+//! directly above:
+//!
+//! ```text
+//! // dcn-lint: allow(<rule-id>) — why this site is exempt
+//! ```
+//!
+//! The justification after the rule name is mandatory (at least
+//! [`MIN_JUSTIFICATION`] characters); an allow without one is itself a
+//! violation (`allow-justification`), and an allow that suppresses
+//! nothing is reported as `unused-allow` so stale annotations cannot
+//! accumulate.
+
+use crate::scan::{match_brace, word_occurrences, SourceFile};
+
+/// Diagnostic severity. Every built-in rule is `Error`; `Warn` exists so
+/// downstream forks can soft-launch a new rule before enforcing it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Fails the run under `--deny`.
+    Error,
+    /// Reported but never fails the run.
+    Warn,
+}
+
+/// One finding, anchored to a file and 1-based line.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Rule identifier (e.g. `panic-freedom`).
+    pub rule: &'static str,
+    /// Severity (see [`Severity`]).
+    pub severity: Severity,
+    /// Path relative to the lint root.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+/// Rule metadata for `--list-rules` and documentation.
+pub struct RuleInfo {
+    /// Rule identifier.
+    pub id: &'static str,
+    /// Default severity.
+    pub severity: Severity,
+    /// One-line description.
+    pub summary: &'static str,
+}
+
+/// The built-in rule set.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        id: "panic-freedom",
+        severity: Severity::Error,
+        summary: "no unwrap/expect/panic!/unreachable!/todo!/unimplemented! in solver library code",
+    },
+    RuleInfo {
+        id: "float-eq",
+        severity: Severity::Error,
+        summary: "no ==/!= against float literals in solver code; use dcn_guard::tol helpers",
+    },
+    RuleInfo {
+        id: "budget-coverage",
+        severity: Severity::Error,
+        summary: "pub fns with loop/while in solver crates take a Budget or have a _budgeted sibling",
+    },
+    RuleInfo {
+        id: "metric-registry",
+        severity: Severity::Error,
+        summary: "metric/span names come from dcn_obs::names constants; constants must be used",
+    },
+    RuleInfo {
+        id: "nondeterminism",
+        severity: Severity::Error,
+        summary: "no Instant::now/SystemTime::now outside guard/obs; no unseeded RNG outside tests",
+    },
+    RuleInfo {
+        id: "unsafe-forbid",
+        severity: Severity::Error,
+        summary: "every crate root carries #![forbid(unsafe_code)]",
+    },
+    RuleInfo {
+        id: "allow-justification",
+        severity: Severity::Error,
+        summary: "every dcn-lint allow annotation carries a written justification",
+    },
+    RuleInfo {
+        id: "unused-allow",
+        severity: Severity::Error,
+        summary: "allow annotations that suppress nothing must be removed",
+    },
+];
+
+/// Crates whose library code must be panic-free, tolerance-disciplined,
+/// and budget-covered (the solver crates of the TUB pipeline).
+pub const SOLVER_CRATES: &[&str] = &[
+    "lp",
+    "mcf",
+    "graph",
+    "match",
+    "partition",
+    "core",
+    "estimators",
+];
+
+/// Crates allowed to read wall clocks: `guard` (deadlines) and `obs`
+/// (span timing) exist to encapsulate time.
+pub const CLOCK_CRATES: &[&str] = &["guard", "obs"];
+
+/// Minimum justification length (characters after the allow's rule list).
+pub const MIN_JUSTIFICATION: usize = 8;
+
+const ANNOTATION: &str = "dcn-lint: allow(";
+
+/// A parsed `// dcn-lint: allow(rule, …) — justification` annotation.
+#[derive(Debug)]
+pub struct Allow {
+    file_idx: usize,
+    line: usize,
+    rules: Vec<String>,
+    justified: bool,
+    used: std::cell::Cell<bool>,
+}
+
+/// Scans every file for allow annotations.
+///
+/// An occurrence only counts as an annotation when it (a) sits inside a
+/// comment — masked out by the scanner but not part of a string literal —
+/// and (b) names at least one known rule id. Both filters exist so the
+/// linter can lint its own sources: doc-comment examples use placeholder
+/// rule names and test corpora embed annotations in string literals.
+pub fn collect_allows(files: &[SourceFile]) -> Vec<Allow> {
+    let mut allows = Vec::new();
+    for (fi, f) in files.iter().enumerate() {
+        let mut from = 0;
+        while let Some(p) = f.raw[from..].find(ANNOTATION) {
+            let at = from + p;
+            from = at + ANNOTATION.len();
+            let in_string = f
+                .strings
+                .iter()
+                .any(|s| s.start < at && at < s.start + 1 + s.value.len());
+            let in_comment = f.masked.as_bytes()[at] == b' ' && !in_string;
+            if !in_comment {
+                continue;
+            }
+            let line_end = f.raw[at..].find('\n').map_or(f.raw.len(), |e| at + e);
+            let after = &f.raw[at + ANNOTATION.len()..line_end];
+            let Some(close) = after.find(')') else {
+                continue;
+            };
+            let rules: Vec<String> = after[..close]
+                .split(',')
+                .map(|r| r.trim().to_string())
+                .filter(|r| RULES.iter().any(|info| info.id == r))
+                .collect();
+            if rules.is_empty() {
+                continue;
+            }
+            let justification = after[close + 1..]
+                .trim_start_matches([' ', '\t', '—', '-', ':', '–'])
+                .trim();
+            allows.push(Allow {
+                file_idx: fi,
+                line: f.line_of(at),
+                rules,
+                justified: justification.chars().count() >= MIN_JUSTIFICATION,
+                used: std::cell::Cell::new(false),
+            });
+        }
+    }
+    allows
+}
+
+/// Result of running all rules over a scanned file set.
+pub struct Outcome {
+    /// Surviving diagnostics, sorted by (file, line, rule).
+    pub diagnostics: Vec<Diagnostic>,
+    /// Number of justified allow annotations that suppressed a finding.
+    pub allows_honored: usize,
+}
+
+/// Runs every rule, applies allow annotations, and appends the
+/// annotation-hygiene diagnostics.
+pub fn run_all(files: &[SourceFile]) -> Outcome {
+    let allows = collect_allows(files);
+    let mut raw_diags = Vec::new();
+    panic_freedom(files, &mut raw_diags);
+    float_eq(files, &mut raw_diags);
+    budget_coverage(files, &mut raw_diags);
+    metric_registry(files, &mut raw_diags);
+    nondeterminism(files, &mut raw_diags);
+    unsafe_forbid(files, &mut raw_diags);
+
+    let file_index = |rel: &str| files.iter().position(|f| f.rel == rel);
+    let mut diagnostics = Vec::new();
+    let mut allows_honored = 0usize;
+    for d in raw_diags {
+        let fi = file_index(&d.file);
+        // A same-line annotation takes precedence over one on the line above.
+        let matches_at = |a: &&Allow, line: usize| {
+            Some(a.file_idx) == fi && a.line == line && a.rules.iter().any(|r| r == d.rule)
+        };
+        let allow = allows
+            .iter()
+            .find(|a| matches_at(a, d.line))
+            .or_else(|| allows.iter().find(|a| matches_at(a, d.line.saturating_sub(1))));
+        match allow {
+            Some(a) if a.justified => {
+                if !a.used.get() {
+                    allows_honored += 1;
+                }
+                a.used.set(true);
+            }
+            Some(a) => {
+                // Unjustified allow: the annotation "uses" itself (so it is
+                // not double-reported as unused) but the finding survives
+                // alongside an allow-justification error.
+                a.used.set(true);
+                diagnostics.push(Diagnostic {
+                    rule: "allow-justification",
+                    severity: Severity::Error,
+                    file: d.file.clone(),
+                    line: a.line,
+                    message: format!(
+                        "allow({}) has no written justification (need ≥ {MIN_JUSTIFICATION} chars)",
+                        d.rule
+                    ),
+                });
+                diagnostics.push(d);
+            }
+            None => diagnostics.push(d),
+        }
+    }
+    for a in &allows {
+        if !a.used.get() {
+            diagnostics.push(Diagnostic {
+                rule: "unused-allow",
+                severity: Severity::Error,
+                file: files[a.file_idx].rel.clone(),
+                line: a.line,
+                message: format!(
+                    "allow({}) suppresses nothing; remove the stale annotation",
+                    a.rules.join(", ")
+                ),
+            });
+        }
+    }
+    diagnostics.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule))
+    });
+    diagnostics.dedup_by(|a, b| a.file == b.file && a.line == b.line && a.rule == b.rule);
+    Outcome {
+        diagnostics,
+        allows_honored,
+    }
+}
+
+fn push(diags: &mut Vec<Diagnostic>, rule: &'static str, f: &SourceFile, off: usize, msg: String) {
+    diags.push(Diagnostic {
+        rule,
+        severity: Severity::Error,
+        file: f.rel.clone(),
+        line: f.line_of(off),
+        message: msg,
+    });
+}
+
+/// True when this file is library code of a solver crate (rules 1–3 scope).
+fn solver_library(f: &SourceFile) -> bool {
+    f.krate
+        .as_deref()
+        .is_some_and(|k| SOLVER_CRATES.contains(&k))
+        && !f.is_test_code
+        && !f.is_bin
+}
+
+// ---------------------------------------------------------------------------
+// Rule: panic-freedom
+
+fn panic_freedom(files: &[SourceFile], diags: &mut Vec<Diagnostic>) {
+    // (needle, must be followed by, description)
+    const METHODS: &[(&str, &str)] = &[(".unwrap", "()"), (".expect", "(")];
+    const MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+    for f in files.iter().filter(|f| solver_library(f)) {
+        for &(m, follow) in METHODS {
+            let mut from = 0;
+            while let Some(p) = f.masked[from..].find(m) {
+                let at = from + p;
+                from = at + m.len();
+                if !f.masked[from..].starts_with(follow) || f.in_test_region(at) {
+                    continue;
+                }
+                push(
+                    diags,
+                    "panic-freedom",
+                    f,
+                    at,
+                    format!(
+                        "`{m}{follow}…` in solver library code; return a typed error \
+                         (see dcn-guard) or annotate with a justified allow"
+                    ),
+                );
+            }
+        }
+        for &m in MACROS {
+            for at in word_occurrences(&f.masked, m) {
+                if !f.masked[at + m.len()..].starts_with('!') || f.in_test_region(at) {
+                    continue;
+                }
+                push(
+                    diags,
+                    "panic-freedom",
+                    f,
+                    at,
+                    format!("`{m}!` in solver library code; solvers must propagate Results"),
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: float-eq
+
+/// True when `tok` looks like a float literal: starts with a digit and has
+/// a decimal point, an exponent, or an explicit f32/f64 suffix.
+fn is_float_literal(tok: &str) -> bool {
+    let t = tok.trim_end_matches(')').trim_start_matches('(');
+    let mut chars = t.chars();
+    let Some(first) = chars.next() else {
+        return false;
+    };
+    if !first.is_ascii_digit() {
+        return false;
+    }
+    t.contains('.') || t.ends_with("f32") || t.ends_with("f64") || {
+        // 1e-9 exponent form
+        t.bytes()
+            .zip(t.bytes().skip(1))
+            .any(|(a, b)| (a == b'e' || a == b'E') && (b.is_ascii_digit() || b == b'-'))
+    }
+}
+
+fn float_eq(files: &[SourceFile], diags: &mut Vec<Diagnostic>) {
+    for f in files.iter().filter(|f| solver_library(f)) {
+        let b = f.masked.as_bytes();
+        for op in ["==", "!="] {
+            let mut from = 0;
+            while let Some(p) = f.masked[from..].find(op) {
+                let at = from + p;
+                from = at + op.len();
+                // Exclude <=, >=, =>, === (not Rust, but cheap to guard).
+                let prev = at.checked_sub(1).map(|i| b[i]);
+                if matches!(prev, Some(b'<' | b'>' | b'=' | b'!')) || b.get(at + 2) == Some(&b'=') {
+                    continue;
+                }
+                if f.in_test_region(at) {
+                    continue;
+                }
+                // Token to the right.
+                let right: String = f.masked[at + op.len()..]
+                    .trim_start()
+                    .chars()
+                    .take_while(|c| !c.is_whitespace() && *c != ';' && *c != ',' && *c != '{')
+                    .collect();
+                // Token to the left.
+                let left_end = f.masked[..at].trim_end().len();
+                let left_start = f.masked[..left_end]
+                    .rfind(|c: char| c.is_whitespace() || c == '(' || c == ',')
+                    .map_or(0, |i| i + 1);
+                let left = &f.masked[left_start..left_end];
+                if is_float_literal(&right) || is_float_literal(left) {
+                    push(
+                        diags,
+                        "float-eq",
+                        f,
+                        at,
+                        format!(
+                            "exact `{op}` against a float literal; throughputs are only \
+                             meaningful to a tolerance — use dcn_guard::tol::approx_eq/approx_zero"
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: budget-coverage
+
+fn budget_coverage(files: &[SourceFile], diags: &mut Vec<Diagnostic>) {
+    // Index of all fn names per crate (any visibility — the sibling may be
+    // pub(crate) or private).
+    let mut crate_fns: std::collections::BTreeMap<&str, std::collections::BTreeSet<String>> =
+        std::collections::BTreeMap::new();
+    for f in files.iter().filter(|f| solver_library(f)) {
+        let set = crate_fns
+            .entry(f.krate.as_deref().unwrap_or(""))
+            .or_default();
+        for at in word_occurrences(&f.masked, "fn") {
+            if let Some((name, _, _)) = fn_at(f, at) {
+                set.insert(name);
+            }
+        }
+    }
+    for f in files.iter().filter(|f| solver_library(f)) {
+        let krate = f.krate.as_deref().unwrap_or("");
+        for at in word_occurrences(&f.masked, "pub") {
+            let rest = f.masked[at + 3..].trim_start();
+            if !rest.starts_with("fn ") {
+                continue;
+            }
+            let fn_at_off = at + 3 + (f.masked[at + 3..].len() - rest.len());
+            let Some((name, sig, body)) = fn_at(f, fn_at_off) else {
+                continue;
+            };
+            if f.in_test_region(at) {
+                continue;
+            }
+            let has_loop = !word_occurrences(body, "while").is_empty()
+                || word_occurrences(body, "loop")
+                    .iter()
+                    .any(|&p| body[p + 4..].trim_start().starts_with('{'));
+            if !has_loop {
+                continue;
+            }
+            let budgeted = sig.contains("Budget")
+                || name.ends_with("_budgeted")
+                || crate_fns
+                    .get(krate)
+                    .is_some_and(|s| s.contains(&format!("{name}_budgeted")));
+            if !budgeted {
+                push(
+                    diags,
+                    "budget-coverage",
+                    f,
+                    at,
+                    format!(
+                        "`pub fn {name}` contains a loop/while but neither takes a \
+                         &Budget/BudgetMeter nor has a `{name}_budgeted` sibling \
+                         (PR 2 convention); bounded loops may carry a justified allow"
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// Parses the fn at masked offset `at` (pointing at the `fn` keyword):
+/// returns (name, signature text, body text). `None` for bodyless fns.
+fn fn_at(f: &SourceFile, at: usize) -> Option<(String, &str, &str)> {
+    let after = &f.masked[at + 2..];
+    let name: String = after
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+        .collect();
+    if name.is_empty() {
+        return None;
+    }
+    let sig_start = at;
+    let rel = f.masked[sig_start..].find(['{', ';'])?;
+    let open = sig_start + rel;
+    if f.masked.as_bytes()[open] != b'{' {
+        return None;
+    }
+    let close = match_brace(&f.masked, open)?;
+    Some((name, &f.masked[sig_start..open], &f.masked[open..close]))
+}
+
+// ---------------------------------------------------------------------------
+// Rule: metric-registry
+
+const METRIC_MACROS: &[&str] = &["counter", "gauge", "histogram", "span"];
+
+fn metric_registry(files: &[SourceFile], diags: &mut Vec<Diagnostic>) {
+    let names_rel = "crates/obs/src/names.rs";
+    let Some(names_file) = files.iter().find(|f| f.rel == names_rel) else {
+        // No registry in this tree (e.g. a fixture without one): nothing to
+        // check against, and raw names have nowhere to live — skip quietly.
+        return;
+    };
+    // Parse `pub const IDENT: &str = "value";` entries.
+    let mut registry: Vec<(String, String, usize)> = Vec::new(); // (ident, value, line)
+    for at in word_occurrences(&names_file.masked, "const") {
+        let ident: String = names_file.masked[at + 5..]
+            .trim_start()
+            .chars()
+            .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+            .collect();
+        if ident.is_empty() || ident == "ALL" {
+            continue;
+        }
+        // The value is the first string literal after the ident.
+        let Some(lit) = names_file.strings.iter().find(|s| s.start > at) else {
+            continue;
+        };
+        // Only accept it if it is on the same statement (before the next
+        // `;`), so ALL-table entries are not misattributed.
+        if let Some(semi) = names_file.masked[at..].find(';') {
+            if lit.start > at + semi {
+                continue;
+            }
+        }
+        registry.push((ident, lit.value.clone(), names_file.line_of(at)));
+    }
+    // Convention + uniqueness of registered names.
+    let mut seen = std::collections::BTreeMap::new();
+    for (ident, value, line) in &registry {
+        let well_formed = value.split('.').count() >= 2
+            && !value.starts_with('.')
+            && !value.ends_with('.')
+            && !value.contains("..")
+            && value
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '.' || c == '_');
+        if !well_formed {
+            push(
+                diags,
+                "metric-registry",
+                names_file,
+                names_file.line_starts[line - 1],
+                format!("`{ident}` = \"{value}\" violates the <crate>.<module>.<event> convention"),
+            );
+        }
+        if let Some(first) = seen.insert(value.clone(), ident.clone()) {
+            push(
+                diags,
+                "metric-registry",
+                names_file,
+                names_file.line_starts[line - 1],
+                format!("`{ident}` duplicates the name \"{value}\" already registered as `{first}`"),
+            );
+        }
+    }
+    // Call sites: no raw strings, and path args must resolve to a constant.
+    let idents: std::collections::BTreeSet<&str> =
+        registry.iter().map(|(i, _, _)| i.as_str()).collect();
+    let mut used: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+    for f in files.iter().filter(|f| f.krate.is_some() && !f.is_test_code) {
+        for &mac in METRIC_MACROS {
+            let mut from = 0;
+            while let Some(p) = f.masked[from..].find(mac) {
+                let at = from + p;
+                from = at + mac.len();
+                let pre_ok = at == 0
+                    || !f.masked.as_bytes()[at - 1].is_ascii_alphanumeric()
+                        && f.masked.as_bytes()[at - 1] != b'_';
+                let after = &f.masked[at + mac.len()..];
+                if !pre_ok || !after.starts_with("!(") || f.in_test_region(at) {
+                    continue;
+                }
+                let arg_off = at + mac.len() + 2;
+                let arg = f.masked[arg_off..].trim_start();
+                if arg.starts_with('"') {
+                    push(
+                        diags,
+                        "metric-registry",
+                        f,
+                        at,
+                        format!(
+                            "raw string passed to {mac}!; metric names must come from \
+                             dcn_obs::names so manifests and EXPERIMENTS.md stay in sync"
+                        ),
+                    );
+                    continue;
+                }
+                // Last path segment of the argument.
+                let path: String = arg
+                    .chars()
+                    .take_while(|c| c.is_ascii_alphanumeric() || *c == '_' || *c == ':')
+                    .collect();
+                let last = path.rsplit("::").next().unwrap_or("").to_string();
+                if last.is_empty() {
+                    continue; // expression arg (e.g. a local); out of scope
+                }
+                if idents.contains(last.as_str()) {
+                    used.insert(last);
+                } else {
+                    push(
+                        diags,
+                        "metric-registry",
+                        f,
+                        at,
+                        format!("`{last}` is not a constant in crates/obs/src/names.rs"),
+                    );
+                }
+            }
+        }
+    }
+    // Reverse direction: every constant must be referenced outside
+    // names.rs (in any non-test file, including the macro sites above and
+    // plain fn-call uses such as counter_value(names::X)).
+    for f in files
+        .iter()
+        .filter(|f| f.rel != names_rel && f.krate.is_some() && !f.is_test_code)
+    {
+        for (ident, _, _) in &registry {
+            if used.contains(ident) {
+                continue;
+            }
+            if !word_occurrences(&f.masked, ident).is_empty() {
+                used.insert(ident.clone());
+            }
+        }
+    }
+    for (ident, value, line) in &registry {
+        if !used.contains(ident) {
+            push(
+                diags,
+                "metric-registry",
+                names_file,
+                names_file.line_starts[line - 1],
+                format!(
+                    "dead metric: `{ident}` (\"{value}\") is registered but never used \
+                     at any call site"
+                ),
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: nondeterminism
+
+fn nondeterminism(files: &[SourceFile], diags: &mut Vec<Diagnostic>) {
+    const CLOCKS: &[&str] = &["Instant::now", "SystemTime::now"];
+    const RNGS: &[&str] = &["thread_rng", "from_entropy"];
+    for f in files.iter().filter(|f| {
+        f.krate
+            .as_deref()
+            .is_some_and(|k| !CLOCK_CRATES.contains(&k))
+            && !f.is_test_code
+    }) {
+        for &pat in CLOCKS {
+            let mut from = 0;
+            while let Some(p) = f.masked[from..].find(pat) {
+                let at = from + p;
+                from = at + pat.len();
+                if f.in_test_region(at) {
+                    continue;
+                }
+                push(
+                    diags,
+                    "nondeterminism",
+                    f,
+                    at,
+                    format!(
+                        "`{pat}` outside dcn-guard/dcn-obs; wall-clock reads belong in the \
+                         guard (budgets) or obs (spans) so manifests stay reproducible"
+                    ),
+                );
+            }
+        }
+        for &pat in RNGS {
+            for at in word_occurrences(&f.masked, pat) {
+                if f.in_test_region(at) {
+                    continue;
+                }
+                push(
+                    diags,
+                    "nondeterminism",
+                    f,
+                    at,
+                    format!(
+                        "`{pat}` constructs an unseeded RNG; use SeedableRng::seed_from_u64 \
+                         with a recorded seed (manifests must reproduce runs)"
+                    ),
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: unsafe-forbid
+
+fn unsafe_forbid(files: &[SourceFile], diags: &mut Vec<Diagnostic>) {
+    for f in files {
+        let is_crate_root = f.rel == "src/lib.rs"
+            || (f.rel.starts_with("crates/")
+                && f.rel.ends_with("/src/lib.rs")
+                && f.rel.matches('/').count() == 3);
+        if !is_crate_root {
+            continue;
+        }
+        if !f.masked.contains("#![forbid(unsafe_code)]") {
+            diags.push(Diagnostic {
+                rule: "unsafe-forbid",
+                severity: Severity::Error,
+                file: f.rel.clone(),
+                line: 1,
+                message: "crate root lacks `#![forbid(unsafe_code)]` (the workspace is \
+                          unsafe-free; lock it in)"
+                    .into(),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(rel: &str, src: &str) -> SourceFile {
+        SourceFile::new(rel.into(), src.into())
+    }
+
+    #[test]
+    fn float_literal_classifier() {
+        assert!(is_float_literal("0.0"));
+        assert!(is_float_literal("1.5e3"));
+        assert!(is_float_literal("2f64"));
+        assert!(is_float_literal("1e-9"));
+        assert!(!is_float_literal("x"));
+        assert!(!is_float_literal("0"));
+        assert!(!is_float_literal("a.0"));
+    }
+
+    #[test]
+    fn panic_freedom_flags_and_exempts() {
+        let f = file(
+            "crates/lp/src/x.rs",
+            "fn a() { x.unwrap(); }\n#[cfg(test)]\nmod t { fn b() { y.unwrap(); } }\n",
+        );
+        let mut d = Vec::new();
+        panic_freedom(&[f], &mut d);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].line, 1);
+    }
+
+    #[test]
+    fn unwrap_or_is_not_unwrap() {
+        let f = file("crates/lp/src/x.rs", "fn a() { x.unwrap_or(0); y.expect_err(\"e\"); }\n");
+        let mut d = Vec::new();
+        panic_freedom(&[f], &mut d);
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn float_eq_flags_literal_comparisons() {
+        let f = file(
+            "crates/core/src/x.rs",
+            "fn a(v: f64) -> bool { v == 0.0 }\nfn b(v: f64) -> bool { v <= 1.0 }\n",
+        );
+        let mut d = Vec::new();
+        float_eq(&[f], &mut d);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].line, 1);
+    }
+
+    #[test]
+    fn budget_coverage_accepts_sibling_and_param() {
+        let src = "pub fn solve(b: &Budget) { loop { } }\n\
+                   pub fn free() { while x { } }\n\
+                   pub fn covered() { loop { } }\n\
+                   fn covered_budgeted(b: &Budget) { }\n";
+        let f = file("crates/mcf/src/x.rs", src);
+        let mut d = Vec::new();
+        budget_coverage(&[f], &mut d);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("free"));
+    }
+
+    #[test]
+    fn unsafe_forbid_checks_roots_only() {
+        let bad = file("crates/lp/src/lib.rs", "pub fn x() {}\n");
+        let good = file("crates/mcf/src/lib.rs", "#![forbid(unsafe_code)]\npub fn x() {}\n");
+        let other = file("crates/lp/src/simplex.rs", "pub fn x() {}\n");
+        let mut d = Vec::new();
+        unsafe_forbid(&[bad, good, other], &mut d);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].file, "crates/lp/src/lib.rs");
+    }
+
+    #[test]
+    fn allow_requires_justification() {
+        let src = "fn a() { x.unwrap() } // dcn-lint: allow(panic-freedom)\n\
+                   fn b() { y.unwrap() } // dcn-lint: allow(panic-freedom) — infallible by Vec len check\n";
+        let f = file("crates/lp/src/x.rs", src);
+        let out = run_all(&[f]);
+        let rules: Vec<&str> = out.diagnostics.iter().map(|d| d.rule).collect();
+        assert!(rules.contains(&"allow-justification"), "{rules:?}");
+        assert!(rules.contains(&"panic-freedom"));
+        assert_eq!(out.allows_honored, 1);
+    }
+
+    #[test]
+    fn unused_allow_is_reported() {
+        let src = "// dcn-lint: allow(panic-freedom) — no longer needed here\nfn a() {}\n";
+        let f = file("crates/lp/src/x.rs", src);
+        let out = run_all(&[f]);
+        assert_eq!(out.diagnostics.len(), 1);
+        assert_eq!(out.diagnostics[0].rule, "unused-allow");
+    }
+
+    #[test]
+    fn nondeterminism_scopes_to_non_clock_crates() {
+        let guard = file("crates/guard/src/x.rs", "fn a() { Instant::now(); }\n");
+        let topo = file("crates/topo/src/x.rs", "fn a() { Instant::now(); }\n");
+        let mut d = Vec::new();
+        nondeterminism(&[guard, topo], &mut d);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].file, "crates/topo/src/x.rs");
+    }
+}

@@ -1,0 +1,125 @@
+//! Integration tests over the seeded fixture corpora.
+//!
+//! `fixtures/violations/` carries exactly one seeded violation per rule
+//! (three for float-eq: the `== 0.0`, `!= 0.0`, and `== 1.0` patterns);
+//! `fixtures/clean/` carries the same shapes, each suppressed by a
+//! justified allow. The assertions pin the exact (rule, file, line)
+//! triples and the CLI exit codes.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn fixture(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+#[test]
+fn violations_tree_yields_exact_diagnostics() {
+    let report = dcn_lint::lint_root(&fixture("violations")).expect("lint violations tree");
+    let got: Vec<(String, String, usize)> = report
+        .diagnostics
+        .iter()
+        .map(|d| (d.rule.to_string(), d.file.clone(), d.line))
+        .collect();
+    let expected: Vec<(&str, &str, usize)> = vec![
+        ("metric-registry", "crates/core/src/metrics.rs", 5),
+        ("metric-registry", "crates/core/src/metrics.rs", 6),
+        ("budget-coverage", "crates/graph/src/looping.rs", 3),
+        ("unused-allow", "crates/graph/src/looping.rs", 11),
+        ("float-eq", "crates/lp/src/floats.rs", 4),
+        ("float-eq", "crates/lp/src/floats.rs", 8),
+        ("float-eq", "crates/lp/src/floats.rs", 12),
+        ("unsafe-forbid", "crates/lp/src/lib.rs", 1),
+        ("panic-freedom", "crates/mcf/src/panic.rs", 4),
+        ("allow-justification", "crates/mcf/src/panic.rs", 8),
+        ("panic-freedom", "crates/mcf/src/panic.rs", 9),
+        ("metric-registry", "crates/obs/src/names.rs", 6),
+        ("metric-registry", "crates/obs/src/names.rs", 8),
+        ("nondeterminism", "crates/topo/src/clock.rs", 4),
+        ("nondeterminism", "crates/topo/src/clock.rs", 8),
+    ];
+    let expected: Vec<(String, String, usize)> = expected
+        .into_iter()
+        .map(|(r, f, l)| (r.to_string(), f.to_string(), l))
+        .collect();
+    assert_eq!(got, expected);
+    assert_eq!(report.allows_honored, 0);
+}
+
+#[test]
+fn clean_tree_is_quiet_and_honors_allows() {
+    let report = dcn_lint::lint_root(&fixture("clean")).expect("lint clean tree");
+    assert!(
+        report.diagnostics.is_empty(),
+        "clean tree produced {:?}",
+        report.diagnostics
+    );
+    // One justified allow per core rule: unsafe-forbid, float-eq,
+    // panic-freedom, budget-coverage, nondeterminism, metric-registry.
+    assert_eq!(report.allows_honored, 6);
+}
+
+fn run_cli(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_dcn-lint"))
+        .args(args)
+        .output()
+        .expect("spawn dcn-lint")
+}
+
+#[test]
+fn deny_exits_nonzero_on_violations() {
+    let root = fixture("violations");
+    let out = run_cli(&["--root", root.to_str().expect("utf8 path"), "--deny"]);
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("crates/lp/src/floats.rs:4: error[float-eq]"), "{stdout}");
+    assert!(stdout.contains("crates/mcf/src/panic.rs:4: error[panic-freedom]"), "{stdout}");
+}
+
+#[test]
+fn advisory_mode_exits_zero_on_violations() {
+    let root = fixture("violations");
+    let out = run_cli(&["--root", root.to_str().expect("utf8 path")]);
+    assert_eq!(out.status.code(), Some(0));
+}
+
+#[test]
+fn deny_exits_zero_on_clean_tree() {
+    let root = fixture("clean");
+    let out = run_cli(&["--root", root.to_str().expect("utf8 path"), "--deny"]);
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("0 diagnostics"), "{stdout}");
+}
+
+#[test]
+fn list_rules_prints_all_rule_ids() {
+    let out = run_cli(&["--list-rules"]);
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for rule in dcn_lint::rules::RULES {
+        assert!(stdout.contains(rule.id), "missing {}", rule.id);
+    }
+}
+
+#[test]
+fn workspace_itself_is_lint_clean() {
+    // The repository root is two levels above crates/lint.
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("workspace root")
+        .to_path_buf();
+    let report = dcn_lint::lint_root(&root).expect("lint workspace");
+    assert!(
+        report.diagnostics.is_empty(),
+        "workspace regressed: {:?}",
+        report
+            .diagnostics
+            .iter()
+            .map(|d| format!("{}:{} [{}]", d.file, d.line, d.rule))
+            .collect::<Vec<_>>()
+    );
+}

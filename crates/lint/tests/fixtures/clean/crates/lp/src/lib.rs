@@ -1,0 +1,19 @@
+// dcn-lint: allow(unsafe-forbid) — fixture: crate root intentionally lacks the attribute
+//! Fixture: every violation below carries a justified allow.
+
+pub fn is_zero(x: f64) -> bool {
+    // dcn-lint: allow(float-eq) — fixture: exact sentinel comparison is intended
+    x == 0.0
+}
+
+pub fn take(v: Option<u32>) -> u32 {
+    // dcn-lint: allow(panic-freedom) — fixture: caller guarantees Some
+    v.unwrap()
+}
+
+// dcn-lint: allow(budget-coverage) — fixture: loop exits on the first iteration
+pub fn spin() -> u32 {
+    loop {
+        return 7;
+    }
+}

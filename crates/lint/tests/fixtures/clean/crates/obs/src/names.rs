@@ -1,0 +1,5 @@
+//! Fixture registry with a reserved-but-unused constant.
+
+/// Reserved for the next milestone.
+// dcn-lint: allow(metric-registry) — fixture: registered ahead of first use
+pub const RESERVED: &str = "fix.reserved";

@@ -1,0 +1,6 @@
+//! Fixture: justified clock read.
+
+pub fn stamp() -> std::time::Instant {
+    // dcn-lint: allow(nondeterminism) — fixture: display-only timestamp
+    std::time::Instant::now()
+}

@@ -1,0 +1,7 @@
+//! Fixture metric call sites.
+
+pub fn bump() {
+    dcn_obs::counter!(dcn_obs::names::USED_OK).inc();
+    dcn_obs::counter!("fix.raw.literal").inc();
+    dcn_obs::gauge!(dcn_obs::names::NOT_REGISTERED).set(1.0);
+}

@@ -1,0 +1,12 @@
+//! Fixture: an unbudgeted public loop and a stale allow.
+
+pub fn spin(n: u32) -> u32 {
+    let mut i = 0;
+    while i < n {
+        i += 1;
+    }
+    i
+}
+
+// dcn-lint: allow(float-eq) — fixture: stale annotation with nothing to suppress
+pub fn idle() {}

@@ -1,0 +1,13 @@
+//! Fixture: the three exact float comparison patterns.
+
+pub fn is_zero(x: f64) -> bool {
+    x == 0.0
+}
+
+pub fn is_nonzero(x: f64) -> bool {
+    x != 0.0
+}
+
+pub fn is_one(x: f64) -> bool {
+    x == 1.0
+}

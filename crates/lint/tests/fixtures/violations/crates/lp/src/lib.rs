@@ -1,0 +1,5 @@
+//! Fixture: crate root without the unsafe forbid attribute.
+
+pub fn double(x: f64) -> f64 {
+    x * 2.0
+}

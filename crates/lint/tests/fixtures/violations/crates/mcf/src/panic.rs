@@ -1,0 +1,10 @@
+//! Fixture: panic-freedom violations, bare and with an unjustified allow.
+
+pub fn take(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+
+pub fn take_annotated(v: Option<u32>) -> u32 {
+    // dcn-lint: allow(panic-freedom)
+    v.unwrap()
+}

@@ -1,0 +1,8 @@
+//! Fixture metric registry.
+
+/// In use at the call site below.
+pub const USED_OK: &str = "fix.used.ok";
+/// Never referenced anywhere.
+pub const DEAD_ONE: &str = "fix.dead.one";
+/// Breaks the naming convention.
+pub const BAD_NAME: &str = "UpperCase";

@@ -1,0 +1,10 @@
+//! Fixture: nondeterminism sources.
+
+pub fn stamp() -> std::time::Instant {
+    std::time::Instant::now()
+}
+
+pub fn draw() -> u64 {
+    let mut rng = thread_rng();
+    rng.next_u64()
+}

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! A small, dependency-free linear-programming solver.
 //!
 //! The paper solves path-based multi-commodity flow LPs with Gurobi; no
@@ -180,6 +181,7 @@ impl LinearProgram {
             Ok(sol) => sol,
             // Unlimited budget cannot exhaust and validation is off, so the
             // guarded path has no error source left.
+            // dcn-lint: allow(panic-freedom) — an unlimited budget cannot exhaust; this wrapper keeps the infallible pre-budget API
             Err(e) => unreachable!("unbudgeted, unvalidated solve failed: {e}"),
         }
     }

@@ -11,6 +11,7 @@
 //! into a typed [`LpError::Budget`] instead of a multi-minute stall.
 
 use crate::{Cmp, LinearProgram, LpError, LpSolution, LpStatus};
+use dcn_guard::tol::approx_zero;
 use dcn_guard::{validate, Budget, BudgetMeter};
 
 const EPS: f64 = 1e-9;
@@ -97,10 +98,10 @@ impl Tableau {
         let refresh_every = self.rows.max(64);
         // Hoisted registry handles: the per-pivot cost stays at a couple
         // of relaxed atomic adds, no locks.
-        let pivots_ctr = dcn_obs::counter!("lp.simplex.pivots");
-        let degen_ctr = dcn_obs::counter!("lp.simplex.degenerate_pivots");
-        let bland_ctr = dcn_obs::counter!("lp.simplex.bland_activations");
-        let refactor_ctr = dcn_obs::counter!("lp.simplex.refactorizations");
+        let pivots_ctr = dcn_obs::counter!(dcn_obs::names::LP_SIMPLEX_PIVOTS);
+        let degen_ctr = dcn_obs::counter!(dcn_obs::names::LP_SIMPLEX_DEGENERATE_PIVOTS);
+        let bland_ctr = dcn_obs::counter!(dcn_obs::names::LP_SIMPLEX_BLAND_ACTIVATIONS);
+        let refactor_ctr = dcn_obs::counter!(dcn_obs::names::LP_SIMPLEX_REFACTORIZATIONS);
         let mut bland_counted = false;
         loop {
             meter.tick()?;
@@ -229,7 +230,9 @@ impl Tableau {
                     continue;
                 }
                 let factor = self.at(r, bc);
-                if factor != 0.0 {
+                // Eliminating sub-EPS factors would only write noise already
+                // below the validation tolerance into the row.
+                if !approx_zero(factor, EPS) {
                     for c in 0..cols {
                         let v = self.a[pr * cols + c];
                         self.a[r * cols + c] -= factor * v;
@@ -251,7 +254,7 @@ pub(crate) fn solve_budgeted(
     budget: &Budget,
     validate_certs: bool,
 ) -> Result<LpSolution, LpError> {
-    let _span = dcn_obs::span!("lp.simplex.solve");
+    let _span = dcn_obs::span!(dcn_obs::names::LP_SIMPLEX_SOLVE);
     let mut meter = budget.meter();
     let n = lp.n_vars();
     let m = lp.rows().len();
@@ -350,7 +353,7 @@ pub(crate) fn solve_budgeted(
         let mut p1_obj = vec![0.0; total];
         p1_obj[art_start..total].fill(-1.0);
         let (status, p1_iters) = t.optimize(total, &mut meter, Some((&pristine, &p1_obj)))?;
-        dcn_obs::counter!("lp.simplex.phase1_iters").add(p1_iters);
+        dcn_obs::counter!(dcn_obs::names::LP_SIMPLEX_PHASE1_ITERS).add(p1_iters);
         debug_assert_ne!(status, LpStatus::Unbounded, "phase 1 cannot be unbounded");
         let phase1 = -t.at(m, cols - 1);
         if phase1 > 1e-7 {
@@ -386,7 +389,7 @@ pub(crate) fn solve_budgeted(
         // tableau from pristine data mid-run.
         let (status, p2_iters) =
             t.optimize(art_start, &mut meter, Some((&pristine, lp.objective())))?;
-        dcn_obs::counter!("lp.simplex.phase2_iters").add(p2_iters);
+        dcn_obs::counter!(dcn_obs::names::LP_SIMPLEX_PHASE2_ITERS).add(p2_iters);
         if status != LpStatus::Optimal {
             break status;
         }
@@ -395,7 +398,7 @@ pub(crate) fn solve_budgeted(
         // optimal; otherwise drift mis-terminated the run — keep pivoting
         // from the refreshed (numerically clean) tableau.
         t.refactor(&pristine, lp.objective()).map_err(singular)?;
-        dcn_obs::counter!("lp.simplex.refactorizations").inc();
+        dcn_obs::counter!(dcn_obs::names::LP_SIMPLEX_REFACTORIZATIONS).inc();
         if (0..art_start).all(|c| t.at(m, c) >= -EPS) {
             break status;
         }
@@ -406,7 +409,7 @@ pub(crate) fn solve_budgeted(
             // below judge whatever this basis yields.
             break status;
         }
-        dcn_obs::counter!("lp.simplex.refactor_resumes").inc();
+        dcn_obs::counter!(dcn_obs::names::LP_SIMPLEX_REFACTOR_RESUMES).inc();
     };
     if status == LpStatus::Unbounded {
         return Ok(LpSolution {
@@ -464,7 +467,7 @@ fn verify_certificate(
             Cmp::Eq => (lhs - row.rhs).abs(),
         };
         if residual > slack_tol {
-            dcn_obs::counter!("guard.validate.failures").inc();
+            dcn_obs::counter!(dcn_obs::names::GUARD_VALIDATE_FAILURES).inc();
             return Err(dcn_guard::CertError::ConstraintViolated { row: r, residual });
         }
     }

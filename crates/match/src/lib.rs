@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Maximum-weight perfect matching on implicit complete bipartite graphs.
 //!
 //! The paper's throughput upper bound (Equation 1) is minimized by the
@@ -75,6 +76,7 @@ impl Matching {
 pub fn hungarian_max(n: usize, w: impl Fn(usize, usize) -> i64) -> Matching {
     match hungarian_max_budgeted(n, w, &Budget::unlimited()) {
         Ok(m) => m,
+        // dcn-lint: allow(panic-freedom) — an unlimited budget cannot exhaust; this wrapper keeps the infallible pre-budget API
         Err(e) => unreachable!("unlimited budget exhausted in hungarian: {e}"),
     }
 }
@@ -443,7 +445,9 @@ pub fn bipartite_perfect_matching(n: usize, adj: &[Vec<usize>]) -> Option<Vec<us
             return None;
         }
     }
-    Some(match_left.into_iter().map(|v| v.expect("matched")).collect())
+    // Every left vertex was matched by try_kuhn; collect() re-checks that
+    // instead of asserting it.
+    match_left.into_iter().collect()
 }
 
 #[cfg(test)]

@@ -25,9 +25,9 @@ pub fn solve(ps: &PathSet) -> Result<ThroughputResult, McfError> {
 /// the routed flow is additionally checked against edge capacities and
 /// per-commodity service at `θ`.
 pub fn solve_budgeted(ps: &PathSet, budget: &Budget) -> Result<ThroughputResult, McfError> {
-    let _span = dcn_obs::span!("mcf.exact.solve");
+    let _span = dcn_obs::span!(dcn_obs::names::MCF_EXACT_SOLVE);
     let n_paths = ps.total_paths();
-    dcn_obs::histogram!("mcf.exact.columns").record_u64(n_paths as u64 + 1);
+    dcn_obs::histogram!(dcn_obs::names::MCF_EXACT_COLUMNS).record_u64(n_paths as u64 + 1);
     let theta_var = n_paths; // last variable
     let mut lp = LinearProgram::new(n_paths + 1);
     lp.set_objective(&[(theta_var, 1.0)]);
@@ -54,7 +54,7 @@ pub fn solve_budgeted(ps: &PathSet, budget: &Budget) -> Result<ThroughputResult,
         }
     }
 
-    dcn_obs::histogram!("mcf.exact.rows").record_u64(lp.n_constraints() as u64);
+    dcn_obs::histogram!(dcn_obs::names::MCF_EXACT_ROWS).record_u64(lp.n_constraints() as u64);
     let sol = lp.solve_budgeted(budget).map_err(|e| match e {
         LpError::Budget(b) => McfError::Budget(b),
         LpError::BadInput(c) | LpError::Certificate(c) => McfError::Certificate(c),

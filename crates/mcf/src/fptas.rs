@@ -41,10 +41,10 @@ pub fn solve_budgeted(
         return Err(McfError::BadEps(eps));
     }
     let mut meter = budget.meter();
-    let _span = dcn_obs::span!("mcf.fptas.solve");
+    let _span = dcn_obs::span!(dcn_obs::names::MCF_FPTAS_SOLVE);
     // Hoisted so the inner augmentation loop touches only relaxed atomics.
-    let phases_ctr = dcn_obs::counter!("mcf.fptas.phases");
-    let aug_ctr = dcn_obs::counter!("mcf.fptas.augmentations");
+    let phases_ctr = dcn_obs::counter!(dcn_obs::names::MCF_FPTAS_PHASES);
+    let aug_ctr = dcn_obs::counter!(dcn_obs::names::MCF_FPTAS_AUGMENTATIONS);
     let n_dir = ps.n_directed_edges();
     let m = n_dir as f64;
     let delta = (m / (1.0 - eps)).powf(-1.0 / eps);
@@ -122,7 +122,7 @@ pub fn solve_budgeted(
                     // is one; otherwise surface the exhaustion.
                     let theta_lb = current_lb(ps, &flow_on_edge, &cap, &routed);
                     if theta_lb > 0.0 {
-                        dcn_obs::counter!("mcf.fptas.truncated_runs").inc();
+                        dcn_obs::counter!(dcn_obs::names::MCF_FPTAS_TRUNCATED_RUNS).inc();
                         return finish(ps, flows, routed, theta_lb, theta_ub, eps);
                     }
                     return Err(McfError::Budget(e));
@@ -177,7 +177,7 @@ fn finish(
 ) -> Result<ThroughputResult, McfError> {
     let _ = routed;
     if theta_ub > 0.0 && theta_ub.is_finite() {
-        dcn_obs::gauge!("mcf.fptas.achieved_eps").set((theta_ub - theta_lb) / theta_ub);
+        dcn_obs::gauge!(dcn_obs::names::MCF_FPTAS_ACHIEVED_EPS).set((theta_ub - theta_lb) / theta_ub);
     }
     let sp_frac = ps.shortest_path_fraction(&flows);
     let theta_ub = theta_ub.max(theta_lb);

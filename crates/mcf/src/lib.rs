@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Path-based multi-commodity flow (MCF) throughput — the `KSP-MCF`
 //! procedure of the paper (§3.1 and Appendix H).
 //!
@@ -235,7 +236,7 @@ pub fn throughput_with_fallback(
     match exact::solve_budgeted(ps, budget) {
         Ok(r) => Ok(r),
         Err(McfError::Budget(_)) => {
-            dcn_obs::counter!("mcf.fallback.exact_to_fptas").inc();
+            dcn_obs::counter!(dcn_obs::names::MCF_FALLBACK_EXACT_TO_FPTAS).inc();
             dcn_obs::obs_log!(
                 "mcf: exact solve exhausted its budget; falling back to fptas eps={fallback_eps}"
             );

@@ -112,13 +112,13 @@ impl PathSet {
         let mut commodities = Vec::with_capacity(tm.len());
         for d in tm.demands() {
             let raw = enumerate(&graph, d.src, d.dst)?;
-            if raw.is_empty() {
+            // min() is None exactly when no path was enumerated.
+            let Some(sp_len) = raw.iter().map(|p| p.len() - 1).min() else {
                 return Err(McfError::NoPath {
                     src: d.src,
                     dst: d.dst,
                 });
-            }
-            let sp_len = raw.iter().map(|p| p.len() - 1).min().expect("non-empty");
+            };
             let paths: Vec<PathRepr> = raw
                 .into_iter()
                 .map(|nodes| {

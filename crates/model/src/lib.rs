@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Switch-level topology and traffic model, following §2 of the paper.
 //!
 //! A [`Topology`] is a switch-level graph plus the number of servers

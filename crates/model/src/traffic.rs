@@ -252,7 +252,7 @@ mod tests {
         let t = ring(4, 3);
         let tm = TrafficMatrix::permutation(&t, &[(0, 2), (2, 0)]).unwrap();
         assert_eq!(tm.len(), 2);
-        assert!(tm.demands().iter().all(|d| d.amount == 3.0));
+        assert!(tm.demands().iter().all(|d| (d.amount - 3.0).abs() < 1e-12));
         assert!(tm.is_permutation(&t));
         tm.check_hose(&t).unwrap();
     }

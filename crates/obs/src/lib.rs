@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! `dcn-obs`: zero-dependency observability for the dcn workspace.
 //!
 //! The iterative solvers at the heart of the TUB pipeline — the
@@ -42,6 +43,7 @@
 
 pub mod json;
 pub mod manifest;
+pub mod names;
 
 use std::cell::RefCell;
 use std::collections::BTreeMap;
@@ -575,13 +577,15 @@ pub fn summary() -> String {
         match s.kind {
             "counter" | "gauge" => {
                 let v = s.fields[0].1;
-                if s.kind == "counter" && v == 0.0 {
+                // Counters are integral; elide never-bumped ones.
+                if s.kind == "counter" && v < 0.5 {
                     continue;
                 }
                 let _ = writeln!(out, "  {:<44} {:>14}", s.name, trim_num(v));
             }
             "histogram" => {
-                if s.fields[0].1 == 0.0 {
+                // fields[0] is the integral sample count; elide empty ones.
+                if s.fields[0].1 < 0.5 {
                     continue;
                 }
                 let _ = writeln!(

@@ -26,6 +26,7 @@ pub struct PartitionResult {
 pub fn bisection(topo: &Topology, tries: u32, seed: u64) -> PartitionResult {
     match bisection_budgeted(topo, tries, seed, &Budget::unlimited()) {
         Ok(r) => r,
+        // dcn-lint: allow(panic-freedom) — an unlimited budget cannot exhaust; this wrapper keeps the infallible pre-budget API
         Err(e) => unreachable!("unlimited budget exhausted in bisection: {e}"),
     }
 }
@@ -41,9 +42,9 @@ pub fn bisection_budgeted(
     seed: u64,
     budget: &Budget,
 ) -> Result<PartitionResult, BudgetError> {
-    let _span = dcn_obs::span!("partition.bisect.bisection");
+    let _span = dcn_obs::span!(dcn_obs::names::PARTITION_BISECT_BISECTION);
     let mut meter = budget.meter();
-    let cut_hist = dcn_obs::histogram!("partition.bisect.try_cut");
+    let cut_hist = dcn_obs::histogram!(dcn_obs::names::PARTITION_BISECT_TRY_CUT);
     let node_w: Vec<u64> = topo.servers().iter().map(|&s| s as u64).collect();
     let g = WGraph::from_topology_graph(topo.graph(), &node_w);
     let total = g.total_node_weight();
@@ -63,8 +64,8 @@ pub fn bisection_budgeted(
                 // exhaustion is fatal.
                 return match best {
                     Some(b) => {
-                        dcn_obs::counter!("partition.bisect.truncated_tries").inc();
-                        dcn_obs::gauge!("partition.bisect.best_cut").set(b.cut);
+                        dcn_obs::counter!(dcn_obs::names::PARTITION_BISECT_TRUNCATED_TRIES).inc();
+                        dcn_obs::gauge!(dcn_obs::names::PARTITION_BISECT_BEST_CUT).set(b.cut);
                         Ok(b)
                     }
                     None => Err(e),
@@ -89,9 +90,10 @@ pub fn bisection_budgeted(
     // `tries.max(1)` guarantees at least one loop body ran to completion.
     let best = match best {
         Some(b) => b,
+        // dcn-lint: allow(panic-freedom) — tries.max(1) above guarantees at least one completed try populated `best`
         None => unreachable!("bisection loop ran zero completed tries"),
     };
-    dcn_obs::gauge!("partition.bisect.best_cut").set(best.cut);
+    dcn_obs::gauge!(dcn_obs::names::PARTITION_BISECT_BEST_CUT).set(best.cut);
     Ok(best)
 }
 
@@ -115,7 +117,7 @@ fn multilevel_bisect<R: Rng>(
             None => break,
         }
     }
-    dcn_obs::histogram!("partition.bisect.coarsen_levels").record_u64(levels.len() as u64);
+    dcn_obs::histogram!(dcn_obs::names::PARTITION_BISECT_COARSEN_LEVELS).record_u64(levels.len() as u64);
     // Initial partition of the coarsest graph: greedy BFS region growing
     // from a random seed until half the weight is collected.
     let mut side = grow_partition(&cur, rng);

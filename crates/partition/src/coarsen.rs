@@ -14,7 +14,7 @@ pub(crate) struct Level {
 /// random order; match each unmatched node with its heaviest-edge unmatched
 /// neighbor. Returns `None` when coarsening stalls (less than 10% shrink).
 pub(crate) fn coarsen_once<R: Rng>(g: &WGraph, rng: &mut R) -> Option<Level> {
-    dcn_obs::counter!("partition.coarsen.rounds").inc();
+    dcn_obs::counter!(dcn_obs::names::PARTITION_COARSEN_ROUNDS).inc();
     let n = g.n();
     let mut order: Vec<u32> = (0..n as u32).collect();
     order.shuffle(rng);

@@ -20,8 +20,8 @@ pub(crate) fn fm_pass(
     loose: u64,
     meter: &mut BudgetMeter<'_>,
 ) -> Result<f64, BudgetError> {
-    dcn_obs::counter!("partition.fm.passes").inc();
-    let moves_ctr = dcn_obs::counter!("partition.fm.moves");
+    dcn_obs::counter!(dcn_obs::names::PARTITION_FM_PASSES).inc();
+    let moves_ctr = dcn_obs::counter!(dcn_obs::names::PARTITION_FM_MOVES);
     let n = g.n();
     let gain_of = |u: usize, side: &[u8]| -> f64 {
         let mut gain = 0.0;

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Graph partitioning for capacity metrics.
 //!
 //! The paper estimates bisection bandwidth with METIS; this crate carries a

@@ -69,7 +69,9 @@ mod tests {
         let tm = TrafficMatrix::permutation(&t, &[(0, 1)]).unwrap();
         let flows = flows_from_tm(&tm);
         assert_eq!(flows.len(), 3);
-        assert!(flows.iter().all(|f| f.demand == 1.0 && f.src == 0 && f.dst == 1));
+        assert!(flows
+            .iter()
+            .all(|f| (f.demand - 1.0).abs() < 1e-12 && f.src == 0 && f.dst == 1));
     }
 
     #[test]

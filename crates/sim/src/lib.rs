@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Flow-level datacenter fabric simulator.
 //!
 //! The LP backends in `dcn-mcf` answer "what could an ideal fractional

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Topology generators for the two practical datacenter design families the
 //! paper studies, plus the lifecycle operations its evaluation needs.
 //!

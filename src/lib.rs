@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Umbrella crate re-exporting the entire `dcn` workspace.
 #![warn(missing_docs)]
 
