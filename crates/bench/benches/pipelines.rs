@@ -11,10 +11,11 @@ use dcn_estimators::{
 };
 use dcn_mcf::{ksp_mcf_throughput, Engine};
 use dcn_model::{Topology, TrafficMatrix};
+use dcn_guard::prelude::*;
 
 fn jellyfish_with_tm(n_sw: usize) -> (Topology, TrafficMatrix) {
     let topo = Family::Jellyfish.build(n_sw, 12, 4, 101).expect("jellyfish");
-    let t = dcn_core::tub(&topo, MatchingBackend::Auto { exact_below: 500 }).expect("tub");
+    let t = dcn_core::tub(&topo, MatchingBackend::Auto { exact_below: 500 }, &unlimited()).expect("tub");
     let tm = t.traffic_matrix(&topo).expect("tm");
     (topo, tm)
 }
@@ -25,7 +26,7 @@ fn bench_tub_backends(c: &mut Criterion) {
     for n_sw in [48usize, 128, 256] {
         let (topo, _) = jellyfish_with_tm(n_sw);
         g.bench_with_input(BenchmarkId::new("hungarian", n_sw), &topo, |b, t| {
-            b.iter(|| dcn_core::tub(t, MatchingBackend::Exact).unwrap().bound)
+            b.iter(|| dcn_core::tub(t, MatchingBackend::Exact, &unlimited()).unwrap().bound)
         });
         g.bench_with_input(BenchmarkId::new("greedy", n_sw), &topo, |b, t| {
             b.iter(|| {
@@ -34,6 +35,7 @@ fn bench_tub_backends(c: &mut Criterion) {
                     MatchingBackend::Greedy {
                         improvement_passes: 2,
                     },
+                    &unlimited(),
                 )
                 .unwrap()
                 .bound
@@ -59,7 +61,7 @@ fn bench_estimators(c: &mut Criterion) {
     ];
     for est in estimators {
         g.bench_function(est.name(), |b| {
-            b.iter(|| est.estimate(&topo, &tm).unwrap())
+            b.iter(|| est.estimate(&topo, &tm, &unlimited()).unwrap())
         });
     }
     g.finish();
@@ -71,7 +73,7 @@ fn bench_mcf_engines(c: &mut Criterion) {
     let (topo, tm) = jellyfish_with_tm(32);
     g.bench_function("exact_simplex", |b| {
         b.iter(|| {
-            ksp_mcf_throughput(&topo, &tm, 16, Engine::Exact)
+            ksp_mcf_throughput(&topo, &tm, 16, Engine::Exact, &unlimited())
                 .unwrap()
                 .theta_lb
         })
@@ -79,7 +81,7 @@ fn bench_mcf_engines(c: &mut Criterion) {
     for eps in [0.1, 0.05, 0.02] {
         g.bench_function(format!("fptas_eps{eps}"), |b| {
             b.iter(|| {
-                ksp_mcf_throughput(&topo, &tm, 16, Engine::Fptas { eps })
+                ksp_mcf_throughput(&topo, &tm, 16, Engine::Fptas { eps }, &unlimited())
                     .unwrap()
                     .theta_lb
             })

@@ -9,6 +9,7 @@ use dcn_partition::{bisection_bandwidth, sparsest_cut_sweep};
 use dcn_topo::{fat_tree, jellyfish, xpander, fatclique, FatCliqueParams};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use dcn_guard::prelude::*;
 
 fn bench_apsp(c: &mut Criterion) {
     let mut g = c.benchmark_group("apsp");
@@ -28,10 +29,14 @@ fn bench_ksp(c: &mut Criterion) {
     let topo = Family::Jellyfish.build(128, 12, 4, 2).unwrap();
     let graph = topo.graph().coalesced();
     g.bench_function("yen_k16", |b| {
-        b.iter(|| ksp::yen(&graph, 0, 64, 16).len())
+        b.iter(|| ksp::yen(&graph, 0, 64, 16, &unlimited()).unwrap().len())
     });
     g.bench_function("slack_k16", |b| {
-        b.iter(|| ksp::k_shortest_by_slack(&graph, 0, 64, 16, u16::MAX).len())
+        b.iter(|| {
+            ksp::k_shortest_by_slack(&graph, 0, 64, 16, u16::MAX, &unlimited())
+                .unwrap()
+                .len()
+        })
     });
     g.finish();
 }
@@ -43,7 +48,7 @@ fn bench_matching(c: &mut Criterion) {
         // Pseudo-distance weights.
         let w = move |i: usize, j: usize| ((i * 31 + j * 17) % 7) as i64;
         g.bench_with_input(BenchmarkId::new("hungarian", n), &n, |b, &n| {
-            b.iter(|| hungarian_max(n, w).total_weight)
+            b.iter(|| hungarian_max(n, w, &unlimited()).unwrap().total_weight)
         });
         g.bench_with_input(BenchmarkId::new("greedy", n), &n, |b, &n| {
             b.iter(|| greedy_max(n, w).total_weight)
@@ -57,7 +62,7 @@ fn bench_partition(c: &mut Criterion) {
     g.sample_size(10);
     let topo = Family::Jellyfish.build(256, 12, 4, 3).unwrap();
     g.bench_function("bisection_t2", |b| {
-        b.iter(|| bisection_bandwidth(&topo, 2, 7))
+        b.iter(|| bisection_bandwidth(&topo, 2, 7, &unlimited()).unwrap())
     });
     g.bench_function("spectral_sweep", |b| {
         b.iter(|| sparsest_cut_sweep(&topo, 200).cut)
@@ -108,11 +113,11 @@ fn bench_maxflow(c: &mut Criterion) {
     let topo = Family::Jellyfish.build(128, 12, 4, 9).unwrap();
     let graph = topo.graph().coalesced();
     g.bench_function("st_flow_128", |b| {
-        b.iter(|| max_flow_value(&graph, 0, 64))
+        b.iter(|| max_flow_value(&graph, 0, 64, &unlimited()).unwrap())
     });
     let small = Family::Jellyfish.build(32, 10, 4, 9).unwrap();
     g.bench_function("edge_connectivity_32", |b| {
-        b.iter(|| edge_connectivity(small.graph()))
+        b.iter(|| edge_connectivity(small.graph(), &unlimited()).unwrap())
     });
     g.finish();
 }

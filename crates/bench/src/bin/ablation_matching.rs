@@ -8,6 +8,7 @@ use dcn_bench::{f3, quick_mode, run_guarded, timed, Table};
 use dcn_core::frontier::Family;
 use dcn_core::{tub, MatchingBackend};
 use std::process::ExitCode;
+use dcn_guard::prelude::*;
 
 fn main() -> ExitCode {
     run_guarded("ablation_matching", run)
@@ -27,7 +28,7 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     );
     for &n_sw in sizes {
         let topo = Family::Jellyfish.build(n_sw, radix, h, 81)?;
-        let (exact, te) = timed(|| tub(&topo, MatchingBackend::Exact));
+        let (exact, te) = timed(|| tub(&topo, MatchingBackend::Exact, &unlimited()));
         let exact = exact?;
         let backends = [
             (
@@ -51,7 +52,7 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
             &format!("{te:.3}"),
         ]);
         for (name, b) in backends {
-            let (g, tg) = timed(|| tub(&topo, b));
+            let (g, tg) = timed(|| tub(&topo, b, &unlimited()));
             let g = g?;
             let loosen = (g.bound / exact.bound - 1.0) * 100.0;
             table.row(&[

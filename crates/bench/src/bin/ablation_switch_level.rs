@@ -12,6 +12,7 @@ use dcn_core::{tub, MatchingBackend};
 use dcn_graph::DistMatrix;
 use dcn_match::hungarian_max;
 use std::process::ExitCode;
+use dcn_guard::prelude::*;
 
 fn main() -> ExitCode {
     run_guarded("ablation_switch_level", run)
@@ -27,7 +28,7 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     );
     for &n_sw in sizes {
         let topo = Family::Jellyfish.build(n_sw, radix, h, 91)?;
-        let (sw_level, ts) = timed(|| tub(&topo, MatchingBackend::Exact));
+        let (sw_level, ts) = timed(|| tub(&topo, MatchingBackend::Exact, &unlimited()));
         let sw_level = sw_level?;
 
         // Server-level: expand each switch into H virtual servers; the
@@ -49,7 +50,8 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
                 } else {
                     dist.dist(owner[i], owner[j]) as i64
                 }
-            })
+            }, &unlimited())
+            .expect("unbudgeted matching")
         });
         let total_len: i64 = matching
             .assignment

@@ -15,6 +15,7 @@ use dcn_topo::fail_random_links;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::process::ExitCode;
+use dcn_guard::prelude::*;
 
 fn main() -> ExitCode {
     run_guarded("fct_failures", run)
@@ -29,7 +30,7 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
         &[0.0, 0.1, 0.2, 0.3]
     };
     let topo = Family::Jellyfish.build(n_sw, 12, 4, 3)?;
-    let bound = tub(&topo, MatchingBackend::Exact)?;
+    let bound = tub(&topo, MatchingBackend::Exact, &unlimited())?;
     let tm = bound.traffic_matrix(&topo)?;
     let mut rng = StdRng::seed_from_u64(7);
     let mut table = Table::new(

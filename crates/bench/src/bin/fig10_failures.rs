@@ -15,6 +15,7 @@ use dcn_core::frontier::Family;
 use dcn_core::resilience::{failure_sweep, rms_deviation};
 use dcn_core::MatchingBackend;
 use std::process::ExitCode;
+use dcn_guard::prelude::*;
 
 fn main() -> ExitCode {
     run_guarded("fig10_failures", run)
@@ -39,7 +40,7 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     let mut tb = Table::new("fig10c_deviation", &["switches", "servers", "rms_deviation"]);
     for &n_sw in sizes {
         let topo = Family::Jellyfish.build(n_sw, radix, h, 31)?;
-        let pts = failure_sweep(&topo, fractions, trials, backend, 37)?;
+        let pts = failure_sweep(&topo, fractions, trials, backend, 37, &unlimited())?;
         for p in &pts {
             // Empty points (every sample disconnected) print as "-" rather
             // than a fabricated zero.

@@ -15,6 +15,7 @@ use dcn_core::frontier::Family;
 use dcn_core::{tub, MatchingBackend};
 use dcn_mcf::{ksp_mcf_throughput, Engine};
 use std::process::ExitCode;
+use dcn_guard::prelude::*;
 
 fn main() -> ExitCode {
     run_guarded("fig3_gap", run)
@@ -45,10 +46,10 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
                         continue;
                     }
                 };
-                let ub = tub(&topo, MatchingBackend::Auto { exact_below: 400 })?;
+                let ub = tub(&topo, MatchingBackend::Auto { exact_below: 400 }, &unlimited())?;
                 let tm = ub.traffic_matrix(&topo)?;
                 let mcf =
-                    ksp_mcf_throughput(&topo, &tm, k_paths, Engine::Fptas { eps })?;
+                    ksp_mcf_throughput(&topo, &tm, k_paths, Engine::Fptas { eps }, &unlimited())?;
                 // Obs-mode diagnostic on the smallest instance of each
                 // family: cross-check the FPTAS bracket against the exact
                 // simplex, and record the bisection-bandwidth proxy, so
@@ -56,9 +57,9 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
                 // alongside the mcf/graph counters. Skipped entirely when
                 // observability is off (no stdout either way).
                 if dcn_obs::enabled() && h == 4 && n_sw == switch_counts[0] {
-                    let exact = ksp_mcf_throughput(&topo, &tm, k_paths, Engine::Exact)?;
+                    let exact = ksp_mcf_throughput(&topo, &tm, k_paths, Engine::Exact, &unlimited())?;
                     dcn_obs::gauge!(dcn_obs::names::BENCH_FIG3_EXACT_THETA).set(exact.theta_lb);
-                    let bbw = dcn_partition::bisection_bandwidth(&topo, 2, seed);
+                    let bbw = dcn_partition::bisection_bandwidth(&topo, 2, seed, &unlimited())?;
                     dcn_obs::gauge!(dcn_obs::names::BENCH_FIG3_BBW_PROXY).set(bbw);
                     dcn_obs::obs_log!(
                         "cross-check {}: fptas [{:.4},{:.4}] exact {:.4} bbw {:.4}",

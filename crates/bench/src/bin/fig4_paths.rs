@@ -14,6 +14,7 @@ use dcn_core::frontier::Family;
 use dcn_core::{tub, MatchingBackend};
 use dcn_mcf::{ksp_mcf_throughput, Engine};
 use std::process::ExitCode;
+use dcn_guard::prelude::*;
 
 fn main() -> ExitCode {
     run_guarded("fig4_paths", run)
@@ -36,9 +37,9 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     );
     for &n_sw in sizes_a {
         let topo = family.build(n_sw, radix, h, 7)?;
-        let ub = tub(&topo, MatchingBackend::Auto { exact_below: 400 })?;
+        let ub = tub(&topo, MatchingBackend::Auto { exact_below: 400 }, &unlimited())?;
         let tm = ub.traffic_matrix(&topo)?;
-        let mcf = ksp_mcf_throughput(&topo, &tm, 32, Engine::Fptas { eps: 0.05 })?;
+        let mcf = ksp_mcf_throughput(&topo, &tm, 32, Engine::Fptas { eps: 0.05 }, &unlimited())?;
         ta.row(&[
             &topo.n_switches(),
             &topo.n_servers(),
@@ -60,7 +61,7 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     );
     for &n_sw in sizes_b {
         let topo = family.build(n_sw, radix, h, 7)?;
-        let ub = tub(&topo, MatchingBackend::Auto { exact_below: 400 })?;
+        let ub = tub(&topo, MatchingBackend::Auto { exact_below: 400 }, &unlimited())?;
         let g = topo.graph();
         let mut total_len = 0u64;
         let mut total_cnt = 0.0f64;

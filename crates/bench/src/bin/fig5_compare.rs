@@ -21,6 +21,7 @@ use dcn_estimators::{
     TubEstimator,
 };
 use dcn_mcf::{ksp_mcf_throughput, Engine};
+use dcn_guard::prelude::*;
 
 fn estimators(k: usize) -> Vec<Box<dyn ThroughputEstimator>> {
     vec![
@@ -61,14 +62,14 @@ fn run_small(family: Family, radix: u32, h: u32) -> Result<(), Box<dyn std::erro
     );
     for &n_sw in sizes {
         let topo = family.build(n_sw, radix, h, 11)?;
-        let t = dcn_core::tub(&topo, MatchingBackend::Exact)?;
+        let t = dcn_core::tub(&topo, MatchingBackend::Exact, &unlimited())?;
         let tm = t.traffic_matrix(&topo)?;
         // Reference: KSP-MCF feasible throughput at the maximal permutation.
-        let reference = ksp_mcf_throughput(&topo, &tm, 32, Engine::Fptas { eps: 0.03 })?
+        let reference = ksp_mcf_throughput(&topo, &tm, 32, Engine::Fptas { eps: 0.03 }, &unlimited())?
             .theta_lb
             .min(1.0);
         for est in estimators(32) {
-            let (value, secs) = timed(|| est.estimate(&topo, &tm));
+            let (value, secs) = timed(|| est.estimate(&topo, &tm, &unlimited()));
             let value = value?;
             let gap = (value.min(1.0) - reference).abs();
             table.row(&[
@@ -112,10 +113,11 @@ fn run_large(family: Family, radix: u32, h: u32) -> Result<(), Box<dyn std::erro
             MatchingBackend::Greedy {
                 improvement_passes: 0,
             },
+            &unlimited(),
         )?;
         let tm = t.traffic_matrix(&topo)?;
         for est in scalable {
-            let (value, secs) = timed(|| est.estimate(&topo, &tm));
+            let (value, secs) = timed(|| est.estimate(&topo, &tm, &unlimited()));
             let value = value?;
             table.row(&[
                 &topo.n_switches(),

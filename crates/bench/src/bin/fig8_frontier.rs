@@ -9,8 +9,9 @@
 //! (many sizes have full BBW but not full throughput).
 
 use dcn_bench::{large_mode, quick_mode, Table};
-use dcn_core::frontier::{frontier_max_servers, Criterion, Family};
+use dcn_core::frontier::{frontier_sweep, Criterion, Family, FrontierConfig};
 use dcn_core::MatchingBackend;
+use dcn_guard::prelude::*;
 
 fn main() {
     let radix = 14u32;
@@ -26,36 +27,39 @@ fn main() {
         "fig8_frontier",
         &["family", "h", "max_servers_tub", "max_servers_bbw"],
     );
+    // Both criteria for every (family, H) cell, fanned out in one sweep.
+    let mut configs = Vec::new();
     for family in [Family::Jellyfish, Family::Xpander, Family::FatClique] {
         for &h in hs {
-            let ft = frontier_max_servers(
-                family,
-                radix,
-                h,
+            for criterion in [
                 Criterion::FullThroughput {
                     backend: MatchingBackend::Auto { exact_below: 600 },
                 },
-                max_switches,
-                5,
-            )
-            .ok()
-            .flatten();
-            let fb = frontier_max_servers(
-                family,
-                radix,
-                h,
                 Criterion::FullBisection { tries: 3 },
-                max_switches,
-                5,
-            )
-            .ok()
-            .flatten();
-            let show = |v: Option<u64>| match v {
-                Some(x) => x.to_string(),
-                None => "-".to_string(),
-            };
-            table.row(&[&family.name(), &h, &show(ft), &show(fb)]);
+            ] {
+                configs.push(FrontierConfig {
+                    family,
+                    radix,
+                    h,
+                    criterion,
+                    max_switches,
+                    seed: 5,
+                });
+            }
         }
+    }
+    let frontiers = frontier_sweep(&configs, &unlimited()).unwrap_or_default();
+    let show = |v: Option<&Option<u64>>| match v.copied().flatten() {
+        Some(x) => x.to_string(),
+        None => "-".to_string(),
+    };
+    for (pair, config) in frontiers.chunks(2).zip(configs.chunks(2)) {
+        table.row(&[
+            &config[0].family.name(),
+            &config[0].h,
+            &show(pair.first()),
+            &show(pair.get(1)),
+        ]);
     }
     table.finish();
     println!(

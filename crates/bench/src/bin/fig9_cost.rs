@@ -13,6 +13,7 @@ use dcn_bench::{f3, quick_mode, Table};
 use dcn_core::cost::{min_clos_switches, min_uniregular_switches};
 use dcn_core::frontier::{Criterion, Family};
 use dcn_core::MatchingBackend;
+use dcn_guard::prelude::*;
 
 fn main() {
     let backend = MatchingBackend::Auto { exact_below: 600 };
@@ -35,7 +36,7 @@ fn main() {
                 ("full-bbw", Criterion::FullBisection { tries: 3 }),
                 ("full-tub", Criterion::FullThroughput { backend }),
             ] {
-                match min_uniregular_switches(family, n, radix, crit, 3) {
+                match min_uniregular_switches(family, n, radix, crit, 3, &unlimited()) {
                     Ok(Some(c)) => {
                         let ratio = clos_sw
                             .map(|cs| c.switches as f64 / cs as f64)
@@ -76,6 +77,7 @@ fn main() {
             r,
             Criterion::FullBisection { tries: 3 },
             7,
+            &unlimited(),
         )
         .ok()
         .flatten();
@@ -85,6 +87,7 @@ fn main() {
             r,
             Criterion::FullThroughput { backend },
             7,
+            &unlimited(),
         )
         .ok()
         .flatten();

@@ -9,6 +9,7 @@ use dcn_core::frontier::Family;
 use dcn_core::lower::theoretical_gap;
 use dcn_core::MatchingBackend;
 use std::process::ExitCode;
+use dcn_guard::prelude::*;
 
 fn main() -> ExitCode {
     run_guarded("figa1_theory_gap", run)
@@ -29,7 +30,7 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     for &n_sw in sizes {
         let topo = Family::Jellyfish.build(n_sw, radix, h, 41)?;
         let (ub, lb, gap) =
-            theoretical_gap(&topo, 1, MatchingBackend::Auto { exact_below: 500 })?;
+            theoretical_gap(&topo, 1, MatchingBackend::Auto { exact_below: 500 }, &unlimited())?;
         table.row(&[
             &topo.n_switches(),
             &topo.n_servers(),

@@ -10,6 +10,7 @@ use dcn_bench::{quick_mode, run_guarded, Table};
 use dcn_core::frontier::Family;
 use dcn_core::{tub, MatchingBackend};
 use std::process::ExitCode;
+use dcn_guard::prelude::*;
 
 fn main() -> ExitCode {
     run_guarded("figa2_jellyfish_ft", run)
@@ -33,7 +34,7 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
                 Ok(t) => t,
                 Err(_) => continue,
             };
-            let t = tub(&topo, MatchingBackend::Auto { exact_below: 600 })?;
+            let t = tub(&topo, MatchingBackend::Auto { exact_below: 600 }, &unlimited())?;
             if t.bound >= 1.0 - 1e-9 {
                 best = Some((h, topo.n_servers()));
                 break;

@@ -11,6 +11,7 @@ use dcn_core::cost::min_uniregular_switches;
 use dcn_core::frontier::{Criterion, Family};
 use dcn_core::MatchingBackend;
 use dcn_topo::ClosParams;
+use dcn_guard::prelude::*;
 
 fn main() {
     let radices: &[u32] = if quick_mode() { &[8, 10] } else { &[8, 10, 12, 14] };
@@ -30,6 +31,7 @@ fn main() {
                 backend: MatchingBackend::Auto { exact_below: 600 },
             },
             53,
+            &unlimited(),
         )
         .ok()
         .flatten();

@@ -13,6 +13,7 @@ use dcn_core::expansion_eval::expansion_curve;
 use dcn_core::frontier::Family;
 use dcn_core::MatchingBackend;
 use std::process::ExitCode;
+use dcn_guard::prelude::*;
 
 fn main() -> ExitCode {
     run_guarded("figa4_expansion", run)
@@ -44,6 +45,7 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
                     0.2,
                     MatchingBackend::Auto { exact_below: 500 },
                     67,
+                    &unlimited(),
                 )?;
                 for p in &curve {
                     table.row(&[

@@ -10,6 +10,7 @@ use dcn_core::frontier::Family;
 use dcn_core::{tub, MatchingBackend};
 use dcn_mcf::{ksp_mcf_throughput, Engine};
 use std::process::ExitCode;
+use dcn_guard::prelude::*;
 
 fn main() -> ExitCode {
     run_guarded("figa5_gap_k", run)
@@ -31,9 +32,9 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     for &k in ks {
         for &n_sw in sizes {
             let topo = Family::Jellyfish.build(n_sw, radix, h, 71)?;
-            let ub = tub(&topo, MatchingBackend::Auto { exact_below: 400 })?;
+            let ub = tub(&topo, MatchingBackend::Auto { exact_below: 400 }, &unlimited())?;
             let tm = ub.traffic_matrix(&topo)?;
-            let mcf = ksp_mcf_throughput(&topo, &tm, k, Engine::Fptas { eps: 0.05 })?;
+            let mcf = ksp_mcf_throughput(&topo, &tm, k, Engine::Fptas { eps: 0.05 }, &unlimited())?;
             let gap = (ub.bound.min(1.0) - mcf.theta_lb.min(1.0)).max(0.0);
             table.row(&[
                 &k,

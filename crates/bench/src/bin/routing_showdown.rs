@@ -20,6 +20,7 @@ use dcn_mcf::{ecmp_throughput, ksp_mcf_throughput, vlb_throughput, Engine};
 use dcn_sim::{flows_from_tm, simulate, PathPolicy};
 use dcn_topo::fat_tree;
 use std::process::ExitCode;
+use dcn_guard::prelude::*;
 
 fn main() -> ExitCode {
     run_guarded("routing_showdown", run)
@@ -41,7 +42,7 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
     for topo in &topos {
-        let bound = tub(topo, MatchingBackend::Auto { exact_below: 500 })?;
+        let bound = tub(topo, MatchingBackend::Auto { exact_below: 500 }, &unlimited())?;
         let tm = bound.traffic_matrix(topo)?;
         let tub_v = bound.bound.min(1.0);
         let mut emit = |scheme: &str, theta: f64| {
@@ -53,7 +54,7 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
             ]);
         };
         emit("tub(bound)", tub_v);
-        let mcf = ksp_mcf_throughput(topo, &tm, 16, Engine::Fptas { eps: 0.05 })?.theta_lb;
+        let mcf = ksp_mcf_throughput(topo, &tm, 16, Engine::Fptas { eps: 0.05 }, &unlimited())?.theta_lb;
         emit("ksp-mcf(ideal)", mcf);
         emit("ecmp(fluid)", ecmp_throughput(topo, &tm)?);
         emit("vlb(fluid)", vlb_throughput(topo, &tm)?);

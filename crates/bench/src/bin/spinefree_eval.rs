@@ -14,6 +14,7 @@ use dcn_topo::{spinefree, SpineFreeParams};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::process::ExitCode;
+use dcn_guard::prelude::*;
 
 fn main() -> ExitCode {
     run_guarded("spinefree_eval", run)
@@ -53,13 +54,13 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
                 continue;
             }
         };
-        let b = tub(&topo, MatchingBackend::Exact)?;
+        let b = tub(&topo, MatchingBackend::Exact, &unlimited())?;
         let tm = b.traffic_matrix(&topo)?;
         // Path budget scales with pods: a full mesh needs all `pods - 1`
         // two-hop detours to realize its capacity.
         let k_paths = pods.min(48);
         let mcf =
-            ksp_mcf_throughput(&topo, &tm, k_paths, Engine::Fptas { eps: 0.05 })?.theta_lb;
+            ksp_mcf_throughput(&topo, &tm, k_paths, Engine::Fptas { eps: 0.05 }, &unlimited())?.theta_lb;
         let design = if degree == pods - 1 { "full-mesh" } else { "random" };
         table.row(&[
             &design,

@@ -10,6 +10,7 @@
 use dcn_bench::{quick_mode, Table};
 use dcn_core::frontier::{frontier_max_servers, Criterion, Family};
 use dcn_core::universal::max_full_throughput_servers;
+use dcn_guard::prelude::*;
 
 fn main() {
     // Analytic Equation-3 limits at the paper's parameters.
@@ -42,6 +43,7 @@ fn main() {
                 Criterion::FullBisection { tries: 3 },
                 1024,
                 5,
+                &unlimited(),
             )
             .ok()
             .flatten();

@@ -14,6 +14,7 @@ use dcn_core::oversub::{oversubscription, Oversubscription};
 use dcn_core::MatchingBackend;
 use dcn_topo::{folded_clos, ClosParams};
 use std::process::ExitCode;
+use dcn_guard::prelude::*;
 
 fn main() -> ExitCode {
     run_guarded("table5_oversub", run)
@@ -38,7 +39,7 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
                 continue;
             }
         };
-        let o = oversubscription(&topo, backend, 4, 17)?;
+        let o = oversubscription(&topo, backend, 4, 17, &unlimited())?;
         table.row(&[
             &family.name(),
             &topo.n_servers(),
@@ -60,7 +61,7 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
         spine_uplink_fraction: 1.0,
         leaf_servers: 8,
     })?;
-    let o = oversubscription(&clos, backend, 4, 17)?;
+    let o = oversubscription(&clos, backend, 4, 17, &unlimited())?;
     table.row(&[
         &"clos(1:2)",
         &clos.n_servers(),

@@ -13,6 +13,7 @@ use dcn_bench::{f3, quick_mode, run_guarded, Table};
 use dcn_core::{tub, MatchingBackend};
 use dcn_topo::{folded_clos, ClosParams};
 use std::process::ExitCode;
+use dcn_guard::prelude::*;
 
 fn main() -> ExitCode {
     run_guarded("tablea1_clos", run)
@@ -80,7 +81,7 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     }
     for p in instances {
         let topo = folded_clos(p)?;
-        let t = tub(&topo, MatchingBackend::Auto { exact_below: 700 })?;
+        let t = tub(&topo, MatchingBackend::Auto { exact_below: 700 }, &unlimited())?;
         tb.row(&[
             &p.radix,
             &p.layers,

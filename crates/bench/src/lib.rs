@@ -100,7 +100,12 @@ pub fn run_seed() -> Option<u64> {
 /// directly.
 pub fn write_manifest(name: &str) {
     let wall = process_start().elapsed().as_secs_f64();
-    let manifest = dcn_obs::manifest::RunManifest::capture(name, run_seed(), wall);
+    let manifest = dcn_obs::manifest::RunManifest::capture(
+        name,
+        run_seed(),
+        wall,
+        dcn_exec::Pool::from_env().threads(),
+    );
     match results_dir() {
         Ok(dir) => {
             let path = dir.join(format!("{name}.manifest.json"));

@@ -8,6 +8,8 @@
 
 use crate::tub::{tub, MatchingBackend};
 use crate::CoreError;
+use dcn_exec::Pool;
+use dcn_guard::Budget;
 use dcn_model::Topology;
 use dcn_topo::expand_by_rewiring;
 use rand::rngs::StdRng;
@@ -35,6 +37,7 @@ pub fn expansion_curve(
     step_fraction: f64,
     backend: MatchingBackend,
     seed: u64,
+    budget: &Budget,
 ) -> Result<Vec<ExpansionPoint>, CoreError> {
     if step_fraction.is_nan() || step_fraction <= 0.0 {
         return Err(CoreError::OutOfRegime(format!(
@@ -44,7 +47,7 @@ pub fn expansion_curve(
     let mut rng = StdRng::seed_from_u64(seed);
     let n0 = initial.n_switches();
     let step = ((n0 as f64 * step_fraction).round() as usize).max(1);
-    let theta0 = tub(initial, backend)?.bound.min(1.0);
+    let theta0 = tub(initial, backend, budget)?.bound.min(1.0);
     let mut out = vec![ExpansionPoint {
         ratio: 1.0,
         tub: theta0,
@@ -53,7 +56,7 @@ pub fn expansion_curve(
     let mut current = initial.clone();
     for _ in 0..steps {
         current = expand_by_rewiring(&current, step, h, &mut rng)?;
-        let th = tub(&current, backend)?.bound.min(1.0);
+        let th = tub(&current, backend, budget)?.bound.min(1.0);
         out.push(ExpansionPoint {
             ratio: current.n_switches() as f64 / n0 as f64,
             tub: th,
@@ -61,6 +64,41 @@ pub fn expansion_curve(
         });
     }
     Ok(out)
+}
+
+/// Runs [`expansion_curve`] once per seed across the [`dcn_exec`] pool and
+/// averages the curves pointwise. Rewiring is random, so a single curve is
+/// one sample; the ensemble mean is what Figure A.4 actually plots. Each
+/// curve is inherently sequential (every step rewires the previous
+/// topology), so the fan-out is across seeds.
+///
+/// The expansion ratios are identical across seeds (step sizes depend only
+/// on `steps`/`step_fraction`); tub and normalized values are averaged.
+pub fn expansion_ensemble(
+    initial: &Topology,
+    h: u32,
+    steps: usize,
+    step_fraction: f64,
+    backend: MatchingBackend,
+    seeds: &[u64],
+    budget: &Budget,
+) -> Result<Vec<ExpansionPoint>, CoreError> {
+    if seeds.is_empty() {
+        return Err(CoreError::OutOfRegime("empty seed ensemble".into()));
+    }
+    let curves = Pool::from_env().par_map(budget, seeds, |_, &seed| {
+        expansion_curve(initial, h, steps, step_fraction, backend, seed, budget)
+    })?;
+    let n = curves[0].len();
+    let k = curves.len() as f64;
+    let mean = (0..n)
+        .map(|i| ExpansionPoint {
+            ratio: curves[0][i].ratio,
+            tub: curves.iter().map(|c| c[i].tub).sum::<f64>() / k,
+            normalized: curves.iter().map(|c| c[i].normalized).sum::<f64>() / k,
+        })
+        .collect();
+    Ok(mean)
 }
 
 #[cfg(test)]
@@ -72,7 +110,7 @@ mod tests {
     fn curve_monotone_ratios_and_bounded() {
         let mut rng = StdRng::seed_from_u64(23);
         let t = jellyfish(30, 6, 5, &mut rng).unwrap();
-        let curve = expansion_curve(&t, 5, 4, 0.2, MatchingBackend::Exact, 7).unwrap();
+        let curve = expansion_curve(&t, 5, 4, 0.2, MatchingBackend::Exact, 7, &Budget::unlimited()).unwrap();
         assert_eq!(curve.len(), 5);
         assert!((curve[0].ratio - 1.0).abs() < 1e-12);
         assert!((curve[0].normalized - 1.0).abs() < 1e-12);
@@ -91,7 +129,7 @@ mod tests {
         // keeping H fixed should not increase throughput.
         let mut rng = StdRng::seed_from_u64(29);
         let t = jellyfish(24, 5, 5, &mut rng).unwrap();
-        let curve = expansion_curve(&t, 5, 6, 0.25, MatchingBackend::Exact, 11).unwrap();
+        let curve = expansion_curve(&t, 5, 6, 0.25, MatchingBackend::Exact, 11, &Budget::unlimited()).unwrap();
         let first = curve.first().unwrap().tub;
         let last = curve.last().unwrap().tub;
         assert!(
@@ -104,6 +142,6 @@ mod tests {
     fn zero_step_fraction_rejected() {
         let mut rng = StdRng::seed_from_u64(31);
         let t = jellyfish(20, 4, 4, &mut rng).unwrap();
-        assert!(expansion_curve(&t, 4, 2, 0.0, MatchingBackend::Exact, 1).is_err());
+        assert!(expansion_curve(&t, 4, 2, 0.0, MatchingBackend::Exact, 1, &Budget::unlimited()).is_err());
     }
 }

@@ -4,6 +4,8 @@
 
 use crate::tub::{tub, MatchingBackend};
 use crate::CoreError;
+use dcn_exec::Pool;
+use dcn_guard::Budget;
 use dcn_model::Topology;
 use dcn_partition::bisection_bandwidth;
 use dcn_topo::{fatclique, jellyfish, xpander, FatCliqueParams};
@@ -92,13 +94,18 @@ pub enum Criterion {
 }
 
 /// Does the topology satisfy the criterion?
-pub fn satisfies(topo: &Topology, criterion: Criterion, seed: u64) -> Result<bool, CoreError> {
+pub fn satisfies(
+    topo: &Topology,
+    criterion: Criterion,
+    seed: u64,
+    budget: &Budget,
+) -> Result<bool, CoreError> {
     match criterion {
         Criterion::FullThroughput { backend } => {
-            Ok(tub(topo, backend)?.bound >= 1.0 - 1e-9)
+            Ok(tub(topo, backend, budget)?.bound >= 1.0 - 1e-9)
         }
         Criterion::FullBisection { tries } => {
-            let bbw = bisection_bandwidth(topo, tries, seed);
+            let bbw = bisection_bandwidth(topo, tries, seed, budget)?;
             Ok(bbw >= topo.n_servers() as f64 / 2.0 - 1e-9)
         }
     }
@@ -111,7 +118,6 @@ pub fn satisfies(topo: &Topology, criterion: Criterion, seed: u64) -> Result<boo
 /// the paper's regime up to instance noise); a doubling scan brackets the
 /// transition and binary search pins it down. Returns `None` when even the
 /// smallest instance fails.
-// dcn-lint: allow(budget-coverage) — doubling scan is bounded by max_switches; each probe is a full TUB solve with its own budget story
 pub fn frontier_max_servers(
     family: Family,
     radix: u32,
@@ -119,6 +125,7 @@ pub fn frontier_max_servers(
     criterion: Criterion,
     max_switches: usize,
     seed: u64,
+    budget: &Budget,
 ) -> Result<Option<u64>, CoreError> {
     let min_switches = ((radix - h) as usize + 2).max(4);
     let check = |n_switches: usize| -> Result<Option<u64>, CoreError> {
@@ -126,7 +133,7 @@ pub fn frontier_max_servers(
             Ok(t) => t,
             Err(_) => return Ok(None), // infeasible size for this family
         };
-        if satisfies(&topo, criterion, seed)? {
+        if satisfies(&topo, criterion, seed, budget)? {
             Ok(Some(topo.n_servers()))
         } else {
             Ok(None)
@@ -172,6 +179,46 @@ pub fn frontier_max_servers(
     Ok(Some(best))
 }
 
+/// One frontier to compute: a family/size/criterion cell of a figure or
+/// table sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct FrontierConfig {
+    /// Topology family.
+    pub family: Family,
+    /// Switch radix.
+    pub radix: u32,
+    /// Servers per switch.
+    pub h: u32,
+    /// Capacity criterion to search against.
+    pub criterion: Criterion,
+    /// Search cap on switch count.
+    pub max_switches: usize,
+    /// Seed for instance construction and the partitioner.
+    pub seed: u64,
+}
+
+/// Computes [`frontier_max_servers`] for every configuration, fanning out
+/// across the [`dcn_exec`] pool. Each frontier search is adaptive (its
+/// probes depend on earlier answers), so the parallelism is across sweep
+/// cells, not inside one search. Results come back in input order; a cell
+/// whose family cannot be built at any probed size yields `None`.
+pub fn frontier_sweep(
+    configs: &[FrontierConfig],
+    budget: &Budget,
+) -> Result<Vec<Option<u64>>, CoreError> {
+    Pool::from_env().par_map(budget, configs, |_, c| {
+        frontier_max_servers(
+            c.family,
+            c.radix,
+            c.h,
+            c.criterion,
+            c.max_switches,
+            c.seed,
+            budget,
+        )
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -200,6 +247,7 @@ mod tests {
             },
             512,
             3,
+            &Budget::unlimited(),
         )
         .unwrap()
         .expect("small instances are full throughput");
@@ -221,6 +269,7 @@ mod tests {
             Criterion::FullBisection { tries: 3 },
             600,
             3,
+            &Budget::unlimited(),
         )
         .unwrap()
         .expect("small dense instances are full bisection");
@@ -247,6 +296,7 @@ mod tests {
             Criterion::FullThroughput { backend },
             4096,
             3,
+            &Budget::unlimited(),
         )
         .unwrap()
         .unwrap_or(0);
@@ -257,6 +307,7 @@ mod tests {
             Criterion::FullBisection { tries: 2 },
             4096,
             3,
+            &Budget::unlimited(),
         )
         .unwrap()
         .unwrap_or(0);
@@ -277,6 +328,7 @@ mod tests {
             Criterion::FullThroughput { backend },
             400,
             5,
+            &Budget::unlimited(),
         )
         .unwrap()
         .unwrap_or(0);
@@ -287,6 +339,7 @@ mod tests {
             Criterion::FullThroughput { backend },
             400,
             5,
+            &Budget::unlimited(),
         )
         .unwrap()
         .unwrap_or(0);

@@ -39,7 +39,7 @@ pub mod universal;
 pub use birkhoff::{birkhoff_decompose, BirkhoffComponent};
 pub use nearworst::{adversarial_search, AdversarialResult};
 pub use report::{report_card, ReportCard};
-pub use tub::{tub, tub_budgeted, MatchingBackend, TubResult};
+pub use tub::{tub, MatchingBackend, TubResult};
 
 use dcn_guard::BudgetError;
 use dcn_mcf::McfError;

@@ -14,6 +14,7 @@
 use crate::tub::{tub, MatchingBackend, TubResult};
 use crate::CoreError;
 use dcn_graph::DistMatrix;
+use dcn_guard::Budget;
 use dcn_model::{Topology, TrafficMatrix};
 
 /// The Theorem 8.4 lower bound for a specific traffic matrix.
@@ -46,8 +47,9 @@ pub fn theoretical_gap(
     topo: &Topology,
     m_slack: u16,
     backend: MatchingBackend,
+    budget: &Budget,
 ) -> Result<(TubResult, f64, f64), CoreError> {
-    let ub = tub(topo, backend)?;
+    let ub = tub(topo, backend, budget)?;
     let tm = ub.traffic_matrix(topo)?;
     let lb = throughput_lower_bound(topo, &tm, m_slack)?;
     let gap = (ub.bound - lb).max(0.0);
@@ -72,7 +74,7 @@ mod tests {
     fn lower_at_most_upper() {
         let mut rng = StdRng::seed_from_u64(11);
         let t = jellyfish(24, 5, 4, &mut rng).unwrap();
-        let (ub, lb, gap) = theoretical_gap(&t, 1, MatchingBackend::Exact).unwrap();
+        let (ub, lb, gap) = theoretical_gap(&t, 1, MatchingBackend::Exact, &Budget::unlimited()).unwrap();
         assert!(lb <= ub.bound + 1e-12);
         assert!((gap - (ub.bound - lb).max(0.0)).abs() < 1e-12);
         assert!(lb > 0.0);
@@ -83,10 +85,10 @@ mod tests {
         // On C5 with the distance-2 permutation: tub = 1, exact θ = 5/6,
         // and the M=1 lower bound must sit at or below 5/6.
         let t = ring(5, 1);
-        let ub = tub(&t, MatchingBackend::Exact).unwrap();
+        let ub = tub(&t, MatchingBackend::Exact, &Budget::unlimited()).unwrap();
         let tm = ub.traffic_matrix(&t).unwrap();
         let lb = throughput_lower_bound(&t, &tm, 1).unwrap();
-        let exact = dcn_mcf::ksp_mcf_throughput(&t, &tm, 8, dcn_mcf::Engine::Exact)
+        let exact = dcn_mcf::ksp_mcf_throughput(&t, &tm, 8, dcn_mcf::Engine::Exact, &Budget::unlimited())
             .unwrap()
             .theta_lb;
         assert!(
@@ -103,7 +105,7 @@ mod tests {
         // With M = 0 the lower bound equals 2E / Σ t L = tub at the
         // maximal permutation.
         let t = ring(6, 2);
-        let ub = tub(&t, MatchingBackend::Exact).unwrap();
+        let ub = tub(&t, MatchingBackend::Exact, &Budget::unlimited()).unwrap();
         let tm = ub.traffic_matrix(&t).unwrap();
         let lb = throughput_lower_bound(&t, &tm, 0).unwrap();
         assert!((lb - ub.bound).abs() < 1e-12);
@@ -113,8 +115,8 @@ mod tests {
     fn gap_shrinks_with_slack() {
         let mut rng = StdRng::seed_from_u64(12);
         let t = jellyfish(24, 5, 4, &mut rng).unwrap();
-        let (_, lb1, _) = theoretical_gap(&t, 1, MatchingBackend::Exact).unwrap();
-        let (_, lb3, _) = theoretical_gap(&t, 3, MatchingBackend::Exact).unwrap();
+        let (_, lb1, _) = theoretical_gap(&t, 1, MatchingBackend::Exact, &Budget::unlimited()).unwrap();
+        let (_, lb3, _) = theoretical_gap(&t, 3, MatchingBackend::Exact, &Budget::unlimited()).unwrap();
         assert!(lb3 <= lb1, "more slack can only lower the guarantee");
     }
 }

@@ -10,7 +10,9 @@
 
 use crate::tub::{tub, MatchingBackend};
 use crate::CoreError;
+use dcn_exec::Pool;
 use dcn_graph::NodeId;
+use dcn_guard::Budget;
 use dcn_mcf::{ksp_mcf_throughput, Engine};
 use dcn_model::{Topology, TrafficMatrix};
 use rand::rngs::StdRng;
@@ -29,52 +31,77 @@ pub struct AdversarialResult {
     pub improvements: u32,
 }
 
+/// Fixed number of 2-swap proposals evaluated per descent round.
+///
+/// Deliberately *not* derived from the pool's thread count: the proposal
+/// sequence and acceptance decisions must be identical at any
+/// `DCN_EXEC_THREADS`, so the batch boundary is part of the algorithm,
+/// not the execution environment.
+const PROPOSAL_BATCH: usize = 8;
+
 /// Searches for a permutation with lower KSP-MCF throughput than the
 /// maximal permutation, using `iters` random 2-swap proposals.
 ///
-/// Each proposal exchanges the destinations of two sources and is accepted
-/// when the FPTAS throughput (lower end, `eps`) strictly decreases. This
-/// is expensive — every acceptance test is an MCF solve — so keep `iters`
-/// modest (tens) and topologies small/medium.
+/// Each proposal exchanges the destinations of two sources. Proposals are
+/// drawn in fixed batches of [`PROPOSAL_BATCH`] from a single seeded RNG,
+/// the batch's MCF solves fan out across the [`dcn_exec`] pool, and the
+/// *steepest* strictly-descending candidate of the batch (first on ties)
+/// is accepted. Acceptance tests are expensive — every one is an MCF
+/// solve — so keep `iters` modest (tens) and topologies small/medium.
 pub fn adversarial_search(
     topo: &Topology,
     iters: u32,
     k_paths: usize,
     eps: f64,
     seed: u64,
+    budget: &Budget,
 ) -> Result<AdversarialResult, CoreError> {
-    let bound = tub(topo, MatchingBackend::Auto { exact_below: 500 })?;
+    let bound = tub(topo, MatchingBackend::Auto { exact_below: 500 }, budget)?;
     let mut pairs: Vec<(NodeId, NodeId)> = bound.pairs.clone();
     let eval = |pairs: &[(NodeId, NodeId)]| -> Result<f64, CoreError> {
         let tm = TrafficMatrix::permutation(topo, pairs)?;
-        Ok(ksp_mcf_throughput(topo, &tm, k_paths, Engine::Fptas { eps })?.theta_lb)
+        Ok(ksp_mcf_throughput(topo, &tm, k_paths, Engine::Fptas { eps }, budget)?.theta_lb)
     };
     let mut theta = eval(&pairs)?;
     let theta_start = theta;
     let mut rng = StdRng::seed_from_u64(seed);
     let mut improvements = 0u32;
-    for _ in 0..iters {
-        if pairs.len() < 2 {
-            break;
+    let pool = Pool::from_env();
+    let mut proposed = 0u32;
+    while proposed < iters && pairs.len() >= 2 {
+        // Draw the whole batch serially from the shared RNG so the
+        // proposal stream does not depend on evaluation order.
+        let mut candidates: Vec<Vec<(NodeId, NodeId)>> = Vec::with_capacity(PROPOSAL_BATCH);
+        while proposed < iters && candidates.len() < PROPOSAL_BATCH {
+            proposed += 1;
+            let a = rng.gen_range(0..pairs.len());
+            // Draw b uniformly from the other len-1 indices directly,
+            // rather than rejection-sampling until b != a.
+            let mut b = rng.gen_range(0..pairs.len() - 1);
+            if b >= a {
+                b += 1;
+            }
+            let mut candidate = pairs.clone();
+            let (da, db) = (candidate[a].1, candidate[b].1);
+            // Swapping destinations can create self-pairs; skip those.
+            if candidate[a].0 == db || candidate[b].0 == da {
+                continue;
+            }
+            candidate[a].1 = db;
+            candidate[b].1 = da;
+            candidates.push(candidate);
         }
-        let a = rng.gen_range(0..pairs.len());
-        // Draw b uniformly from the other len-1 indices directly, rather
-        // than rejection-sampling until b != a.
-        let mut b = rng.gen_range(0..pairs.len() - 1);
-        if b >= a {
-            b += 1;
-        }
-        let mut candidate = pairs.clone();
-        let (da, db) = (candidate[a].1, candidate[b].1);
-        // Swapping destinations can create self-pairs; skip those.
-        if candidate[a].0 == db || candidate[b].0 == da {
+        if candidates.is_empty() {
             continue;
         }
-        candidate[a].1 = db;
-        candidate[b].1 = da;
-        let cand_theta = eval(&candidate)?;
-        if cand_theta < theta - 1e-9 {
-            pairs = candidate;
+        let thetas = pool.par_map(budget, &candidates, |_, cand| eval(cand))?;
+        let best = thetas
+            .iter()
+            .enumerate()
+            .filter(|(_, &t)| t < theta - 1e-9)
+            .min_by(|(_, x), (_, y)| x.total_cmp(y));
+        if let Some((ci, &cand_theta)) = best {
+            pairs = candidates.swap_remove(ci);
             theta = cand_theta;
             improvements += 1;
         }
@@ -96,7 +123,7 @@ mod tests {
     fn search_never_increases_theta() {
         let mut rng = StdRng::seed_from_u64(3);
         let topo = jellyfish(20, 5, 4, &mut rng).unwrap();
-        let r = adversarial_search(&topo, 10, 16, 0.1, 7).unwrap();
+        let r = adversarial_search(&topo, 10, 16, 0.1, 7, &Budget::unlimited()).unwrap();
         assert!(r.theta <= r.theta_start + 1e-9);
         assert!(r.tm.is_permutation(&topo));
         r.tm.check_hose(&topo).unwrap();
@@ -109,7 +136,7 @@ mod tests {
         // to the throughput itself (within the FPTAS's eps plus slack).
         let mut rng = StdRng::seed_from_u64(5);
         let topo = jellyfish(16, 4, 3, &mut rng).unwrap();
-        let r = adversarial_search(&topo, 20, 16, 0.05, 11).unwrap();
+        let r = adversarial_search(&topo, 20, 16, 0.05, 11, &Budget::unlimited()).unwrap();
         let descent = (r.theta_start - r.theta) / r.theta_start.max(1e-9);
         assert!(
             descent < 0.15,

@@ -8,6 +8,8 @@
 
 use crate::tub::{tub, MatchingBackend};
 use crate::CoreError;
+use dcn_exec::{task_seed, Pool};
+use dcn_guard::Budget;
 use dcn_model::Topology;
 use dcn_topo::fail_random_links;
 use rand::rngs::StdRng;
@@ -40,40 +42,52 @@ impl FailurePoint {
 /// `core.resilience.disconnected_samples` counter and is reflected in the
 /// returned per-point `trials` count; a point where *every* sample
 /// disconnected carries `actual: None` rather than a fabricated zero.
+///
+/// The `fractions × trials` samples are independent, so they fan out
+/// across the [`dcn_exec`] pool. Each sample draws from its own RNG stream
+/// seeded by `task_seed(seed, sample_index)`, so the curve is byte-
+/// identical at any `DCN_EXEC_THREADS` value (including 1).
 pub fn failure_sweep(
     topo: &Topology,
     fractions: &[f64],
     trials: u32,
     backend: MatchingBackend,
     seed: u64,
+    budget: &Budget,
 ) -> Result<Vec<FailurePoint>, CoreError> {
-    let theta0 = tub(topo, backend)?.bound.min(1.0);
-    let mut out = Vec::with_capacity(fractions.len());
-    let mut rng = StdRng::seed_from_u64(seed);
+    let theta0 = tub(topo, backend, budget)?.bound.min(1.0);
     let skipped_ctr = dcn_obs::counter!(dcn_obs::names::CORE_RESILIENCE_DISCONNECTED_SAMPLES);
-    for &f in fractions {
-        let mut sum = 0.0;
-        let mut ok = 0u32;
-        for _ in 0..trials.max(1) {
-            match fail_random_links(topo, f, &mut rng) {
-                Ok(degraded) => {
-                    sum += tub(&degraded, backend)?.bound.min(1.0);
-                    ok += 1;
-                }
-                Err(_) => {
-                    skipped_ctr.inc();
-                    continue;
-                }
+    let trials = trials.max(1);
+    // One task per (fraction, trial) sample; merged back per fraction.
+    let samples: Vec<f64> = fractions
+        .iter()
+        .flat_map(|&f| std::iter::repeat_n(f, trials as usize))
+        .collect();
+    let results = Pool::from_env().par_map(budget, &samples, |i, &f| -> Result<_, CoreError> {
+        let mut rng = StdRng::seed_from_u64(task_seed(seed, i as u64));
+        match fail_random_links(topo, f, &mut rng) {
+            Ok(degraded) => Ok(Some(tub(&degraded, backend, budget)?.bound.min(1.0))),
+            Err(_) => {
+                skipped_ctr.inc();
+                Ok(None)
             }
         }
-        let actual = if ok > 0 { Some(sum / ok as f64) } else { None };
-        out.push(FailurePoint {
-            fraction: f,
-            nominal: (1.0 - f) * theta0,
-            actual,
-            trials: ok,
-        });
-    }
+    })?;
+    let out = fractions
+        .iter()
+        .enumerate()
+        .map(|(fi, &f)| {
+            let per_fraction = &results[fi * trials as usize..(fi + 1) * trials as usize];
+            let ok = per_fraction.iter().flatten().count() as u32;
+            let sum: f64 = per_fraction.iter().flatten().sum();
+            FailurePoint {
+                fraction: f,
+                nominal: (1.0 - f) * theta0,
+                actual: (ok > 0).then(|| sum / ok as f64),
+                trials: ok,
+            }
+        })
+        .collect();
     Ok(out)
 }
 
@@ -105,6 +119,7 @@ mod tests {
             2,
             MatchingBackend::Exact,
             5,
+            &Budget::unlimited(),
         )
         .unwrap();
         assert_eq!(pts.len(), 3);

@@ -18,7 +18,7 @@
 use crate::CoreError;
 use dcn_graph::{DistMatrix, NodeId};
 use dcn_guard::Budget;
-use dcn_match::{greedy_max, hungarian_max_budgeted, improve_2swap, Matching};
+use dcn_match::{greedy_max, hungarian_max, improve_2swap, Matching};
 use dcn_model::{Topology, TrafficMatrix};
 
 /// Which matching algorithm computes the maximal permutation.
@@ -79,28 +79,26 @@ impl TubResult {
 /// Computes the throughput upper bound for a (near-)uni-regular or
 /// bi-regular topology.
 ///
+/// The Hungarian matcher meters the [`Budget`]; if it is exhausted the
+/// computation *degrades* rather than fails: the paper's own greedy
+/// Algorithm 1 (plus 2-swap sweeps) stands in, which still yields a sound
+/// upper bound — any permutation does. The degradation is flagged in
+/// [`TubResult::fallback`] and counted in `core.tub.fallbacks`, so
+/// manifests record it.
+///
 /// ```
 /// use dcn_core::{tub, MatchingBackend};
+/// use dcn_guard::prelude::*;
 /// use dcn_topo::fat_tree;
 ///
 /// // Every Clos has full throughput (§4.1): the bound is exactly 1.
 /// let topo = fat_tree(4)?;
-/// let bound = tub(&topo, MatchingBackend::Exact)?;
+/// let bound = tub(&topo, MatchingBackend::Exact, &unlimited())?;
 /// assert!((bound.bound - 1.0).abs() < 1e-9);
 /// assert!(bound.is_full_throughput());
 /// # Ok::<(), dcn_core::CoreError>(())
 /// ```
-pub fn tub(topo: &Topology, backend: MatchingBackend) -> Result<TubResult, CoreError> {
-    tub_budgeted(topo, backend, &Budget::unlimited())
-}
-
-/// [`tub`] under an execution [`Budget`]. The Hungarian matcher meters the
-/// budget; if it is exhausted the computation *degrades* rather than
-/// fails: the paper's own greedy Algorithm 1 (plus 2-swap sweeps) stands
-/// in, which still yields a sound upper bound — any permutation does.
-/// The degradation is flagged in [`TubResult::fallback`] and counted in
-/// `core.tub.fallbacks`, so manifests record it.
-pub fn tub_budgeted(
+pub fn tub(
     topo: &Topology,
     backend: MatchingBackend,
     budget: &Budget,
@@ -166,7 +164,7 @@ fn run_matching(
     // greedy path is O(n^2) with no unbounded loops, so it always
     // completes; soundness is preserved because Equation 1 minimizes over
     // permutations — any permutation upper-bounds throughput.
-    let exact_or_greedy = |passes: usize| match hungarian_max_budgeted(n, weight, budget) {
+    let exact_or_greedy = |passes: usize| match hungarian_max(n, weight, budget) {
         Ok(m) => (m, "hungarian", false),
         Err(e) => {
             dcn_obs::counter!(dcn_obs::names::CORE_TUB_FALLBACKS).inc();
@@ -214,7 +212,7 @@ mod tests {
         // Figure 6 middle topology: C5, H=1. Maximal permutation pairs
         // nodes at distance 2: denominator 5*2 = 10, capacity 2E = 10.
         let t = ring(5, 1);
-        let r = tub(&t, MatchingBackend::Exact).unwrap();
+        let r = tub(&t, MatchingBackend::Exact, &Budget::unlimited()).unwrap();
         assert!((r.bound - 1.0).abs() < 1e-12, "bound = {}", r.bound);
         assert_eq!(r.pairs.len(), 5);
         assert!(r.is_full_throughput());
@@ -225,7 +223,7 @@ mod tests {
         // C4, H=1: maximal permutation pairs opposite corners (distance 2),
         // denominator 4*2 = 8, 2E = 8 → tub = 1.
         let t = ring(4, 1);
-        let r = tub(&t, MatchingBackend::Exact).unwrap();
+        let r = tub(&t, MatchingBackend::Exact, &Budget::unlimited()).unwrap();
         assert!((r.bound - 1.0).abs() < 1e-12);
     }
 
@@ -233,10 +231,10 @@ mod tests {
     fn fat_tree_tub_is_one() {
         // Table A.1: Clos tub = 1.00.
         let t = fat_tree(4).unwrap();
-        let r = tub(&t, MatchingBackend::Exact).unwrap();
+        let r = tub(&t, MatchingBackend::Exact, &Budget::unlimited()).unwrap();
         assert!((r.bound - 1.0).abs() < 1e-9, "bound = {}", r.bound);
         let t8 = fat_tree(8).unwrap();
-        let r8 = tub(&t8, MatchingBackend::Exact).unwrap();
+        let r8 = tub(&t8, MatchingBackend::Exact, &Budget::unlimited()).unwrap();
         assert!((r8.bound - 1.0).abs() < 1e-9, "bound = {}", r8.bound);
     }
 
@@ -248,9 +246,9 @@ mod tests {
         for seed in 0..3u64 {
             let _ = seed;
             let t = jellyfish(16, 4, 3, &mut rng).unwrap();
-            let r = tub(&t, MatchingBackend::Exact).unwrap();
+            let r = tub(&t, MatchingBackend::Exact, &Budget::unlimited()).unwrap();
             let tm = r.traffic_matrix(&t).unwrap();
-            let th = dcn_mcf::ksp_mcf_throughput(&t, &tm, 32, dcn_mcf::Engine::Exact)
+            let th = dcn_mcf::ksp_mcf_throughput(&t, &tm, 32, dcn_mcf::Engine::Exact, &Budget::unlimited())
                 .unwrap()
                 .theta_lb;
             assert!(
@@ -267,12 +265,13 @@ mod tests {
     fn greedy_bound_is_valid_but_looser() {
         let mut rng = StdRng::seed_from_u64(5);
         let t = jellyfish(30, 5, 4, &mut rng).unwrap();
-        let exact = tub(&t, MatchingBackend::Exact).unwrap();
+        let exact = tub(&t, MatchingBackend::Exact, &Budget::unlimited()).unwrap();
         let greedy = tub(
             &t,
             MatchingBackend::Greedy {
                 improvement_passes: 3,
             },
+            &Budget::unlimited(),
         )
         .unwrap();
         // Greedy's permutation has no greater total weight → bound no
@@ -287,16 +286,16 @@ mod tests {
     fn auto_backend_switches() {
         let mut rng = StdRng::seed_from_u64(6);
         let t = jellyfish(20, 4, 2, &mut rng).unwrap();
-        let small = tub(&t, MatchingBackend::Auto { exact_below: 100 }).unwrap();
+        let small = tub(&t, MatchingBackend::Auto { exact_below: 100 }, &Budget::unlimited()).unwrap();
         assert_eq!(small.backend, "hungarian");
-        let large = tub(&t, MatchingBackend::Auto { exact_below: 10 }).unwrap();
+        let large = tub(&t, MatchingBackend::Auto { exact_below: 10 }, &Budget::unlimited()).unwrap();
         assert_eq!(large.backend, "greedy+2swap");
     }
 
     #[test]
     fn biregular_ignores_serverless_switches_in_pairs() {
         let t = fat_tree(4).unwrap();
-        let r = tub(&t, MatchingBackend::Exact).unwrap();
+        let r = tub(&t, MatchingBackend::Exact, &Budget::unlimited()).unwrap();
         for &(u, v) in &r.pairs {
             assert!(t.servers_at(u) > 0);
             assert!(t.servers_at(v) > 0);
@@ -309,7 +308,7 @@ mod tests {
         // L = 1 → denominator 2 (both directions), 2E = 2 → tub = 1.
         let g = Graph::from_edges(2, &[(0, 1)]).unwrap();
         let t = Topology::new(g, vec![1, 3], "pair").unwrap();
-        let r = tub(&t, MatchingBackend::Exact).unwrap();
+        let r = tub(&t, MatchingBackend::Exact, &Budget::unlimited()).unwrap();
         assert!((r.bound - 1.0).abs() < 1e-12);
     }
 
@@ -317,15 +316,15 @@ mod tests {
     fn exhausted_hungarian_degrades_to_greedy() {
         let t = ring(8, 1);
         let tiny = Budget::unlimited().with_iter_cap(1);
-        let r = tub_budgeted(&t, MatchingBackend::Exact, &tiny).unwrap();
+        let r = tub(&t, MatchingBackend::Exact, &tiny).unwrap();
         assert!(r.fallback);
         assert_eq!(r.backend, "greedy+2swap(fallback)");
         // Still a sound upper bound: no tighter than the exact one.
-        let exact = tub(&t, MatchingBackend::Exact).unwrap();
+        let exact = tub(&t, MatchingBackend::Exact, &Budget::unlimited()).unwrap();
         assert!(!exact.fallback);
         assert!(r.bound >= exact.bound - 1e-12);
-        // And an unlimited budgeted call matches the legacy entry point.
-        let b = tub_budgeted(&t, MatchingBackend::Exact, &Budget::unlimited()).unwrap();
+        // And repeated unlimited calls agree.
+        let b = tub(&t, MatchingBackend::Exact, &Budget::unlimited()).unwrap();
         assert_eq!(b.bound, exact.bound);
     }
 
@@ -334,7 +333,7 @@ mod tests {
         let g = Graph::from_edges(2, &[(0, 1)]).unwrap();
         let t = Topology::new(g, vec![2, 0], "one").unwrap();
         assert!(matches!(
-            tub(&t, MatchingBackend::Exact),
+            tub(&t, MatchingBackend::Exact, &Budget::unlimited()),
             Err(CoreError::OutOfRegime(_))
         ));
     }

@@ -25,6 +25,7 @@
 #![warn(missing_docs)]
 
 use dcn_core::{tub, CoreError, MatchingBackend};
+use dcn_guard::Budget;
 use dcn_graph::DistMatrix;
 use dcn_mcf::{McfError, PathSet};
 use dcn_model::{Topology, TrafficMatrix};
@@ -78,8 +79,13 @@ pub trait ThroughputEstimator {
     fn name(&self) -> String;
 
     /// Estimate of `θ(T)` (or of worst-case throughput, for estimators
-    /// that ignore the traffic matrix).
-    fn estimate(&self, topo: &Topology, tm: &TrafficMatrix) -> Result<f64, EstimatorError>;
+    /// that ignore the traffic matrix), metered against `budget`.
+    fn estimate(
+        &self,
+        topo: &Topology,
+        tm: &TrafficMatrix,
+        budget: &Budget,
+    ) -> Result<f64, EstimatorError>;
 }
 
 /// Hoefler's method with `k` paths per flow.
@@ -93,8 +99,13 @@ impl ThroughputEstimator for HoeflerMethod {
         format!("hm({})", self.k)
     }
 
-    fn estimate(&self, topo: &Topology, tm: &TrafficMatrix) -> Result<f64, EstimatorError> {
-        let ps = PathSet::k_shortest(topo, tm, self.k)?;
+    fn estimate(
+        &self,
+        topo: &Topology,
+        tm: &TrafficMatrix,
+        budget: &Budget,
+    ) -> Result<f64, EstimatorError> {
+        let ps = PathSet::k_shortest(topo, tm, self.k, budget)?;
         // Sub-flow count per directed edge.
         let mut count = vec![0u32; ps.n_directed_edges()];
         for c in ps.commodities() {
@@ -136,8 +147,13 @@ impl ThroughputEstimator for JainMethod {
         format!("jm({})", self.k)
     }
 
-    fn estimate(&self, topo: &Topology, tm: &TrafficMatrix) -> Result<f64, EstimatorError> {
-        let ps = PathSet::k_shortest(topo, tm, self.k)?;
+    fn estimate(
+        &self,
+        topo: &Topology,
+        tm: &TrafficMatrix,
+        budget: &Budget,
+    ) -> Result<f64, EstimatorError> {
+        let ps = PathSet::k_shortest(topo, tm, self.k, budget)?;
         let n_dir = ps.n_directed_edges();
         let mut residual: Vec<f64> = (0..n_dir)
             .map(|i| ps.graph().capacity((i / 2) as u32))
@@ -200,7 +216,12 @@ impl ThroughputEstimator for SinglaBound {
         "singla".into()
     }
 
-    fn estimate(&self, topo: &Topology, _tm: &TrafficMatrix) -> Result<f64, EstimatorError> {
+    fn estimate(
+        &self,
+        topo: &Topology,
+        _tm: &TrafficMatrix,
+        _budget: &Budget,
+    ) -> Result<f64, EstimatorError> {
         let k = topo.switches_with_servers();
         let dist = DistMatrix::from_sources(topo.graph(), &k)?;
         // Σ_u H_u * mean distance from u to the other switches in K.
@@ -232,8 +253,14 @@ impl ThroughputEstimator for BbwProxy {
         "bbw".into()
     }
 
-    fn estimate(&self, topo: &Topology, _tm: &TrafficMatrix) -> Result<f64, EstimatorError> {
-        let bbw = bisection_bandwidth(topo, self.tries, self.seed);
+    fn estimate(
+        &self,
+        topo: &Topology,
+        _tm: &TrafficMatrix,
+        budget: &Budget,
+    ) -> Result<f64, EstimatorError> {
+        let bbw = bisection_bandwidth(topo, self.tries, self.seed, budget)
+            .map_err(|e| EstimatorError::Core(CoreError::Budget(e)))?;
         Ok(bbw / (topo.n_servers() as f64 / 2.0))
     }
 }
@@ -249,7 +276,12 @@ impl ThroughputEstimator for SparsestCut {
         "sc".into()
     }
 
-    fn estimate(&self, topo: &Topology, _tm: &TrafficMatrix) -> Result<f64, EstimatorError> {
+    fn estimate(
+        &self,
+        topo: &Topology,
+        _tm: &TrafficMatrix,
+        _budget: &Budget,
+    ) -> Result<f64, EstimatorError> {
         Ok(sparsest_cut_sweep(topo, self.power_iters).sparsity)
     }
 }
@@ -266,8 +298,13 @@ impl ThroughputEstimator for TubEstimator {
         "tub".into()
     }
 
-    fn estimate(&self, topo: &Topology, _tm: &TrafficMatrix) -> Result<f64, EstimatorError> {
-        Ok(tub(topo, self.backend)?.bound)
+    fn estimate(
+        &self,
+        topo: &Topology,
+        _tm: &TrafficMatrix,
+        budget: &Budget,
+    ) -> Result<f64, EstimatorError> {
+        Ok(tub(topo, self.backend, budget)?.bound)
     }
 }
 
@@ -282,7 +319,7 @@ mod tests {
     fn setup() -> (Topology, TrafficMatrix) {
         let mut rng = StdRng::seed_from_u64(1);
         let topo = jellyfish(20, 5, 4, &mut rng).unwrap();
-        let t = tub(&topo, MatchingBackend::Exact).unwrap();
+        let t = tub(&topo, MatchingBackend::Exact, &Budget::unlimited()).unwrap();
         let tm = t.traffic_matrix(&topo).unwrap();
         (topo, tm)
     }
@@ -290,8 +327,10 @@ mod tests {
     #[test]
     fn hm_is_feasible_lower_estimate() {
         let (topo, tm) = setup();
-        let hm = HoeflerMethod { k: 8 }.estimate(&topo, &tm).unwrap();
-        let exact = ksp_mcf_throughput(&topo, &tm, 8, Engine::Exact)
+        let hm = HoeflerMethod { k: 8 }
+            .estimate(&topo, &tm, &Budget::unlimited())
+            .unwrap();
+        let exact = ksp_mcf_throughput(&topo, &tm, 8, Engine::Exact, &Budget::unlimited())
             .unwrap()
             .theta_lb;
         // HM's equal-split allocation is feasible, so it cannot exceed the
@@ -303,8 +342,10 @@ mod tests {
     #[test]
     fn jm_is_feasible_and_at_least_single_round_hm() {
         let (topo, tm) = setup();
-        let jm = JainMethod { k: 8 }.estimate(&topo, &tm).unwrap();
-        let exact = ksp_mcf_throughput(&topo, &tm, 8, Engine::Exact)
+        let jm = JainMethod { k: 8 }
+            .estimate(&topo, &tm, &Budget::unlimited())
+            .unwrap();
+        let exact = ksp_mcf_throughput(&topo, &tm, 8, Engine::Exact, &Budget::unlimited())
             .unwrap()
             .theta_lb;
         assert!(jm <= exact + 1e-9, "jm {jm} > exact {exact}");
@@ -317,11 +358,11 @@ mod tests {
         // *maximal* permutation's distances, which are no smaller — so
         // singla >= tub on uni-regular topologies (Figure 5(c)).
         let (topo, tm) = setup();
-        let s = SinglaBound.estimate(&topo, &tm).unwrap();
+        let s = SinglaBound.estimate(&topo, &tm, &Budget::unlimited()).unwrap();
         let t = TubEstimator {
             backend: MatchingBackend::Exact,
         }
-        .estimate(&topo, &tm)
+        .estimate(&topo, &tm, &Budget::unlimited())
         .unwrap();
         assert!(s >= t - 1e-9, "singla {s} < tub {t}");
     }
@@ -342,7 +383,7 @@ mod tests {
         let names: Vec<String> = estimators.iter().map(|e| e.name()).collect();
         assert_eq!(names, vec!["hm(4)", "jm(4)", "singla", "bbw", "sc", "tub"]);
         for e in &estimators {
-            let v = e.estimate(&topo, &tm).unwrap();
+            let v = e.estimate(&topo, &tm, &Budget::unlimited()).unwrap();
             assert!(v.is_finite() && v > 0.0, "{}: {v}", e.name());
         }
     }
@@ -353,7 +394,9 @@ mod tests {
         // expander its estimate stays positive and finite.
         let (topo, tm) = setup();
         for k in [1, 2, 4, 16] {
-            let v = HoeflerMethod { k }.estimate(&topo, &tm).unwrap();
+            let v = HoeflerMethod { k }
+                .estimate(&topo, &tm, &Budget::unlimited())
+                .unwrap();
             assert!(v > 0.0 && v.is_finite());
         }
     }
@@ -363,8 +406,10 @@ mod tests {
         // Reconstruct JM's allocation and verify no directed edge exceeds
         // its capacity (feasibility is the method's key property).
         let (topo, tm) = setup();
-        let ps = PathSet::k_shortest(&topo, &tm, 6).unwrap();
-        let jm = JainMethod { k: 6 }.estimate(&topo, &tm).unwrap();
+        let ps = PathSet::k_shortest(&topo, &tm, 6, &Budget::unlimited()).unwrap();
+        let jm = JainMethod { k: 6 }
+            .estimate(&topo, &tm, &Budget::unlimited())
+            .unwrap();
         // jm * demand routed per commodity must fit: weaker sanity check —
         // the estimate cannot exceed min total capacity / total demand.
         let cap_total = 2.0 * ps.graph().total_capacity();

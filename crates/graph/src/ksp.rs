@@ -106,19 +106,13 @@ impl PartialOrd for Candidate {
 /// Yen's algorithm: up to `k` shortest loopless paths from `src` to `dst`,
 /// in non-decreasing length order. Returns fewer than `k` paths when the
 /// graph does not contain that many simple paths.
-pub fn yen(g: &Graph, src: NodeId, dst: NodeId, k: usize) -> Vec<Path> {
-    match yen_budgeted(g, src, dst, k, &Budget::unlimited()) {
-        Ok(paths) => paths,
-        // dcn-lint: allow(panic-freedom) — an unlimited budget cannot exhaust; this wrapper keeps the infallible pre-budget API
-        Err(e) => unreachable!("unlimited budget exhausted in yen: {e}"),
-    }
-}
-
-/// [`yen`] under an execution [`Budget`]: one tick per spur search (a
-/// restricted BFS), so a deadline or iteration cap aborts the quadratic
-/// candidate generation with a typed error instead of stalling on dense
-/// graphs with large `k`.
-pub fn yen_budgeted(
+///
+/// Meters one tick per spur search (a restricted BFS), so a deadline or
+/// iteration cap aborts the quadratic candidate generation with a typed
+/// error instead of stalling on dense graphs with large `k`. Callers
+/// without a deadline pass `&Budget::unlimited()` (or
+/// `dcn_guard::prelude::unlimited()`).
+pub fn yen(
     g: &Graph,
     src: NodeId,
     dst: NodeId,
@@ -190,24 +184,10 @@ pub fn yen_budgeted(
 /// length (all length-`sp` paths first, then `sp+1`, ...). The DFS prunes a
 /// partial path as soon as its length plus the remaining BFS distance
 /// exceeds the current budget, which keeps enumeration output-sensitive.
+///
+/// Meters one tick per DFS node expansion (deadline/cancellation checked
+/// every [`DFS_METER_STRIDE`] ticks).
 pub fn paths_within_slack(
-    g: &Graph,
-    src: NodeId,
-    dst: NodeId,
-    slack: u16,
-    cap: usize,
-) -> Vec<Path> {
-    match paths_within_slack_budgeted(g, src, dst, slack, cap, &Budget::unlimited()) {
-        Ok(paths) => paths,
-        // dcn-lint: allow(panic-freedom) — an unlimited budget cannot exhaust; this wrapper keeps the infallible pre-budget API
-        Err(e) => unreachable!("unlimited budget exhausted in slack enumeration: {e}"),
-    }
-}
-
-/// [`paths_within_slack`] under an execution [`Budget`]: one tick per DFS
-/// node expansion (deadline/cancellation checked every
-/// [`DFS_METER_STRIDE`] ticks).
-pub fn paths_within_slack_budgeted(
     g: &Graph,
     src: NodeId,
     dst: NodeId,
@@ -223,24 +203,10 @@ pub fn paths_within_slack_budgeted(
 /// differ). `max_slack` bounds how far beyond the shortest length the
 /// search is willing to go; `u16::MAX` means unbounded (the search still
 /// terminates because simple paths have length `< n`).
+///
+/// Meters one tick per DFS node expansion (deadline/cancellation checked
+/// every [`DFS_METER_STRIDE`] ticks).
 pub fn k_shortest_by_slack(
-    g: &Graph,
-    src: NodeId,
-    dst: NodeId,
-    k: usize,
-    max_slack: u16,
-) -> Vec<Path> {
-    match k_shortest_by_slack_budgeted(g, src, dst, k, max_slack, &Budget::unlimited()) {
-        Ok(paths) => paths,
-        // dcn-lint: allow(panic-freedom) — an unlimited budget cannot exhaust; this wrapper keeps the infallible pre-budget API
-        Err(e) => unreachable!("unlimited budget exhausted in slack enumeration: {e}"),
-    }
-}
-
-/// [`k_shortest_by_slack`] under an execution [`Budget`]: one tick per DFS
-/// node expansion (deadline/cancellation checked every
-/// [`DFS_METER_STRIDE`] ticks).
-pub fn k_shortest_by_slack_budgeted(
     g: &Graph,
     src: NodeId,
     dst: NodeId,
@@ -365,6 +331,10 @@ fn dfs_exact(
 mod tests {
     use super::*;
 
+    fn unl() -> Budget {
+        Budget::unlimited()
+    }
+
     /// Diamond: 0-1-3 and 0-2-3, plus long way 0-4-5-3.
     fn diamond() -> Graph {
         Graph::from_edges(6, &[(0, 1), (1, 3), (0, 2), (2, 3), (0, 4), (4, 5), (5, 3)]).unwrap()
@@ -373,7 +343,7 @@ mod tests {
     #[test]
     fn yen_finds_all_paths_in_order() {
         let g = diamond();
-        let paths = yen(&g, 0, 3, 10);
+        let paths = yen(&g, 0, 3, 10, &unl()).unwrap();
         assert_eq!(paths.len(), 3);
         assert_eq!(path_len(&paths[0]), 2);
         assert_eq!(path_len(&paths[1]), 2);
@@ -383,21 +353,21 @@ mod tests {
     #[test]
     fn yen_respects_k() {
         let g = diamond();
-        assert_eq!(yen(&g, 0, 3, 1).len(), 1);
-        assert_eq!(yen(&g, 0, 3, 2).len(), 2);
+        assert_eq!(yen(&g, 0, 3, 1, &unl()).unwrap().len(), 1);
+        assert_eq!(yen(&g, 0, 3, 2, &unl()).unwrap().len(), 2);
     }
 
     #[test]
     fn yen_no_path() {
         let g = Graph::from_edges(3, &[(0, 1)]).unwrap();
-        assert!(yen(&g, 0, 2, 5).is_empty());
+        assert!(yen(&g, 0, 2, 5, &unl()).unwrap().is_empty());
     }
 
     #[test]
     fn slack_matches_yen_lengths() {
         let g = diamond();
-        let a = yen(&g, 0, 3, 10);
-        let b = k_shortest_by_slack(&g, 0, 3, 10, u16::MAX);
+        let a = yen(&g, 0, 3, 10, &unl()).unwrap();
+        let b = k_shortest_by_slack(&g, 0, 3, 10, u16::MAX, &unl()).unwrap();
         let la: Vec<usize> = a.iter().map(path_len).collect();
         let lb: Vec<usize> = b.iter().map(path_len).collect();
         assert_eq!(la, lb);
@@ -406,7 +376,7 @@ mod tests {
     #[test]
     fn slack_zero_gives_only_shortest() {
         let g = diamond();
-        let p = paths_within_slack(&g, 0, 3, 0, 100);
+        let p = paths_within_slack(&g, 0, 3, 0, 100, &unl()).unwrap();
         assert_eq!(p.len(), 2);
         assert!(p.iter().all(|p| path_len(p) == 2));
     }
@@ -414,14 +384,14 @@ mod tests {
     #[test]
     fn slack_one_includes_longer() {
         let g = diamond();
-        let p = paths_within_slack(&g, 0, 3, 1, 100);
+        let p = paths_within_slack(&g, 0, 3, 1, 100, &unl()).unwrap();
         assert_eq!(p.len(), 3);
     }
 
     #[test]
     fn paths_are_loopless_and_valid() {
         let g = diamond();
-        for p in k_shortest_by_slack(&g, 0, 3, 10, u16::MAX) {
+        for p in k_shortest_by_slack(&g, 0, 3, 10, u16::MAX, &unl()).unwrap() {
             assert_eq!(p[0], 0);
             assert_eq!(*p.last().unwrap(), 3);
             let mut uniq = p.clone();
@@ -440,14 +410,17 @@ mod tests {
     #[test]
     fn cap_respected() {
         let g = diamond();
-        assert_eq!(paths_within_slack(&g, 0, 3, 5, 2).len(), 2);
-        assert_eq!(k_shortest_by_slack(&g, 0, 3, 2, u16::MAX).len(), 2);
+        assert_eq!(paths_within_slack(&g, 0, 3, 5, 2, &unl()).unwrap().len(), 2);
+        assert_eq!(
+            k_shortest_by_slack(&g, 0, 3, 2, u16::MAX, &unl()).unwrap().len(),
+            2
+        );
     }
 
     #[test]
     fn parallel_edges_do_not_duplicate_paths() {
         let g = Graph::from_edges(3, &[(0, 1), (0, 1), (1, 2)]).unwrap();
-        let p = k_shortest_by_slack(&g, 0, 2, 10, u16::MAX);
+        let p = k_shortest_by_slack(&g, 0, 2, 10, u16::MAX, &unl()).unwrap();
         assert_eq!(p.len(), 1);
     }
 
@@ -457,23 +430,26 @@ mod tests {
         let tiny = Budget::unlimited().with_iter_cap(1);
         // Yen needs several spur searches for k=10 → the cap fires.
         assert!(matches!(
-            yen_budgeted(&g, 0, 3, 10, &tiny),
+            yen(&g, 0, 3, 10, &tiny),
             Err(BudgetError::IterationsExceeded { cap: 1 })
         ));
         assert!(matches!(
-            k_shortest_by_slack_budgeted(&g, 0, 3, 10, u16::MAX, &tiny),
+            k_shortest_by_slack(&g, 0, 3, 10, u16::MAX, &tiny),
             Err(BudgetError::IterationsExceeded { cap: 1 })
         ));
         assert!(matches!(
-            paths_within_slack_budgeted(&g, 0, 3, 5, 100, &tiny),
+            paths_within_slack(&g, 0, 3, 5, 100, &tiny),
             Err(BudgetError::IterationsExceeded { cap: 1 })
         ));
-        // A roomy budget returns the same paths as the unbudgeted calls.
+        // A roomy budget returns the same paths as an unlimited one.
         let roomy = Budget::unlimited().with_iter_cap(1_000_000);
-        assert_eq!(yen_budgeted(&g, 0, 3, 10, &roomy).unwrap(), yen(&g, 0, 3, 10));
         assert_eq!(
-            k_shortest_by_slack_budgeted(&g, 0, 3, 10, u16::MAX, &roomy).unwrap(),
-            k_shortest_by_slack(&g, 0, 3, 10, u16::MAX)
+            yen(&g, 0, 3, 10, &roomy).unwrap(),
+            yen(&g, 0, 3, 10, &unl()).unwrap()
+        );
+        assert_eq!(
+            k_shortest_by_slack(&g, 0, 3, 10, u16::MAX, &roomy).unwrap(),
+            k_shortest_by_slack(&g, 0, 3, 10, u16::MAX, &unl()).unwrap()
         );
     }
 
@@ -485,12 +461,12 @@ mod tests {
         let expired = Budget::unlimited().with_wall(std::time::Duration::ZERO);
         // Yen meters every tick, so it errs immediately.
         assert!(matches!(
-            yen_budgeted(&g, 0, 3, 10, &expired),
+            yen(&g, 0, 3, 10, &expired),
             Err(BudgetError::DeadlineExceeded { .. })
         ));
         // The slack DFS on this small graph finishes under one stride —
         // both outcomes (done or deadline) are acceptable; no hang either way.
-        let r = k_shortest_by_slack_budgeted(&g, 0, 3, 10, u16::MAX, &expired);
+        let r = k_shortest_by_slack(&g, 0, 3, 10, u16::MAX, &expired);
         match r {
             Ok(paths) => assert_eq!(paths.len(), 3),
             Err(e) => assert!(matches!(e, BudgetError::DeadlineExceeded { .. })),
@@ -519,8 +495,8 @@ mod tests {
         ];
         let g = Graph::from_edges(10, &edges).unwrap();
         for dst in 1..10u32 {
-            let a = yen(&g, 0, dst, 25);
-            let b = k_shortest_by_slack(&g, 0, dst, 25, u16::MAX);
+            let a = yen(&g, 0, dst, 25, &unl()).unwrap();
+            let b = k_shortest_by_slack(&g, 0, dst, 25, u16::MAX, &unl()).unwrap();
             let la: Vec<usize> = a.iter().map(path_len).collect();
             let lb: Vec<usize> = b.iter().map(path_len).collect();
             assert_eq!(la, lb, "length multiset mismatch for dst={dst}");

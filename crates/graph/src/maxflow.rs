@@ -42,24 +42,11 @@ impl MaxFlow {
     /// Maximum flow from `s` to `t`. The solver mutates its residual
     /// state; call on a fresh instance per query (see
     /// [`max_flow_value`] for the convenience form).
-    pub fn solve(&mut self, s: NodeId, t: NodeId) -> f64 {
-        match self.solve_budgeted(s, t, &Budget::unlimited()) {
-            Ok(v) => v,
-            // dcn-lint: allow(panic-freedom) — an unlimited budget cannot exhaust; this wrapper keeps the infallible pre-budget API
-            Err(e) => unreachable!("unlimited budget exhausted in max flow: {e}"),
-        }
-    }
-
-    /// [`solve`](MaxFlow::solve) under an execution [`Budget`]: one tick
-    /// per BFS phase. Dinic runs `O(n)` phases on these graphs, but a
-    /// deadline or cancellation flag can still cap a pathological
-    /// float-capacity instance mid-solve.
-    pub fn solve_budgeted(
-        &mut self,
-        s: NodeId,
-        t: NodeId,
-        budget: &Budget,
-    ) -> Result<f64, BudgetError> {
+    ///
+    /// Meters one tick per BFS phase. Dinic runs `O(n)` phases on these
+    /// graphs, but a deadline or cancellation flag can still cap a
+    /// pathological float-capacity instance mid-solve.
+    pub fn solve(&mut self, s: NodeId, t: NodeId, budget: &Budget) -> Result<f64, BudgetError> {
         assert_ne!(s, t, "max flow needs distinct endpoints");
         let mut meter = budget.meter();
         let phase_ctr = dcn_obs::counter!(dcn_obs::names::GRAPH_MAXFLOW_PHASES);
@@ -138,50 +125,58 @@ impl MaxFlow {
 }
 
 /// Convenience: the max-flow value from `s` to `t`.
-pub fn max_flow_value(g: &Graph, s: NodeId, t: NodeId) -> f64 {
-    MaxFlow::from_graph(g).solve(s, t)
+pub fn max_flow_value(g: &Graph, s: NodeId, t: NodeId, budget: &Budget) -> Result<f64, BudgetError> {
+    MaxFlow::from_graph(g).solve(s, t, budget)
 }
 
 /// Global edge connectivity: the minimum total capacity whose removal
 /// disconnects the graph, `min_t maxflow(0, t)` (valid for undirected
 /// graphs). Returns 0 for graphs that are already disconnected or have
 /// fewer than 2 nodes.
-pub fn edge_connectivity(g: &Graph) -> f64 {
+pub fn edge_connectivity(g: &Graph, budget: &Budget) -> Result<f64, BudgetError> {
     if g.n() < 2 || !g.is_connected() {
-        return 0.0;
+        return Ok(0.0);
     }
     let mut best = f64::INFINITY;
     for t in 1..g.n() as NodeId {
-        let f = max_flow_value(g, 0, t);
+        let f = max_flow_value(g, 0, t, budget)?;
         best = best.min(f);
         if best <= 0.0 {
             break;
         }
     }
-    best
+    Ok(best)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    fn unl() -> Budget {
+        Budget::unlimited()
+    }
+
+    fn mf(g: &Graph, s: NodeId, t: NodeId) -> f64 {
+        max_flow_value(g, s, t, &unl()).unwrap()
+    }
+
     #[test]
     fn single_path_flow() {
         let g = Graph::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
-        assert_eq!(max_flow_value(&g, 0, 2), 1.0);
+        assert_eq!(mf(&g, 0, 2), 1.0);
     }
 
     #[test]
     fn parallel_paths_add_up() {
         // Square: two disjoint 2-hop paths from 0 to 2.
         let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
-        assert_eq!(max_flow_value(&g, 0, 2), 2.0);
+        assert_eq!(mf(&g, 0, 2), 2.0);
     }
 
     #[test]
     fn capacities_respected() {
         let g = Graph::from_weighted_edges(3, &[(0, 1, 5.0), (1, 2, 2.0)]).unwrap();
-        assert_eq!(max_flow_value(&g, 0, 2), 2.0);
+        assert_eq!(mf(&g, 0, 2), 2.0);
     }
 
     #[test]
@@ -194,7 +189,7 @@ mod tests {
             &[(0, 1, 3.0), (0, 2, 2.0), (1, 3, 2.0), (2, 3, 3.0), (1, 2, 1.0)],
         )
         .unwrap();
-        assert_eq!(max_flow_value(&g, 0, 3), 5.0);
+        assert_eq!(mf(&g, 0, 3), 5.0);
     }
 
     #[test]
@@ -212,7 +207,7 @@ mod tests {
         edges.push((0, 4));
         let g = Graph::from_edges(8, &edges).unwrap();
         let mut mf = MaxFlow::from_graph(&g);
-        let flow = mf.solve(1, 6);
+        let flow = mf.solve(1, 6, &unl()).unwrap();
         assert_eq!(flow, 1.0);
         let side = mf.min_cut_side(1);
         assert!(side[0] && side[1] && side[2] && side[3]);
@@ -224,10 +219,10 @@ mod tests {
         // Cycle: connectivity 2.
         let ring: Vec<(u32, u32)> = (0..6u32).map(|i| (i, (i + 1) % 6)).collect();
         let g = Graph::from_edges(6, &ring).unwrap();
-        assert_eq!(edge_connectivity(&g), 2.0);
+        assert_eq!(edge_connectivity(&g, &unl()).unwrap(), 2.0);
         // Tree: connectivity 1.
         let tree = Graph::from_edges(4, &[(0, 1), (0, 2), (0, 3)]).unwrap();
-        assert_eq!(edge_connectivity(&tree), 1.0);
+        assert_eq!(edge_connectivity(&tree, &unl()).unwrap(), 1.0);
         // Complete graph K5: connectivity 4.
         let mut e = Vec::new();
         for i in 0..5u32 {
@@ -236,10 +231,10 @@ mod tests {
             }
         }
         let k5 = Graph::from_edges(5, &e).unwrap();
-        assert_eq!(edge_connectivity(&k5), 4.0);
+        assert_eq!(edge_connectivity(&k5, &unl()).unwrap(), 4.0);
         // Disconnected: 0.
         let split = Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
-        assert_eq!(edge_connectivity(&split), 0.0);
+        assert_eq!(edge_connectivity(&split, &unl()).unwrap(), 0.0);
     }
 
     #[test]
@@ -251,6 +246,6 @@ mod tests {
             (5, 7), (7, 9), (9, 6), (6, 8), (8, 5),
         ];
         let g = Graph::from_edges(10, &edges).unwrap();
-        assert_eq!(edge_connectivity(&g), 3.0);
+        assert_eq!(edge_connectivity(&g, &unl()).unwrap(), 3.0);
     }
 }

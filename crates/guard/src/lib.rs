@@ -49,6 +49,32 @@ pub mod validate;
 
 pub use validate::{validation_enabled, CertError};
 
+/// Convenience re-exports for call sites of the budgeted solver API.
+///
+/// Every solver entry point in the workspace takes a `&Budget`; callers
+/// that don't care about deadlines write `&unlimited()` at the call site:
+///
+/// ```
+/// use dcn_guard::prelude::*;
+///
+/// fn run(budget: &Budget) -> Result<u64, BudgetError> {
+///     let mut meter = budget.meter();
+///     meter.tick()?;
+///     Ok(meter.used())
+/// }
+///
+/// assert!(run(&unlimited()).is_ok());
+/// ```
+pub mod prelude {
+    pub use crate::{Budget, BudgetError, BudgetMeter, CancelFlag};
+
+    /// Shorthand for [`Budget::unlimited`], for call sites without a
+    /// deadline: `solve(&unlimited())`.
+    pub fn unlimited() -> Budget {
+        Budget::unlimited()
+    }
+}
+
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};

@@ -67,7 +67,7 @@ pub const RULES: &[RuleInfo] = &[
     RuleInfo {
         id: "budget-coverage",
         severity: Severity::Error,
-        summary: "pub fns with loop/while in solver crates take a Budget or have a _budgeted sibling",
+        summary: "pub fns with loop/while in solver crates take a &Budget parameter",
     },
     RuleInfo {
         id: "metric-registry",
@@ -77,7 +77,7 @@ pub const RULES: &[RuleInfo] = &[
     RuleInfo {
         id: "nondeterminism",
         severity: Severity::Error,
-        summary: "no Instant::now/SystemTime::now outside guard/obs; no unseeded RNG outside tests",
+        summary: "clocks only in guard/obs/exec; threads only in exec; no unseeded RNG outside tests",
     },
     RuleInfo {
         id: "unsafe-forbid",
@@ -109,8 +109,14 @@ pub const SOLVER_CRATES: &[&str] = &[
 ];
 
 /// Crates allowed to read wall clocks: `guard` (deadlines) and `obs`
-/// (span timing) exist to encapsulate time.
-pub const CLOCK_CRATES: &[&str] = &["guard", "obs"];
+/// (span timing) exist to encapsulate time, and `exec` re-checks budget
+/// deadlines between pool tasks.
+pub const CLOCK_CRATES: &[&str] = &["guard", "obs", "exec"];
+
+/// The one crate allowed to spawn OS threads. Every other crate reaches
+/// parallelism through [`dcn_exec`]'s deterministic pool, so fan-out
+/// cannot silently reorder merges or leak thread-count dependence.
+pub const THREAD_CRATES: &[&str] = &["exec"];
 
 /// Minimum justification length (characters after the allow's rule list).
 pub const MIN_JUSTIFICATION: usize = 8;
@@ -396,22 +402,7 @@ fn float_eq(files: &[SourceFile], diags: &mut Vec<Diagnostic>) {
 // Rule: budget-coverage
 
 fn budget_coverage(files: &[SourceFile], diags: &mut Vec<Diagnostic>) {
-    // Index of all fn names per crate (any visibility — the sibling may be
-    // pub(crate) or private).
-    let mut crate_fns: std::collections::BTreeMap<&str, std::collections::BTreeSet<String>> =
-        std::collections::BTreeMap::new();
     for f in files.iter().filter(|f| solver_library(f)) {
-        let set = crate_fns
-            .entry(f.krate.as_deref().unwrap_or(""))
-            .or_default();
-        for at in word_occurrences(&f.masked, "fn") {
-            if let Some((name, _, _)) = fn_at(f, at) {
-                set.insert(name);
-            }
-        }
-    }
-    for f in files.iter().filter(|f| solver_library(f)) {
-        let krate = f.krate.as_deref().unwrap_or("");
         for at in word_occurrences(&f.masked, "pub") {
             let rest = f.masked[at + 3..].trim_start();
             if !rest.starts_with("fn ") {
@@ -431,21 +422,17 @@ fn budget_coverage(files: &[SourceFile], diags: &mut Vec<Diagnostic>) {
             if !has_loop {
                 continue;
             }
-            let budgeted = sig.contains("Budget")
-                || name.ends_with("_budgeted")
-                || crate_fns
-                    .get(krate)
-                    .is_some_and(|s| s.contains(&format!("{name}_budgeted")));
-            if !budgeted {
+            if !sig.contains("Budget") {
                 push(
                     diags,
                     "budget-coverage",
                     f,
                     at,
                     format!(
-                        "`pub fn {name}` contains a loop/while but neither takes a \
-                         &Budget/BudgetMeter nor has a `{name}_budgeted` sibling \
-                         (PR 2 convention); bounded loops may carry a justified allow"
+                        "`pub fn {name}` contains a loop/while but does not take a \
+                         &Budget/BudgetMeter; thread a budget through (call sites \
+                         without one use dcn_guard::prelude::unlimited()) — bounded \
+                         loops may carry a justified allow"
                     ),
                 );
             }
@@ -653,8 +640,9 @@ fn nondeterminism(files: &[SourceFile], diags: &mut Vec<Diagnostic>) {
                     f,
                     at,
                     format!(
-                        "`{pat}` outside dcn-guard/dcn-obs; wall-clock reads belong in the \
-                         guard (budgets) or obs (spans) so manifests stay reproducible"
+                        "`{pat}` outside dcn-guard/dcn-obs/dcn-exec; wall-clock reads \
+                         belong in the guard (budgets), obs (spans), or exec (pool \
+                         deadline re-checks) so manifests stay reproducible"
                     ),
                 );
             }
@@ -672,6 +660,38 @@ fn nondeterminism(files: &[SourceFile], diags: &mut Vec<Diagnostic>) {
                     format!(
                         "`{pat}` constructs an unseeded RNG; use SeedableRng::seed_from_u64 \
                          with a recorded seed (manifests must reproduce runs)"
+                    ),
+                );
+            }
+        }
+    }
+    // Thread spawning is scanned over *all* non-exec crates (including the
+    // clock crates): every fan-out must go through dcn-exec's deterministic
+    // pool, never ad-hoc `std::thread` use.
+    const THREADS: &[&str] = &["thread::spawn", "thread::scope", "thread::Builder"];
+    for f in files.iter().filter(|f| {
+        f.krate
+            .as_deref()
+            .is_some_and(|k| !THREAD_CRATES.contains(&k))
+            && !f.is_test_code
+    }) {
+        for &pat in THREADS {
+            let mut from = 0;
+            while let Some(p) = f.masked[from..].find(pat) {
+                let at = from + p;
+                from = at + pat.len();
+                if f.in_test_region(at) {
+                    continue;
+                }
+                push(
+                    diags,
+                    "nondeterminism",
+                    f,
+                    at,
+                    format!(
+                        "`{pat}` outside dcn-exec; spawn parallelism through the \
+                         dcn_exec::Pool so merges stay input-ordered and results are \
+                         thread-count-independent"
                     ),
                 );
             }
@@ -757,7 +777,10 @@ mod tests {
     }
 
     #[test]
-    fn budget_coverage_accepts_sibling_and_param() {
+    fn budget_coverage_requires_budget_param_not_sibling() {
+        // A `_budgeted` sibling used to satisfy this rule (PR 2's dual-API
+        // convention); after the PR 4 collapse only a Budget in the
+        // signature counts.
         let src = "pub fn solve(b: &Budget) { loop { } }\n\
                    pub fn free() { while x { } }\n\
                    pub fn covered() { loop { } }\n\
@@ -765,8 +788,9 @@ mod tests {
         let f = file("crates/mcf/src/x.rs", src);
         let mut d = Vec::new();
         budget_coverage(&[f], &mut d);
-        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d.len(), 2, "{d:?}");
         assert!(d[0].message.contains("free"));
+        assert!(d[1].message.contains("covered"));
     }
 
     #[test]
@@ -804,10 +828,31 @@ mod tests {
     #[test]
     fn nondeterminism_scopes_to_non_clock_crates() {
         let guard = file("crates/guard/src/x.rs", "fn a() { Instant::now(); }\n");
+        let exec = file("crates/exec/src/x.rs", "fn a() { Instant::now(); }\n");
         let topo = file("crates/topo/src/x.rs", "fn a() { Instant::now(); }\n");
         let mut d = Vec::new();
-        nondeterminism(&[guard, topo], &mut d);
+        nondeterminism(&[guard, exec, topo], &mut d);
         assert_eq!(d.len(), 1);
         assert_eq!(d[0].file, "crates/topo/src/x.rs");
+    }
+
+    #[test]
+    fn nondeterminism_flags_threads_outside_exec() {
+        let exec = file(
+            "crates/exec/src/x.rs",
+            "fn a() { std::thread::scope(|s| { s.spawn(|| {}); }); }\n",
+        );
+        // The clock carve-out does not extend to threads: obs may read
+        // clocks but must not spawn.
+        let obs = file("crates/obs/src/x.rs", "fn a() { std::thread::spawn(|| {}); }\n");
+        let core = file("crates/core/src/x.rs", "fn a() { std::thread::scope(|s| {}); }\n");
+        let mut d = Vec::new();
+        nondeterminism(&[exec, obs, core], &mut d);
+        let files: Vec<&str> = d.iter().map(|x| x.file.as_str()).collect();
+        assert_eq!(
+            files,
+            ["crates/obs/src/x.rs", "crates/core/src/x.rs"],
+            "{d:?}"
+        );
     }
 }

@@ -1,7 +1,9 @@
 //! Integration tests over the seeded fixture corpora.
 //!
 //! `fixtures/violations/` carries exactly one seeded violation per rule
-//! (three for float-eq: the `== 0.0`, `!= 0.0`, and `== 1.0` patterns);
+//! (three for float-eq: the `== 0.0`, `!= 0.0`, and `== 1.0` patterns;
+//! a clock read, an unseeded RNG, and an ad-hoc thread spawn for
+//! nondeterminism);
 //! `fixtures/clean/` carries the same shapes, each suppressed by a
 //! justified allow. The assertions pin the exact (rule, file, line)
 //! triples and the CLI exit codes.
@@ -26,6 +28,7 @@ fn violations_tree_yields_exact_diagnostics() {
     let expected: Vec<(&str, &str, usize)> = vec![
         ("metric-registry", "crates/core/src/metrics.rs", 5),
         ("metric-registry", "crates/core/src/metrics.rs", 6),
+        ("nondeterminism", "crates/core/src/threads.rs", 4),
         ("budget-coverage", "crates/graph/src/looping.rs", 3),
         ("unused-allow", "crates/graph/src/looping.rs", 11),
         ("float-eq", "crates/lp/src/floats.rs", 4),

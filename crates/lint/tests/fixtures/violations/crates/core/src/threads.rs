@@ -1,0 +1,5 @@
+//! Fixture: ad-hoc thread spawn outside dcn-exec.
+
+pub fn fan_out() {
+    std::thread::spawn(|| {});
+}

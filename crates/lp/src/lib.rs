@@ -12,13 +12,14 @@
 //! Model: maximize `c · x` subject to linear constraints and `x >= 0`.
 //!
 //! ```
+//! use dcn_guard::prelude::*;
 //! use dcn_lp::{Cmp, LinearProgram, LpStatus};
 //! // maximize 3x + 2y  s.t.  x + y <= 4, x <= 2
 //! let mut lp = LinearProgram::new(2);
 //! lp.set_objective(&[(0, 3.0), (1, 2.0)]);
 //! lp.add_constraint(&[(0, 1.0), (1, 1.0)], Cmp::Le, 4.0);
 //! lp.add_constraint(&[(0, 1.0)], Cmp::Le, 2.0);
-//! let sol = lp.solve();
+//! let sol = lp.solve(&unlimited()).unwrap();
 //! assert_eq!(sol.status, LpStatus::Optimal);
 //! assert!((sol.objective - 10.0).abs() < 1e-9); // x=2, y=2
 //! ```
@@ -31,7 +32,7 @@ pub use simplex::solve_tableau;
 
 use dcn_guard::{Budget, BudgetError, CertError};
 
-/// A failure of the guarded solve path ([`LinearProgram::solve_budgeted`]).
+/// A failure of the guarded solve path ([`LinearProgram::solve`]).
 ///
 /// `Infeasible`/`Unbounded` are *outcomes*, reported through
 /// [`LpSolution::status`]; this enum covers only the cases where no usable
@@ -171,22 +172,8 @@ impl LinearProgram {
         });
     }
 
-    /// Solves the program with two-phase primal simplex.
-    ///
-    /// Infallible legacy entry point: unlimited budget, no input screening,
-    /// no certificate validation. Prefer [`LinearProgram::solve_budgeted`]
-    /// for anything that could receive adversarial or degenerate input.
-    pub fn solve(&self) -> LpSolution {
-        match simplex::solve_budgeted(self, &Budget::unlimited(), false) {
-            Ok(sol) => sol,
-            // Unlimited budget cannot exhaust and validation is off, so the
-            // guarded path has no error source left.
-            // dcn-lint: allow(panic-freedom) — an unlimited budget cannot exhaust; this wrapper keeps the infallible pre-budget API
-            Err(e) => unreachable!("unbudgeted, unvalidated solve failed: {e}"),
-        }
-    }
-
-    /// Solves the program under an execution [`Budget`].
+    /// Solves the program with two-phase primal simplex under an execution
+    /// [`Budget`].
     ///
     /// The input is screened for NaN/inf coefficients up front (rejected
     /// as [`LpError::BadInput`]); the simplex loop ticks the budget once
@@ -202,10 +189,10 @@ impl LinearProgram {
     /// let mut lp = LinearProgram::new(1);
     /// lp.set_objective(&[(0, 1.0)]);
     /// lp.add_constraint(&[(0, 1.0)], Cmp::Le, 2.0);
-    /// let sol = lp.solve_budgeted(&Budget::unlimited()).unwrap();
+    /// let sol = lp.solve(&Budget::unlimited()).unwrap();
     /// assert!((sol.objective - 2.0).abs() < 1e-9);
     /// ```
-    pub fn solve_budgeted(&self, budget: &Budget) -> Result<LpSolution, LpError> {
+    pub fn solve(&self, budget: &Budget) -> Result<LpSolution, LpError> {
         for (j, &c) in self.objective.iter().enumerate() {
             if !c.is_finite() {
                 return Err(LpError::BadInput(CertError::NotFinite {
@@ -230,7 +217,7 @@ impl LinearProgram {
                 }
             }
         }
-        simplex::solve_budgeted(self, budget, dcn_guard::validation_enabled())
+        simplex::solve(self, budget, dcn_guard::validation_enabled())
     }
 
     pub(crate) fn rows(&self) -> &[ConstraintRow] {
@@ -259,7 +246,7 @@ mod tests {
         for (c, cmp, b) in cons {
             lp.add_constraint(c, *cmp, *b);
         }
-        lp.solve()
+        lp.solve(&Budget::unlimited()).unwrap()
     }
 
     #[test]
@@ -382,11 +369,11 @@ mod tests {
         lp.add_constraint(&[(0, 3.0), (1, 2.0)], Cmp::Le, 18.0);
         let budget = Budget::unlimited().with_iter_cap(1);
         assert!(matches!(
-            lp.solve_budgeted(&budget),
+            lp.solve(&budget),
             Err(LpError::Budget(BudgetError::IterationsExceeded { cap: 1 }))
         ));
         // With room to finish, the same program solves.
-        let sol = lp.solve_budgeted(&Budget::unlimited()).unwrap();
+        let sol = lp.solve(&Budget::unlimited()).unwrap();
         assert_eq!(sol.status, LpStatus::Optimal);
         assert!((sol.objective - 36.0).abs() < 1e-9);
     }
@@ -398,7 +385,7 @@ mod tests {
         lp.add_constraint(&[(0, 1.0)], Cmp::Le, 1.0);
         let budget = Budget::unlimited().with_wall(std::time::Duration::ZERO);
         assert!(matches!(
-            lp.solve_budgeted(&budget),
+            lp.solve(&budget),
             Err(LpError::Budget(BudgetError::DeadlineExceeded { .. }))
         ));
     }
@@ -409,35 +396,35 @@ mod tests {
             let mut lp = LinearProgram::new(1);
             lp.set_objective(&[(0, bad)]);
             assert!(matches!(
-                lp.solve_budgeted(&Budget::unlimited()),
+                lp.solve(&Budget::unlimited()),
                 Err(LpError::BadInput(_))
             ));
 
             let mut lp = LinearProgram::new(1);
             lp.add_constraint(&[(0, 1.0)], Cmp::Le, bad);
             assert!(matches!(
-                lp.solve_budgeted(&Budget::unlimited()),
+                lp.solve(&Budget::unlimited()),
                 Err(LpError::BadInput(_))
             ));
 
             let mut lp = LinearProgram::new(1);
             lp.add_constraint(&[(0, bad)], Cmp::Le, 1.0);
             assert!(matches!(
-                lp.solve_budgeted(&Budget::unlimited()),
+                lp.solve(&Budget::unlimited()),
                 Err(LpError::BadInput(_))
             ));
         }
     }
 
     #[test]
-    fn budgeted_solve_matches_unbudgeted() {
+    fn repeated_solves_agree() {
         let mut lp = LinearProgram::new(2);
         lp.set_objective(&[(0, 1.0), (1, 1.0)]);
         lp.add_constraint(&[(0, 1.0), (1, 1.0)], Cmp::Le, 10.0);
         lp.add_constraint(&[(0, 1.0)], Cmp::Ge, 3.0);
         lp.add_constraint(&[(1, 1.0)], Cmp::Eq, 2.0);
-        let plain = lp.solve();
-        let guarded = lp.solve_budgeted(&Budget::unlimited()).unwrap();
+        let plain = lp.solve(&Budget::unlimited()).unwrap();
+        let guarded = lp.solve(&Budget::unlimited()).unwrap();
         assert_eq!(plain.status, guarded.status);
         assert!((plain.objective - guarded.objective).abs() < 1e-9);
     }

@@ -249,7 +249,7 @@ impl Tableau {
 /// `validate_certs` is set, the returned optimum is checked against its
 /// certificates (finiteness, primal feasibility, duality gap) before being
 /// handed back.
-pub(crate) fn solve_budgeted(
+pub(crate) fn solve(
     lp: &LinearProgram,
     budget: &Budget,
     validate_certs: bool,
@@ -488,7 +488,12 @@ fn verify_certificate(
 /// Solves a raw dense tableau problem: maximize `c · x` s.t. `A x <= b`,
 /// `x >= 0`, with all `b >= 0`. A convenience for tests and simple callers
 /// that avoids the [`LinearProgram`] builder.
-pub fn solve_tableau(c: &[f64], a: &[Vec<f64>], b: &[f64]) -> LpSolution {
+pub fn solve_tableau(
+    c: &[f64],
+    a: &[Vec<f64>],
+    b: &[f64],
+    budget: &Budget,
+) -> Result<LpSolution, LpError> {
     let mut lp = LinearProgram::new(c.len());
     let obj: Vec<(usize, f64)> = c.iter().copied().enumerate().collect();
     lp.set_objective(&obj);
@@ -496,7 +501,7 @@ pub fn solve_tableau(c: &[f64], a: &[Vec<f64>], b: &[f64]) -> LpSolution {
         let coeffs: Vec<(usize, f64)> = row.iter().copied().enumerate().collect();
         lp.add_constraint(&coeffs, Cmp::Le, rhs);
     }
-    lp.solve()
+    lp.solve(budget)
 }
 
 #[cfg(test)]
@@ -509,7 +514,9 @@ mod tests {
             &[1.0, 1.0],
             &[vec![1.0, 0.0], vec![0.0, 1.0]],
             &[3.0, 4.0],
-        );
+            &Budget::unlimited(),
+        )
+        .unwrap();
         assert_eq!(sol.status, LpStatus::Optimal);
         assert!((sol.objective - 7.0).abs() < 1e-9);
     }
@@ -522,7 +529,7 @@ mod tests {
         lp.add_constraint(&[(0, 1.0), (1, 1.0)], Cmp::Eq, 2.0);
         lp.add_constraint(&[(0, 1.0), (1, 1.0)], Cmp::Eq, 2.0);
         lp.add_constraint(&[(0, 1.0)], Cmp::Eq, 1.0);
-        let sol = lp.solve();
+        let sol = lp.solve(&Budget::unlimited()).unwrap();
         assert_eq!(sol.status, LpStatus::Optimal);
         assert!((sol.x[0] - 1.0).abs() < 1e-8);
         assert!((sol.x[1] - 1.0).abs() < 1e-8);

@@ -66,27 +66,20 @@ impl Matching {
 /// optimal, which cannot happen when `w(u, u)` is minimal, e.g. 0 distances
 /// — and even then it remains a valid permutation).
 ///
+/// Meters one tick per shortest-augmenting-path step (each an `O(n)`
+/// column scan), so the `O(n^3)` exact matcher can be deadline-capped and
+/// fall back to [`greedy_max`] — which is the paper's own Algorithm 1 and
+/// still yields a valid (looser) TUB witness.
+///
 /// ```
 /// use dcn_match::hungarian_max;
+/// use dcn_guard::prelude::*;
 /// let w = [[1i64, 10], [10, 1]];
-/// let m = hungarian_max(2, |i, j| w[i][j]);
+/// let m = hungarian_max(2, |i, j| w[i][j], &unlimited()).unwrap();
 /// assert_eq!(m.total_weight, 20);
 /// assert_eq!(m.assignment, vec![1, 0]);
 /// ```
-pub fn hungarian_max(n: usize, w: impl Fn(usize, usize) -> i64) -> Matching {
-    match hungarian_max_budgeted(n, w, &Budget::unlimited()) {
-        Ok(m) => m,
-        // dcn-lint: allow(panic-freedom) — an unlimited budget cannot exhaust; this wrapper keeps the infallible pre-budget API
-        Err(e) => unreachable!("unlimited budget exhausted in hungarian: {e}"),
-    }
-}
-
-/// [`hungarian_max`] under an execution [`Budget`]: one tick per
-/// shortest-augmenting-path step (each an `O(n)` column scan), so the
-/// `O(n^3)` exact matcher can be deadline-capped and fall back to
-/// [`greedy_max`] — which is the paper's own Algorithm 1 and still yields
-/// a valid (looser) TUB witness.
-pub fn hungarian_max_budgeted(
+pub fn hungarian_max(
     n: usize,
     w: impl Fn(usize, usize) -> i64,
     budget: &Budget,
@@ -291,7 +284,7 @@ mod tests {
                 .map(|_| (0..n).map(|_| rng.gen_range(-20..50)).collect())
                 .collect();
             let w = |i: usize, j: usize| mat[i][j];
-            let m = hungarian_max(n, w);
+            let m = hungarian_max(n, w, &Budget::unlimited()).unwrap();
             assert!(m.is_permutation(), "trial {trial}");
             let bf = brute_force(n, &w);
             assert_eq!(m.total_weight, bf, "trial {trial}: n={n} {mat:?}");
@@ -302,12 +295,12 @@ mod tests {
     fn hungarian_simple_cases() {
         // 2x2: pick the anti-diagonal.
         let mat = [[1i64, 10], [10, 1]];
-        let m = hungarian_max(2, |i, j| mat[i][j]);
+        let m = hungarian_max(2, |i, j| mat[i][j], &Budget::unlimited()).unwrap();
         assert_eq!(m.total_weight, 20);
         assert_eq!(m.assignment, vec![1, 0]);
         // n = 0 and n = 1.
-        assert_eq!(hungarian_max(0, |_, _| 0).total_weight, 0);
-        let one = hungarian_max(1, |_, _| 7);
+        assert_eq!(hungarian_max(0, |_, _| 0, &Budget::unlimited()).unwrap().total_weight, 0);
+        let one = hungarian_max(1, |_, _| 7, &Budget::unlimited()).unwrap();
         assert_eq!(one.total_weight, 7);
         assert_eq!(one.assignment, vec![0]);
     }
@@ -333,7 +326,7 @@ mod tests {
             if n % 2 == 0 {
                 assert!(g.assignment.iter().enumerate().all(|(u, &v)| u != v));
             }
-            let h = hungarian_max(n, w);
+            let h = hungarian_max(n, w, &Budget::unlimited()).unwrap();
             assert!(g.total_weight <= h.total_weight);
             // Any permutation is a valid TUB witness; greedy should not be
             // pathologically bad on random symmetric weights.
@@ -374,7 +367,7 @@ mod tests {
         assert!(g.is_permutation());
         assert!(g.total_weight >= before);
         assert_eq!(g.total_weight, g.weight_under(w));
-        let h = hungarian_max(n, w);
+        let h = hungarian_max(n, w, &Budget::unlimited()).unwrap();
         assert!(g.total_weight <= h.total_weight);
     }
 
@@ -383,11 +376,11 @@ mod tests {
         let mat = [[1i64, 10], [10, 1]];
         let tiny = Budget::unlimited().with_iter_cap(1);
         assert!(matches!(
-            hungarian_max_budgeted(2, |i, j| mat[i][j], &tiny),
+            hungarian_max(2, |i, j| mat[i][j], &tiny),
             Err(BudgetError::IterationsExceeded { cap: 1 })
         ));
         let roomy = Budget::unlimited().with_iter_cap(1000);
-        let m = hungarian_max_budgeted(2, |i, j| mat[i][j], &roomy).unwrap();
+        let m = hungarian_max(2, |i, j| mat[i][j], &roomy).unwrap();
         assert_eq!(m.total_weight, 20);
     }
 

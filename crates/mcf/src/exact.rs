@@ -14,17 +14,13 @@ use dcn_lp::{Cmp, LinearProgram, LpError, LpStatus};
 
 /// Solves the path LP exactly. Also reports the shortest-path flow
 /// fraction from the optimal basic solution.
-pub fn solve(ps: &PathSet) -> Result<ThroughputResult, McfError> {
-    solve_budgeted(ps, &Budget::unlimited())
-}
-
-/// [`solve`] under an execution [`Budget`]: the simplex ticks the budget
-/// once per pivot, so a deadline or iteration cap aborts the solve as
-/// [`McfError::Budget`] — the hook [`crate::throughput_with_fallback`]
-/// uses to degrade to the FPTAS. When certificate validation is enabled
-/// the routed flow is additionally checked against edge capacities and
-/// per-commodity service at `θ`.
-pub fn solve_budgeted(ps: &PathSet, budget: &Budget) -> Result<ThroughputResult, McfError> {
+///
+/// The simplex ticks the [`Budget`] once per pivot, so a deadline or
+/// iteration cap aborts the solve as [`McfError::Budget`] — the hook
+/// [`crate::throughput_with_fallback`] uses to degrade to the FPTAS. When
+/// certificate validation is enabled the routed flow is additionally
+/// checked against edge capacities and per-commodity service at `θ`.
+pub fn solve(ps: &PathSet, budget: &Budget) -> Result<ThroughputResult, McfError> {
     let _span = dcn_obs::span!(dcn_obs::names::MCF_EXACT_SOLVE);
     let n_paths = ps.total_paths();
     dcn_obs::histogram!(dcn_obs::names::MCF_EXACT_COLUMNS).record_u64(n_paths as u64 + 1);
@@ -55,7 +51,7 @@ pub fn solve_budgeted(ps: &PathSet, budget: &Budget) -> Result<ThroughputResult,
     }
 
     dcn_obs::histogram!(dcn_obs::names::MCF_EXACT_ROWS).record_u64(lp.n_constraints() as u64);
-    let sol = lp.solve_budgeted(budget).map_err(|e| match e {
+    let sol = lp.solve(budget).map_err(|e| match e {
         LpError::Budget(b) => McfError::Budget(b),
         LpError::BadInput(c) | LpError::Certificate(c) => McfError::Certificate(c),
     })?;
@@ -135,8 +131,8 @@ mod tests {
         // theta = 1/2 (each direction has capacity 1 for demand 2).
         let t = topo(2, &[(0, 1)], 2);
         let tm = TrafficMatrix::permutation(&t, &[(0, 1), (1, 0)]).unwrap();
-        let ps = PathSet::k_shortest(&t, &tm, 4).unwrap();
-        let r = solve(&ps).unwrap();
+        let ps = PathSet::k_shortest(&t, &tm, 4, &Budget::unlimited()).unwrap();
+        let r = solve(&ps, &Budget::unlimited()).unwrap();
         assert!((r.theta_lb - 0.5).abs() < 1e-9);
         assert_eq!(r.theta_lb, r.theta_ub);
     }
@@ -147,8 +143,8 @@ mod tests {
         // theta = 2.
         let t = topo(4, &[(0, 1), (1, 2), (2, 3), (3, 0)], 1);
         let tm = TrafficMatrix::permutation(&t, &[(0, 2)]).unwrap();
-        let ps = PathSet::k_shortest(&t, &tm, 4).unwrap();
-        let r = solve(&ps).unwrap();
+        let ps = PathSet::k_shortest(&t, &tm, 4, &Budget::unlimited()).unwrap();
+        let r = solve(&ps, &Budget::unlimited()).unwrap();
         assert!((r.theta_lb - 2.0).abs() < 1e-9);
         assert_eq!(r.shortest_path_fraction, 1.0);
     }
@@ -158,8 +154,8 @@ mod tests {
         let g = Graph::from_edges(2, &[(0, 1), (0, 1), (0, 1)]).unwrap();
         let t = Topology::new(g, vec![2; 2], "trunk").unwrap();
         let tm = TrafficMatrix::permutation(&t, &[(0, 1)]).unwrap();
-        let ps = PathSet::k_shortest(&t, &tm, 4).unwrap();
-        let r = solve(&ps).unwrap();
+        let ps = PathSet::k_shortest(&t, &tm, 4, &Budget::unlimited()).unwrap();
+        let r = solve(&ps, &Budget::unlimited()).unwrap();
         // Capacity 3 for demand 2 → theta 1.5.
         assert!((r.theta_lb - 1.5).abs() < 1e-9);
     }
@@ -177,8 +173,8 @@ mod tests {
         let t = topo(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)], 1);
         let tm = TrafficMatrix::permutation(&t, &[(0, 3), (3, 1), (1, 4), (4, 2), (2, 0)])
             .unwrap();
-        let ps = PathSet::k_shortest(&t, &tm, 8).unwrap();
-        let r = solve(&ps).unwrap();
+        let ps = PathSet::k_shortest(&t, &tm, 8, &Budget::unlimited()).unwrap();
+        let r = solve(&ps, &Budget::unlimited()).unwrap();
         assert!(
             (r.theta_lb - 5.0 / 6.0).abs() < 1e-9,
             "theta = {} != 5/6",

@@ -21,22 +21,14 @@ use crate::{McfError, Provenance, ThroughputResult};
 use dcn_guard::{validate, Budget};
 
 /// Solves max concurrent flow on `ps` with accuracy `eps`.
-pub fn solve(ps: &PathSet, eps: f64) -> Result<ThroughputResult, McfError> {
-    solve_budgeted(ps, eps, &Budget::unlimited())
-}
-
-/// [`solve`] under an execution [`Budget`]: one tick per augmentation, so
-/// the multiplicative-weights loop honors deadlines and iteration caps.
-/// Unlike the exact backend, a mid-run exhaustion is *not* fatal when at
-/// least one phase completed: the accumulated flow already certifies a
-/// valid (looser) bracket, which is returned with the achieved gap
-/// recorded. Exhaustion before any flow is routed propagates as
-/// [`McfError::Budget`].
-pub fn solve_budgeted(
-    ps: &PathSet,
-    eps: f64,
-    budget: &Budget,
-) -> Result<ThroughputResult, McfError> {
+///
+/// Meters one tick per augmentation, so the multiplicative-weights loop
+/// honors deadlines and iteration caps. Unlike the exact backend, a
+/// mid-run exhaustion is *not* fatal when at least one phase completed:
+/// the accumulated flow already certifies a valid (looser) bracket, which
+/// is returned with the achieved gap recorded. Exhaustion before any flow
+/// is routed propagates as [`McfError::Budget`].
+pub fn solve(ps: &PathSet, eps: f64, budget: &Budget) -> Result<ThroughputResult, McfError> {
     if !(0.0 < eps && eps < 0.5) {
         return Err(McfError::BadEps(eps));
     }
@@ -209,9 +201,9 @@ mod tests {
         let t = topo(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)], 1);
         let tm =
             TrafficMatrix::permutation(&t, &[(0, 3), (3, 1), (1, 4), (4, 2), (2, 0)]).unwrap();
-        let ps = PathSet::k_shortest(&t, &tm, 8).unwrap();
-        let ex = exact::solve(&ps).unwrap().theta_lb;
-        let ap = solve(&ps, 0.05).unwrap();
+        let ps = PathSet::k_shortest(&t, &tm, 8, &Budget::unlimited()).unwrap();
+        let ex = exact::solve(&ps, &Budget::unlimited()).unwrap().theta_lb;
+        let ap = solve(&ps, 0.05, &Budget::unlimited()).unwrap();
         assert!(
             ap.theta_lb <= ex + 1e-9 && ex <= ap.theta_ub + 1e-9,
             "bracket [{}, {}] misses exact {}",
@@ -226,8 +218,8 @@ mod tests {
     fn single_edge_converges() {
         let t = topo(2, &[(0, 1)], 2);
         let tm = TrafficMatrix::permutation(&t, &[(0, 1), (1, 0)]).unwrap();
-        let ps = PathSet::k_shortest(&t, &tm, 2).unwrap();
-        let r = solve(&ps, 0.02).unwrap();
+        let ps = PathSet::k_shortest(&t, &tm, 2, &Budget::unlimited()).unwrap();
+        let r = solve(&ps, 0.02, &Budget::unlimited()).unwrap();
         assert!((r.theta_lb - 0.5).abs() < 0.02);
         assert!(r.theta_ub >= 0.5 - 1e-9);
     }
@@ -236,9 +228,9 @@ mod tests {
     fn tighter_eps_gives_tighter_bracket() {
         let t = topo(4, &[(0, 1), (1, 2), (2, 3), (3, 0)], 1);
         let tm = TrafficMatrix::permutation(&t, &[(0, 2), (2, 0), (1, 3), (3, 1)]).unwrap();
-        let ps = PathSet::k_shortest(&t, &tm, 4).unwrap();
-        let loose = solve(&ps, 0.3).unwrap();
-        let tight = solve(&ps, 0.02).unwrap();
+        let ps = PathSet::k_shortest(&t, &tm, 4, &Budget::unlimited()).unwrap();
+        let loose = solve(&ps, 0.3, &Budget::unlimited()).unwrap();
+        let tight = solve(&ps, 0.02, &Budget::unlimited()).unwrap();
         let gl = loose.theta_ub - loose.theta_lb;
         let gt = tight.theta_ub - tight.theta_lb;
         assert!(gt <= gl + 1e-12, "gap {gt} vs {gl}");
@@ -249,8 +241,8 @@ mod tests {
     fn bad_eps_rejected() {
         let t = topo(2, &[(0, 1)], 1);
         let tm = TrafficMatrix::permutation(&t, &[(0, 1)]).unwrap();
-        let ps = PathSet::k_shortest(&t, &tm, 1).unwrap();
-        assert!(matches!(solve(&ps, 0.0), Err(McfError::BadEps(_))));
-        assert!(matches!(solve(&ps, 0.7), Err(McfError::BadEps(_))));
+        let ps = PathSet::k_shortest(&t, &tm, 1, &Budget::unlimited()).unwrap();
+        assert!(matches!(solve(&ps, 0.0, &Budget::unlimited()), Err(McfError::BadEps(_))));
+        assert!(matches!(solve(&ps, 0.7, &Budget::unlimited()), Err(McfError::BadEps(_))));
     }
 }

@@ -162,8 +162,13 @@ impl std::error::Error for McfError {
 /// paths (the paper's KSP-MCF). Convenience wrapper that builds the path
 /// set and dispatches on the engine.
 ///
+/// The [`Budget`] spans the whole computation — path enumeration and the
+/// solve share one deadline — and exhaustion surfaces as
+/// [`McfError::Budget`].
+///
 /// ```
 /// use dcn_graph::Graph;
+/// use dcn_guard::prelude::*;
 /// use dcn_mcf::{ksp_mcf_throughput, Engine};
 /// use dcn_model::{Topology, TrafficMatrix};
 ///
@@ -171,7 +176,7 @@ impl std::error::Error for McfError {
 /// let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)])?;
 /// let topo = Topology::new(g, vec![1; 5], "c5")?;
 /// let tm = TrafficMatrix::permutation(&topo, &[(0, 3), (3, 1), (1, 4), (4, 2), (2, 0)])?;
-/// let res = ksp_mcf_throughput(&topo, &tm, 8, Engine::Exact)?;
+/// let res = ksp_mcf_throughput(&topo, &tm, 8, Engine::Exact, &unlimited())?;
 /// assert!((res.theta_lb - 5.0 / 6.0).abs() < 1e-9);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
@@ -180,42 +185,22 @@ pub fn ksp_mcf_throughput(
     tm: &TrafficMatrix,
     k: usize,
     engine: Engine,
-) -> Result<ThroughputResult, McfError> {
-    let ps = PathSet::k_shortest(topo, tm, k)?;
-    throughput_on_paths(&ps, engine)
-}
-
-/// [`ksp_mcf_throughput`] under an execution [`Budget`]. The budget spans
-/// the whole computation — path enumeration and the solve share one
-/// deadline — and exhaustion surfaces as [`McfError::Budget`].
-pub fn ksp_mcf_throughput_budgeted(
-    topo: &Topology,
-    tm: &TrafficMatrix,
-    k: usize,
-    engine: Engine,
     budget: &Budget,
 ) -> Result<ThroughputResult, McfError> {
-    let ps = PathSet::k_shortest_budgeted(topo, tm, k, budget)?;
-    throughput_on_paths_budgeted(&ps, engine, budget)
+    let ps = PathSet::k_shortest(topo, tm, k, budget)?;
+    throughput_on_paths(&ps, engine, budget)
 }
 
-/// Computes `θ(T)` over an explicit path set.
+/// Computes `θ(T)` over an explicit path set, under an execution
+/// [`Budget`].
 pub fn throughput_on_paths(
-    ps: &PathSet,
-    engine: Engine,
-) -> Result<ThroughputResult, McfError> {
-    throughput_on_paths_budgeted(ps, engine, &Budget::unlimited())
-}
-
-/// [`throughput_on_paths`] under an execution [`Budget`].
-pub fn throughput_on_paths_budgeted(
     ps: &PathSet,
     engine: Engine,
     budget: &Budget,
 ) -> Result<ThroughputResult, McfError> {
     match engine {
-        Engine::Exact => exact::solve_budgeted(ps, budget),
-        Engine::Fptas { eps } => fptas::solve_budgeted(ps, eps, budget),
+        Engine::Exact => exact::solve(ps, budget),
+        Engine::Fptas { eps } => fptas::solve(ps, eps, budget),
     }
 }
 
@@ -233,14 +218,14 @@ pub fn throughput_with_fallback(
     fallback_eps: f64,
     budget: &Budget,
 ) -> Result<ThroughputResult, McfError> {
-    match exact::solve_budgeted(ps, budget) {
+    match exact::solve(ps, budget) {
         Ok(r) => Ok(r),
         Err(McfError::Budget(_)) => {
             dcn_obs::counter!(dcn_obs::names::MCF_FALLBACK_EXACT_TO_FPTAS).inc();
             dcn_obs::obs_log!(
                 "mcf: exact solve exhausted its budget; falling back to fptas eps={fallback_eps}"
             );
-            let mut r = fptas::solve_budgeted(ps, fallback_eps, budget)?;
+            let mut r = fptas::solve(ps, fallback_eps, budget)?;
             r.provenance = Provenance::FptasFallback { eps: fallback_eps };
             Ok(r)
         }
@@ -259,7 +244,7 @@ mod fallback_tests {
         let tm =
             TrafficMatrix::permutation(&topo, &[(0, 3), (3, 1), (1, 4), (4, 2), (2, 0)])
                 .unwrap();
-        PathSet::k_shortest(&topo, &tm, 8).unwrap()
+        PathSet::k_shortest(&topo, &tm, 8, &Budget::unlimited()).unwrap()
     }
 
     #[test]

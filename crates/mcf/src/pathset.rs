@@ -54,30 +54,19 @@ pub struct PathSet {
 
 impl PathSet {
     /// Builds path sets with up to `k` shortest paths per commodity.
+    ///
+    /// Path enumeration for each commodity meters the [`Budget`], so
+    /// adversarial graphs with combinatorially many near-shortest paths
+    /// cannot stall the build phase.
     pub fn k_shortest(
-        topo: &Topology,
-        tm: &TrafficMatrix,
-        k: usize,
-    ) -> Result<Self, McfError> {
-        Self::build(topo, tm, |g, src, dst| {
-            Ok(ksp::k_shortest_by_slack(g, src, dst, k, u16::MAX))
-        })
-    }
-
-    /// [`PathSet::k_shortest`] under an execution [`Budget`]: path
-    /// enumeration for each commodity meters the budget, so adversarial
-    /// graphs with combinatorially many near-shortest paths cannot stall
-    /// the build phase.
-    pub fn k_shortest_budgeted(
         topo: &Topology,
         tm: &TrafficMatrix,
         k: usize,
         budget: &Budget,
     ) -> Result<Self, McfError> {
-        Self::build(topo, tm, |g, src, dst| {
-            ksp::k_shortest_by_slack_budgeted(g, src, dst, k, u16::MAX, budget)
-                .map_err(McfError::Budget)
-        })
+        Self::build(topo, tm, |g, src, dst, budget| {
+            ksp::k_shortest_by_slack(g, src, dst, k, u16::MAX, budget).map_err(McfError::Budget)
+        }, budget)
     }
 
     /// Builds path sets containing every path within `slack` hops of the
@@ -88,16 +77,23 @@ impl PathSet {
         tm: &TrafficMatrix,
         slack: u16,
         cap: usize,
+        budget: &Budget,
     ) -> Result<Self, McfError> {
-        Self::build(topo, tm, |g, src, dst| {
-            Ok(ksp::paths_within_slack(g, src, dst, slack, cap))
-        })
+        Self::build(topo, tm, |g, src, dst, budget| {
+            ksp::paths_within_slack(g, src, dst, slack, cap, budget).map_err(McfError::Budget)
+        }, budget)
     }
 
+    /// Fans the per-commodity enumeration out across the [`dcn_exec`]
+    /// pool. Commodities are independent; results are merged in demand
+    /// order and the lowest-index failure (e.g. the first `NoPath` in
+    /// traffic-matrix order) wins, so output — including the error — is
+    /// identical to a serial build at any `DCN_EXEC_THREADS`.
     fn build(
         topo: &Topology,
         tm: &TrafficMatrix,
-        enumerate: impl Fn(&Graph, NodeId, NodeId) -> Result<Vec<ksp::Path>, McfError>,
+        enumerate: impl Fn(&Graph, NodeId, NodeId, &Budget) -> Result<Vec<ksp::Path>, McfError> + Sync,
+        budget: &Budget,
     ) -> Result<Self, McfError> {
         if tm.is_empty() {
             return Err(McfError::EmptyTraffic);
@@ -109,9 +105,9 @@ impl PathSet {
             lookup.insert((u, v), e as EdgeId);
             lookup.insert((v, u), e as EdgeId);
         }
-        let mut commodities = Vec::with_capacity(tm.len());
-        for d in tm.demands() {
-            let raw = enumerate(&graph, d.src, d.dst)?;
+        let pool = dcn_exec::Pool::from_env();
+        let commodities = pool.par_map(budget, tm.demands(), |_, d| {
+            let raw = enumerate(&graph, d.src, d.dst, budget)?;
             // min() is None exactly when no path was enumerated.
             let Some(sp_len) = raw.iter().map(|p| p.len() - 1).min() else {
                 return Err(McfError::NoPath {
@@ -133,14 +129,14 @@ impl PathSet {
                     PathRepr { nodes, hops }
                 })
                 .collect();
-            commodities.push(Commodity {
+            Ok(Commodity {
                 src: d.src,
                 dst: d.dst,
                 demand: d.amount,
                 paths,
                 sp_len,
-            });
-        }
+            })
+        })?;
         Ok(PathSet { graph, commodities })
     }
 
@@ -208,7 +204,7 @@ mod tests {
     fn builds_paths_with_hops() {
         let t = square_topo();
         let tm = TrafficMatrix::permutation(&t, &[(0, 2), (2, 0)]).unwrap();
-        let ps = PathSet::k_shortest(&t, &tm, 4).unwrap();
+        let ps = PathSet::k_shortest(&t, &tm, 4, &Budget::unlimited()).unwrap();
         assert_eq!(ps.commodities().len(), 2);
         let c = &ps.commodities()[0];
         assert_eq!(c.sp_len, 2);
@@ -224,7 +220,7 @@ mod tests {
         let t = Topology::new(g, vec![2; 4], "split").unwrap();
         let tm = TrafficMatrix::permutation(&t, &[(0, 2)]).unwrap();
         assert_eq!(
-            PathSet::k_shortest(&t, &tm, 4).unwrap_err(),
+            PathSet::k_shortest(&t, &tm, 4, &Budget::unlimited()).unwrap_err(),
             McfError::NoPath { src: 0, dst: 2 }
         );
     }
@@ -234,7 +230,7 @@ mod tests {
         let g = Graph::from_edges(2, &[(0, 1), (0, 1), (0, 1)]).unwrap();
         let t = Topology::new(g, vec![2; 2], "trunk").unwrap();
         let tm = TrafficMatrix::permutation(&t, &[(0, 1)]).unwrap();
-        let ps = PathSet::k_shortest(&t, &tm, 8).unwrap();
+        let ps = PathSet::k_shortest(&t, &tm, 8, &Budget::unlimited()).unwrap();
         assert_eq!(ps.graph().m(), 1);
         assert_eq!(ps.graph().capacity(0), 3.0);
         assert_eq!(ps.commodities()[0].paths.len(), 1);
@@ -244,7 +240,7 @@ mod tests {
     fn slack_pathset_bounded() {
         let t = square_topo();
         let tm = TrafficMatrix::permutation(&t, &[(0, 2)]).unwrap();
-        let ps = PathSet::within_slack(&t, &tm, 0, 100).unwrap();
+        let ps = PathSet::within_slack(&t, &tm, 0, 100, &Budget::unlimited()).unwrap();
         assert_eq!(ps.commodities()[0].paths.len(), 2);
         assert_eq!(ps.total_paths(), 2);
     }
@@ -253,7 +249,7 @@ mod tests {
     fn sp_fraction_counts_volume() {
         let t = square_topo();
         let tm = TrafficMatrix::permutation(&t, &[(0, 2)]).unwrap();
-        let ps = PathSet::k_shortest(&t, &tm, 8).unwrap();
+        let ps = PathSet::k_shortest(&t, &tm, 8, &Budget::unlimited()).unwrap();
         // Both paths are shortest on the square.
         let flows = vec![vec![1.0, 3.0]];
         assert_eq!(ps.shortest_path_fraction(&flows), 1.0);

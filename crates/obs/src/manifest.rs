@@ -20,6 +20,10 @@ pub struct RunManifest {
     pub wall_seconds: f64,
     /// Observability mode the run executed under (`off`/`summary`/`trace`).
     pub mode: String,
+    /// Worker-thread count the run's `dcn_exec` pools fanned out to.
+    /// Excluded from manifest diffs: the determinism contract says results
+    /// must not depend on it.
+    pub threads: u64,
     /// Metrics registry dump: (metric name, kind, field name/value pairs).
     pub metrics: Vec<ManifestMetric>,
 }
@@ -40,7 +44,7 @@ impl RunManifest {
     ///
     /// `wall_seconds` is supplied by the caller (typically measured from
     /// process start) so manifests are meaningful even under `DCN_OBS=off`.
-    pub fn capture(name: &str, seed: Option<u64>, wall_seconds: f64) -> RunManifest {
+    pub fn capture(name: &str, seed: Option<u64>, wall_seconds: f64, threads: usize) -> RunManifest {
         let metrics = snapshot()
             .into_iter()
             .map(|m: MetricSnapshot| ManifestMetric {
@@ -59,6 +63,7 @@ impl RunManifest {
             args: std::env::args().skip(1).collect(),
             wall_seconds,
             mode: mode().name().to_string(),
+            threads: threads as u64,
             metrics,
         }
     }
@@ -99,6 +104,7 @@ impl RunManifest {
             ),
             ("wall_seconds", Json::Num(self.wall_seconds)),
             ("mode", Json::from(self.mode.as_str())),
+            ("threads", Json::from(self.threads)),
             ("metrics", Json::Arr(metrics)),
         ])
         .to_string_pretty()
@@ -132,6 +138,9 @@ impl RunManifest {
             .and_then(Json::as_str)
             .unwrap_or("off")
             .to_string();
+        // Manifests written before the exec pool existed carry no thread
+        // count; 0 marks "unrecorded".
+        let threads = v.get("threads").and_then(Json::as_u64).unwrap_or(0);
         let mut metrics = Vec::new();
         for m in v.get("metrics").and_then(Json::as_array).unwrap_or(&[]) {
             let mname = m
@@ -162,6 +171,7 @@ impl RunManifest {
             args,
             wall_seconds,
             mode,
+            threads,
             metrics,
         })
     }
@@ -195,6 +205,7 @@ mod tests {
             args: vec!["--quick".into()],
             wall_seconds: 1.25,
             mode: "summary".into(),
+            threads: 4,
             metrics: vec![ManifestMetric {
                 name: "mcf.fptas.phases".into(),
                 kind: "counter".into(),
@@ -215,6 +226,7 @@ mod tests {
             args: vec![],
             wall_seconds: 0.0,
             mode: "off".into(),
+            threads: 1,
             metrics: vec![],
         };
         let back = RunManifest::from_json(&m.to_json()).unwrap();

@@ -48,7 +48,7 @@ pub const LP_SIMPLEX_REFACTOR_RESUMES: &str = "lp.simplex.refactor_resumes";
 pub const LP_SIMPLEX_PHASE1_ITERS: &str = "lp.simplex.phase1_iters";
 /// Phase-2 iterations of the two-phase simplex (counter).
 pub const LP_SIMPLEX_PHASE2_ITERS: &str = "lp.simplex.phase2_iters";
-/// One `solve`/`solve_budgeted` call (span).
+/// One `LpProblem::solve` call (span).
 pub const LP_SIMPLEX_SOLVE: &str = "lp.simplex.solve";
 
 // --- dcn-mcf ---------------------------------------------------------------
@@ -108,6 +108,19 @@ pub const CORE_TUB_FALLBACKS: &str = "core.tub.fallbacks";
 pub const CORE_RESILIENCE_DISCONNECTED_SAMPLES: &str = "core.resilience.disconnected_samples";
 /// One routed lower-bound computation (span).
 pub const CORE_LOWER: &str = "core.lower";
+
+// --- dcn-exec --------------------------------------------------------------
+
+/// Fan-out calls issued to a [`Pool`] (counter).
+pub const EXEC_POOL_RUNS: &str = "exec.pool.runs";
+/// Tasks executed across all pool runs (counter).
+pub const EXEC_POOL_TASKS: &str = "exec.pool.tasks";
+/// Pool runs cut short by a task error, deadline, or cancellation (counter).
+pub const EXEC_POOL_SHORT_CIRCUITS: &str = "exec.pool.short_circuits";
+/// Per-worker busy time per pool run, in nanoseconds (histogram).
+pub const EXEC_POOL_WORKER_BUSY_NS: &str = "exec.pool.worker_busy_ns";
+/// Worker count of the most recent pool run (gauge).
+pub const EXEC_POOL_THREADS: &str = "exec.pool.threads";
 
 // --- dcn-guard -------------------------------------------------------------
 
@@ -170,6 +183,11 @@ pub const ALL: &[&str] = &[
     CORE_TUB_FALLBACKS,
     CORE_RESILIENCE_DISCONNECTED_SAMPLES,
     CORE_LOWER,
+    EXEC_POOL_RUNS,
+    EXEC_POOL_TASKS,
+    EXEC_POOL_SHORT_CIRCUITS,
+    EXEC_POOL_WORKER_BUSY_NS,
+    EXEC_POOL_THREADS,
     GUARD_VALIDATE_FAILURES,
     GUARD_BUDGET_ITERATIONS_EXCEEDED,
     GUARD_BUDGET_DEADLINE_EXCEEDED,

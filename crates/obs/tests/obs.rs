@@ -138,8 +138,9 @@ fn manifest_captures_registry_and_round_trips() {
     counter!("obs.itest.manifest_counter").add(7);
     gauge!("obs.itest.manifest_gauge").set(0.75);
     histogram!("obs.itest.manifest_hist").record(2.0);
-    let m = RunManifest::capture("itest", Some(1234), 0.5);
+    let m = RunManifest::capture("itest", Some(1234), 0.5, 4);
     assert_eq!(m.seed, Some(1234));
+    assert_eq!(m.threads, 4);
     assert_eq!(m.mode, "summary");
     assert!(m.metric_field("obs.itest.manifest_counter", "value").unwrap() >= 7.0);
     assert_eq!(

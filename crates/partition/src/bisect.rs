@@ -23,20 +23,12 @@ pub struct PartitionResult {
 /// splitting total *server* weight as evenly as the per-switch granularity
 /// allows. `tries` independent multilevel runs are performed and the best
 /// cut returned (like `METIS` with multiple seeds).
-pub fn bisection(topo: &Topology, tries: u32, seed: u64) -> PartitionResult {
-    match bisection_budgeted(topo, tries, seed, &Budget::unlimited()) {
-        Ok(r) => r,
-        // dcn-lint: allow(panic-freedom) — an unlimited budget cannot exhaust; this wrapper keeps the infallible pre-budget API
-        Err(e) => unreachable!("unlimited budget exhausted in bisection: {e}"),
-    }
-}
-
-/// [`bisection`] under an execution [`Budget`]: one tick per FM move step
-/// across all multilevel tries. When the budget runs out after at least
-/// one completed try, the best result so far is returned (a valid, if
-/// possibly looser, cut upper bound); exhaustion before any try finishes
-/// propagates as an error.
-pub fn bisection_budgeted(
+///
+/// Meters one tick per FM move step across all multilevel tries. When the
+/// budget runs out after at least one completed try, the best result so
+/// far is returned (a valid, if possibly looser, cut upper bound);
+/// exhaustion before any try finishes propagates as an error.
+pub fn bisection(
     topo: &Topology,
     tries: u32,
     seed: u64,
@@ -184,14 +176,24 @@ fn grow_partition<R: Rng>(g: &WGraph, rng: &mut R) -> Vec<u8> {
 /// The bisection bandwidth of a topology: the best (smallest) balanced cut
 /// found across `tries` multilevel runs. Like METIS, this *over*-estimates
 /// the true bisection bandwidth (finding it exactly is NP-hard).
-pub fn bisection_bandwidth(topo: &Topology, tries: u32, seed: u64) -> f64 {
-    bisection(topo, tries, seed).cut
+pub fn bisection_bandwidth(
+    topo: &Topology,
+    tries: u32,
+    seed: u64,
+    budget: &Budget,
+) -> Result<f64, BudgetError> {
+    Ok(bisection(topo, tries, seed, budget)?.cut)
 }
 
 /// Whether the topology has full bisection bandwidth: cut capacity at
 /// least half the servers (each server at unit line rate).
-pub fn has_full_bisection(topo: &Topology, tries: u32, seed: u64) -> bool {
-    bisection_bandwidth(topo, tries, seed) >= topo.n_servers() as f64 / 2.0 - 1e-9
+pub fn has_full_bisection(
+    topo: &Topology,
+    tries: u32,
+    seed: u64,
+    budget: &Budget,
+) -> Result<bool, BudgetError> {
+    Ok(bisection_bandwidth(topo, tries, seed, budget)? >= topo.n_servers() as f64 / 2.0 - 1e-9)
 }
 
 #[cfg(test)]
@@ -217,7 +219,7 @@ mod tests {
         edges.push((0, 5));
         let g = Graph::from_edges(10, &edges).unwrap();
         let t = Topology::new(g, vec![2; 10], "dumbbell").unwrap();
-        let r = bisection(&t, 4, 7);
+        let r = bisection(&t, 4, 7, &Budget::unlimited()).unwrap();
         assert_eq!(r.cut, 1.0);
         assert_eq!(r.weights.0 + r.weights.1, 20);
         assert_eq!(r.weights.0, 10);
@@ -226,7 +228,7 @@ mod tests {
     #[test]
     fn fat_tree_has_full_bisection() {
         let t = fat_tree(4).unwrap();
-        let bbw = bisection_bandwidth(&t, 8, 3);
+        let bbw = bisection_bandwidth(&t, 8, 3, &Budget::unlimited()).unwrap();
         // Full bisection: at least N/2 = 8.
         assert!(bbw >= 8.0, "bbw = {bbw}");
     }
@@ -237,7 +239,7 @@ mod tests {
         // 32 switches, degree 8, H=4: a random 8-regular graph's balanced
         // cut is roughly n*r/4 minus expansion slack.
         let t = jellyfish(32, 8, 4, &mut rng).unwrap();
-        let bbw = bisection_bandwidth(&t, 4, 3);
+        let bbw = bisection_bandwidth(&t, 4, 3, &Budget::unlimited()).unwrap();
         assert!(bbw >= 30.0, "bbw = {bbw} too small for a degree-8 expander");
         assert!(bbw <= 64.0, "bbw = {bbw} exceeds the random-cut average");
     }
@@ -247,7 +249,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         // Degree 16 network ports vs H=4 servers: plenty of fabric capacity.
         let t = jellyfish(32, 16, 4, &mut rng).unwrap();
-        assert!(has_full_bisection(&t, 4, 3));
+        assert!(has_full_bisection(&t, 4, 3, &Budget::unlimited()).unwrap());
     }
 
     #[test]
@@ -255,9 +257,9 @@ mod tests {
         let edges: Vec<(u32, u32)> = (0..16u32).map(|i| (i, (i + 1) % 16)).collect();
         let g = Graph::from_edges(16, &edges).unwrap();
         let t = Topology::new(g, vec![1; 16], "ring").unwrap();
-        let bbw = bisection_bandwidth(&t, 8, 5);
+        let bbw = bisection_bandwidth(&t, 8, 5, &Budget::unlimited()).unwrap();
         assert_eq!(bbw, 2.0);
-        assert!(!has_full_bisection(&t, 8, 5));
+        assert!(!has_full_bisection(&t, 8, 5, &Budget::unlimited()).unwrap());
     }
 
     #[test]
@@ -266,17 +268,17 @@ mod tests {
         // Cap so tight the first multilevel try cannot finish.
         let tiny = Budget::unlimited().with_iter_cap(1);
         assert!(matches!(
-            bisection_budgeted(&t, 4, 3, &tiny),
+            bisection(&t, 4, 3, &tiny),
             Err(BudgetError::IterationsExceeded { cap: 1 })
         ));
         // A cap that lets some tries finish returns a valid partition.
         let medium = Budget::unlimited().with_iter_cap(10_000);
-        if let Ok(r) = bisection_budgeted(&t, 64, 3, &medium) {
+        if let Ok(r) = bisection(&t, 64, 3, &medium) {
             assert_eq!(r.weights.0 + r.weights.1, t.n_servers() as u64);
         }
-        // Unlimited matches the legacy entry point.
-        let a = bisection(&t, 4, 3);
-        let b = bisection_budgeted(&t, 4, 3, &Budget::unlimited()).unwrap();
+        // Unlimited budgets are deterministic for a fixed seed.
+        let a = bisection(&t, 4, 3, &Budget::unlimited()).unwrap();
+        let b = bisection(&t, 4, 3, &Budget::unlimited()).unwrap();
         assert_eq!(a.cut, b.cut);
     }
 
@@ -287,7 +289,7 @@ mod tests {
         // center's extra edge when the center's side has 2 leaves).
         let g = Graph::from_edges(5, &[(4, 0), (4, 1), (4, 2), (4, 3)]).unwrap();
         let t = Topology::new(g, vec![2, 2, 2, 2, 0], "star").unwrap();
-        let r = bisection(&t, 8, 2);
+        let r = bisection(&t, 8, 2, &Budget::unlimited()).unwrap();
         assert_eq!(r.weights.0, 4);
         assert_eq!(r.weights.1, 4);
         assert_eq!(r.cut, 2.0);
@@ -338,7 +340,7 @@ mod exhaustive_tests {
         let mut rng = StdRng::seed_from_u64(13);
         for trial in 0..4 {
             let t = jellyfish(12, 4, 2, &mut rng).unwrap();
-            let heuristic = bisection_bandwidth(&t, 8, trial);
+            let heuristic = bisection_bandwidth(&t, 8, trial, &Budget::unlimited()).unwrap();
             let exact = exhaustive_best_cut(&t);
             // The heuristic is an upper bound on the true minimum...
             assert!(
@@ -370,6 +372,6 @@ mod exhaustive_tests {
         .unwrap();
         let t = Topology::new(g, vec![2; 6], "dumbbell").unwrap();
         assert_eq!(exhaustive_best_cut(&t), 1.0);
-        assert_eq!(bisection_bandwidth(&t, 8, 3), 1.0);
+        assert_eq!(bisection_bandwidth(&t, 8, 3, &Budget::unlimited()).unwrap(), 1.0);
     }
 }

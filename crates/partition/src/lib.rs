@@ -32,9 +32,7 @@ pub mod coarsen;
 pub mod fm;
 pub mod spectral;
 
-pub use bisect::{
-    bisection, bisection_bandwidth, bisection_budgeted, has_full_bisection, PartitionResult,
-};
+pub use bisect::{bisection, bisection_bandwidth, has_full_bisection, PartitionResult};
 pub use spectral::sparsest_cut_sweep;
 
 /// A weighted graph used internally across coarsening levels.

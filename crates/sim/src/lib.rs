@@ -48,11 +48,19 @@ pub enum SimError {
     },
     /// No flows to allocate.
     NoFlows,
+    /// Path enumeration exhausted its budget.
+    Budget(dcn_guard::BudgetError),
 }
 
 impl From<ModelError> for SimError {
     fn from(e: ModelError) -> Self {
         SimError::Model(e)
+    }
+}
+
+impl From<dcn_guard::BudgetError> for SimError {
+    fn from(e: dcn_guard::BudgetError) -> Self {
+        SimError::Budget(e)
     }
 }
 
@@ -62,6 +70,7 @@ impl std::fmt::Display for SimError {
             SimError::Model(e) => write!(f, "model: {e}"),
             SimError::NoPath { src, dst } => write!(f, "no path {src} -> {dst}"),
             SimError::NoFlows => write!(f, "no flows"),
+            SimError::Budget(e) => write!(f, "path enumeration aborted: {e}"),
         }
     }
 }

@@ -5,7 +5,9 @@ use crate::SimError;
 use dcn_graph::{ksp, Graph, NodeId};
 use dcn_model::Topology;
 use rand::rngs::StdRng;
+use dcn_guard::Budget;
 use rand::{Rng, SeedableRng};
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 
 /// How each flow picks its path.
@@ -122,10 +124,17 @@ impl<'g> PathCache<'g> {
         dst: u32,
         rng: &mut R,
     ) -> Result<ksp::Path, SimError> {
-        let paths = self
-            .shortest
-            .entry((src, dst))
-            .or_insert_with(|| ksp::paths_within_slack(self.graph, src, dst, 0, 64));
+        let paths = match self.shortest.entry((src, dst)) {
+            Entry::Occupied(e) => e.into_mut(),
+            Entry::Vacant(v) => v.insert(ksp::paths_within_slack(
+                self.graph,
+                src,
+                dst,
+                0,
+                64,
+                &Budget::unlimited(),
+            )?),
+        };
         if paths.is_empty() {
             return Err(SimError::NoPath { src, dst });
         }
@@ -133,10 +142,17 @@ impl<'g> PathCache<'g> {
     }
 
     fn k_shortest(&mut self, src: u32, dst: u32, k: usize) -> Result<&[ksp::Path], SimError> {
-        let paths = self
-            .ksp
-            .entry((src, dst, k))
-            .or_insert_with(|| ksp::k_shortest_by_slack(self.graph, src, dst, k, u16::MAX));
+        let paths = match self.ksp.entry((src, dst, k)) {
+            Entry::Occupied(e) => e.into_mut(),
+            Entry::Vacant(v) => v.insert(ksp::k_shortest_by_slack(
+                self.graph,
+                src,
+                dst,
+                k,
+                u16::MAX,
+                &Budget::unlimited(),
+            )?),
+        };
         if paths.is_empty() {
             return Err(SimError::NoPath { src, dst });
         }

@@ -14,6 +14,7 @@
 use dcn::core::frontier::Family;
 use dcn::core::universal::{full_throughput_possible, UniRegularParams};
 use dcn::core::{tub, MatchingBackend};
+use dcn::guard::prelude::*;
 use dcn::partition::bisection_bandwidth;
 use dcn::topo::folded_clos;
 
@@ -30,8 +31,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Clos baseline.
     if let Some((p, sw)) = dcn::core::cost::min_clos_switches(n_servers, radix) {
         let topo = folded_clos(p)?;
-        let t = tub(&topo, MatchingBackend::Auto { exact_below: 600 })?;
-        let bbw = bisection_bandwidth(&topo, 3, 7) / (topo.n_servers() as f64 / 2.0);
+        let t = tub(&topo, MatchingBackend::Auto { exact_below: 600 }, &unlimited())?;
+        let bbw =
+            bisection_bandwidth(&topo, 3, 7, &unlimited())? / (topo.n_servers() as f64 / 2.0);
         println!(
             "{:<18} {:>4} {:>9} {:>7.3} {:>9.3} {:>12}",
             format!("clos({}L)", p.layers),
@@ -56,8 +58,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 Ok(t) => t,
                 Err(_) => continue,
             };
-            let t = tub(&topo, MatchingBackend::Auto { exact_below: 600 })?;
-            let bbw = bisection_bandwidth(&topo, 3, 7) / (topo.n_servers() as f64 / 2.0);
+            let t = tub(&topo, MatchingBackend::Auto { exact_below: 600 }, &unlimited())?;
+            let bbw =
+                bisection_bandwidth(&topo, 3, 7, &unlimited())? / (topo.n_servers() as f64 / 2.0);
             let permitted = full_throughput_possible(UniRegularParams {
                 n_servers: topo.n_servers(),
                 radix,

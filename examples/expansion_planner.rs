@@ -11,6 +11,7 @@
 //! ```
 
 use dcn::core::expansion_eval::expansion_curve;
+use dcn::guard::prelude::*;
 use dcn::core::frontier::Family;
 use dcn::core::{tub, MatchingBackend};
 
@@ -29,7 +30,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         topo.n_switches(),
         target
     );
-    let curve = expansion_curve(&topo, h, steps.max(1), 0.2, backend, 5)?;
+    let curve = expansion_curve(&topo, h, steps.max(1), 0.2, backend, 5, &unlimited())?;
     println!("{:>8} {:>9} {:>7} {:>11}", "ratio", "switches", "tub", "normalized");
     for p in &curve {
         println!(
@@ -53,7 +54,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // What should the designer have picked for the target size?
     for h_plan in (1..h).rev() {
         let planned = Family::Jellyfish.build(target * h as usize / h_plan as usize, radix, h_plan, 3)?;
-        let t = tub(&planned, backend)?;
+        let t = tub(&planned, backend, &unlimited())?;
         if t.bound >= 1.0 - 1e-9 {
             println!(
                 "   planning ahead: H={h_plan} keeps tub = {:.3} at the target size \

@@ -11,6 +11,7 @@
 use dcn::core::frontier::Family;
 use dcn::core::resilience::{failure_sweep, rms_deviation};
 use dcn::core::MatchingBackend;
+use dcn::guard::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().collect();
@@ -32,6 +33,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         3,
         MatchingBackend::Auto { exact_below: 500 },
         13,
+        &unlimited(),
     )?;
     println!("{:>9} {:>9} {:>9} {:>10}", "failed", "nominal", "actual", "deviation");
     for p in &points {

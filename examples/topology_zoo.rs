@@ -10,6 +10,7 @@
 
 use dcn::core::{report_card, MatchingBackend};
 use dcn::graph::edge_connectivity;
+use dcn::guard::prelude::*;
 use dcn::model::Topology;
 use dcn::topo::{
     dragonfly, f10, fat_tree, fatclique, jellyfish, slimfly, spinefree, xpander,
@@ -47,10 +48,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?);
 
     for topo in &zoo {
-        let card = report_card(topo, MatchingBackend::Auto { exact_below: 400 }, 3, 7)?;
+        let card = report_card(topo, MatchingBackend::Auto { exact_below: 400 }, 3, 7, &unlimited())?;
         print!("{}", card.render());
         // Edge connectivity: affordable at zoo sizes.
-        let ec = edge_connectivity(topo.graph());
+        let ec = edge_connectivity(topo.graph(), &unlimited())?;
         let min_deg = (0..topo.n_switches() as u32)
             .map(|u| {
                 topo.graph()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Diff two run manifests under the exec determinism contract.
+
+Usage: manifest_diff.py A.manifest.json B.manifest.json
+
+Compares everything that is supposed to be deterministic across
+`DCN_EXEC_THREADS` values and exits 1 on any difference:
+
+  * manifest `name`, `seed`, and `mode`
+  * the set of (metric name, kind) pairs
+  * every **counter** value (solver iteration counts, pool task counts,
+    short-circuits, fallback counts, ... are all scheduling-independent)
+
+Deliberately excluded, because they are *allowed* to differ between
+runs or thread counts:
+
+  * `threads` (the whole point of the smoke test)
+  * `wall_seconds` and `args`
+  * gauge / histogram / span values (they carry thread counts and
+    wall-clock durations; their *presence* is still checked above)
+"""
+
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def main():
+    if len(sys.argv) != 3:
+        sys.exit(__doc__)
+    a, b = load(sys.argv[1]), load(sys.argv[2])
+    errors = []
+
+    for key in ("name", "seed", "mode"):
+        if a.get(key) != b.get(key):
+            errors.append(f"{key}: {a.get(key)!r} != {b.get(key)!r}")
+
+    ma = {(m["name"], m["kind"]): m for m in a.get("metrics", [])}
+    mb = {(m["name"], m["kind"]): m for m in b.get("metrics", [])}
+    for missing in sorted(set(ma) ^ set(mb)):
+        side = "only in A" if missing in ma else "only in B"
+        errors.append(f"metric {missing[0]} ({missing[1]}): {side}")
+
+    for key in sorted(set(ma) & set(mb)):
+        name, kind = key
+        if kind != "counter":
+            continue
+        va, vb = ma[key]["fields"], mb[key]["fields"]
+        if va != vb:
+            errors.append(f"counter {name}: {va} != {vb}")
+
+    if errors:
+        print(f"manifest diff: {len(errors)} difference(s)")
+        for e in errors:
+            print(f"  {e}")
+        sys.exit(1)
+    print("manifests agree on all deterministic fields")
+
+
+if __name__ == "__main__":
+    main()

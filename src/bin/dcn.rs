@@ -14,6 +14,7 @@ use dcn::core::frontier::{frontier_max_servers, Criterion, Family};
 use dcn::core::universal::{max_full_throughput_servers, universal_tub, UniRegularParams};
 use dcn::core::{tub, MatchingBackend};
 use dcn::graph::adjacency_lambda2;
+use dcn::guard::prelude::*;
 use dcn::mcf::{ecmp_throughput, ksp_mcf_throughput, Engine};
 use dcn::model::Topology;
 use dcn::partition::bisection_bandwidth;
@@ -155,9 +156,9 @@ fn cmd_eval(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         topo.graph().m(),
         topo.class()
     );
-    let bound = tub(&topo, MatchingBackend::default())?;
+    let bound = tub(&topo, MatchingBackend::default(), &unlimited())?;
     println!("tub                 = {:.4}  ({})", bound.bound, bound.backend);
-    let bbw = bisection_bandwidth(&topo, 4, 7);
+    let bbw = bisection_bandwidth(&topo, 4, 7, &unlimited())?;
     println!(
         "bisection bandwidth = {bbw:.1}  ({:.3} of N/2)",
         bbw / (topo.n_servers() as f64 / 2.0)
@@ -173,7 +174,7 @@ fn cmd_eval(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         let k: usize = args.get("k", 16);
         let eps: f64 = args.get("eps", 0.05);
         let tm = bound.traffic_matrix(&topo)?;
-        let mcf = ksp_mcf_throughput(&topo, &tm, k, Engine::Fptas { eps })?;
+        let mcf = ksp_mcf_throughput(&topo, &tm, k, Engine::Fptas { eps }, &unlimited())?;
         println!(
             "ksp-mcf θ(worst)    = [{:.4}, {:.4}]  (K = {k}, eps = {eps})",
             mcf.theta_lb, mcf.theta_ub
@@ -205,7 +206,7 @@ fn cmd_frontier(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
             backend: MatchingBackend::Auto { exact_below: 600 },
         },
     };
-    match frontier_max_servers(family, radix, h, criterion, max_switches, seed)? {
+    match frontier_max_servers(family, radix, h, criterion, max_switches, seed, &unlimited())? {
         Some(n) => println!(
             "{} radix={radix} H={h}: largest size satisfying the criterion ≈ {n} servers"
         , family.name()),

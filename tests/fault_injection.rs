@@ -6,19 +6,16 @@
 //! test is uniform: hostile input yields a **typed error** (or a sound
 //! degraded result) — never a panic, never a hang, never a silent NaN.
 
-use dcn::graph::ksp::yen_budgeted;
+use dcn::graph::ksp::yen;
 use dcn::graph::{Graph, GraphError};
 use dcn::guard::adversarial::{all_cases, hostile_floats, CaseSpec, Xorshift};
 use dcn::guard::{Budget, BudgetError, CancelFlag};
 use dcn::lp::{Cmp, LinearProgram, LpError, LpStatus};
-use dcn::matching::hungarian_max_budgeted;
-use dcn::mcf::{
-    ksp_mcf_throughput, ksp_mcf_throughput_budgeted, throughput_with_fallback, Engine,
-    McfError, PathSet,
-};
+use dcn::matching::hungarian_max;
+use dcn::mcf::{ksp_mcf_throughput, throughput_with_fallback, Engine, McfError, PathSet};
 use dcn::model::{Demand, ModelError, Topology, TrafficMatrix};
-use dcn::partition::bisection_budgeted;
-use dcn::core::{tub_budgeted, MatchingBackend};
+use dcn::partition::bisection;
+use dcn::core::{tub, MatchingBackend};
 use std::time::{Duration, Instant};
 
 /// A 6-cycle with one server per switch: small enough that every solver
@@ -89,7 +86,7 @@ fn materialize_and_assert(case: CaseSpec) {
                 .expect("zero capacity is representable");
             let t = Topology::new(g, vec![1; 3], "deadlink").expect("builds");
             let tm = TrafficMatrix::permutation(&t, &[(0, 2)]).expect("valid tm");
-            match ksp_mcf_throughput(&t, &tm, 4, Engine::Exact) {
+            match ksp_mcf_throughput(&t, &tm, 4, Engine::Exact, &Budget::unlimited()) {
                 Ok(r) => {
                     assert!(r.theta_lb.is_finite() && r.theta_lb.abs() < 1e-9, "{r:?}");
                 }
@@ -109,12 +106,12 @@ fn materialize_and_assert(case: CaseSpec) {
             let g = Graph::from_edges(4, &[(0, 1), (2, 3)]).expect("two components");
             let t = Topology::new(g, vec![1; 4], "split").expect("builds");
             let tm = TrafficMatrix::permutation(&t, &[(0, 2)]).expect("valid tm");
-            let err = ksp_mcf_throughput(&t, &tm, 4, Engine::Exact).unwrap_err();
+            let err = ksp_mcf_throughput(&t, &tm, 4, Engine::Exact, &Budget::unlimited()).unwrap_err();
             assert_eq!(err, McfError::NoPath { src: 0, dst: 2 });
         }
         CaseSpec::EmptyTraffic => {
             let tm = TrafficMatrix::new(&topo, Vec::new()).expect("empty tm is legal");
-            let err = ksp_mcf_throughput(&topo, &tm, 4, Engine::Exact).unwrap_err();
+            let err = ksp_mcf_throughput(&topo, &tm, 4, Engine::Exact, &Budget::unlimited()).unwrap_err();
             assert_eq!(err, McfError::EmptyTraffic);
         }
         CaseSpec::DegenerateLp => {
@@ -127,7 +124,7 @@ fn materialize_and_assert(case: CaseSpec) {
                 lp.add_constraint(&[(0, 1.0), (1, 1.0)], Cmp::Le, 1.0);
             }
             let sol = lp
-                .solve_budgeted(&Budget::unlimited().with_iter_cap(10_000))
+                .solve(&Budget::unlimited().with_iter_cap(10_000))
                 .expect("degenerate LP must terminate");
             assert_eq!(sol.status, LpStatus::Optimal);
             assert!((sol.objective - 1.0).abs() < 1e-9);
@@ -138,7 +135,7 @@ fn materialize_and_assert(case: CaseSpec) {
             lp.add_constraint(&[(0, 1.0)], Cmp::Ge, 2.0);
             lp.add_constraint(&[(0, 1.0)], Cmp::Le, 1.0);
             let sol = lp
-                .solve_budgeted(&Budget::unlimited())
+                .solve(&Budget::unlimited())
                 .expect("infeasibility is a status, not an error");
             assert_eq!(sol.status, LpStatus::Infeasible);
         }
@@ -147,7 +144,7 @@ fn materialize_and_assert(case: CaseSpec) {
             lp.set_objective(&[(0, 1.0)]);
             lp.add_constraint(&[(1, 1.0)], Cmp::Le, 1.0);
             let sol = lp
-                .solve_budgeted(&Budget::unlimited())
+                .solve(&Budget::unlimited())
                 .expect("unboundedness is a status, not an error");
             assert_eq!(sol.status, LpStatus::Unbounded);
         }
@@ -155,8 +152,7 @@ fn materialize_and_assert(case: CaseSpec) {
             let tm = antipodal_tm(&topo);
             let budget = Budget::unlimited().with_wall(Duration::from_nanos(1));
             let started = Instant::now();
-            let err = ksp_mcf_throughput_budgeted(&topo, &tm, 8, Engine::Exact, &budget)
-                .unwrap_err();
+            let err = ksp_mcf_throughput(&topo, &tm, 8, Engine::Exact, &budget).unwrap_err();
             assert!(
                 matches!(err, McfError::Budget(BudgetError::DeadlineExceeded { .. })),
                 "{err:?}"
@@ -169,22 +165,22 @@ fn materialize_and_assert(case: CaseSpec) {
             let zero_ticks = Budget::unlimited().with_iter_cap(0);
             // Simplex: the first pivot already exceeds the cap.
             assert!(matches!(
-                working_lp().solve_budgeted(&zero_ticks),
+                working_lp().solve(&zero_ticks),
                 Err(LpError::Budget(BudgetError::IterationsExceeded { .. }))
             ));
             // Yen: the spur loop ticks before any extra path is found.
             assert!(matches!(
-                yen_budgeted(topo.graph(), 0, 3, 8, &zero_ticks),
+                yen(topo.graph(), 0, 3, 8, &zero_ticks),
                 Err(BudgetError::IterationsExceeded { .. })
             ));
             // Hungarian: ticks per augmenting-path step.
             assert!(matches!(
-                hungarian_max_budgeted(4, |i, j| (i + j) as i64, &zero_ticks),
+                hungarian_max(4, |i, j| (i + j) as i64, &zero_ticks),
                 Err(BudgetError::IterationsExceeded { .. })
             ));
             // FM bisection: exhaustion before the first completed try.
             assert!(matches!(
-                bisection_budgeted(&topo, 2, 11, &zero_ticks),
+                bisection(&topo, 2, 11, &zero_ticks),
                 Err(BudgetError::IterationsExceeded { .. })
             ));
         }
@@ -193,8 +189,7 @@ fn materialize_and_assert(case: CaseSpec) {
             flag.cancel();
             let budget = Budget::unlimited().with_cancel(flag);
             let tm = antipodal_tm(&topo);
-            let err = ksp_mcf_throughput_budgeted(&topo, &tm, 8, Engine::Exact, &budget)
-                .unwrap_err();
+            let err = ksp_mcf_throughput(&topo, &tm, 8, Engine::Exact, &budget).unwrap_err();
             assert!(
                 matches!(err, McfError::Budget(BudgetError::Cancelled { .. })),
                 "{err:?}"
@@ -223,7 +218,7 @@ fn hostile_floats_never_panic_model_constructors() {
         // Traffic scaling must not manufacture NaN demands that later
         // solvers choke on without a typed error.
         let tm = antipodal_tm(&topo).scaled(v);
-        match ksp_mcf_throughput(&topo, &tm, 4, Engine::Exact) {
+        match ksp_mcf_throughput(&topo, &tm, 4, Engine::Exact, &Budget::unlimited()) {
             Ok(r) => assert!(r.theta_lb.is_finite(), "theta from scale {v}: {r:?}"),
             Err(e) => assert!(
                 matches!(e, McfError::Certificate(_) | McfError::SolverFailure(_)),
@@ -243,21 +238,21 @@ fn hostile_floats_screened_out_of_lps() {
         let mut lp = working_lp();
         lp.set_objective(&[(0, v)]);
         assert!(
-            matches!(lp.solve_budgeted(&Budget::unlimited()), Err(LpError::BadInput(_))),
+            matches!(lp.solve(&Budget::unlimited()), Err(LpError::BadInput(_))),
             "objective {v} must be screened"
         );
         // Poisoned rhs.
         let mut lp = working_lp();
         lp.add_constraint(&[(0, 1.0)], Cmp::Le, v);
         assert!(
-            matches!(lp.solve_budgeted(&Budget::unlimited()), Err(LpError::BadInput(_))),
+            matches!(lp.solve(&Budget::unlimited()), Err(LpError::BadInput(_))),
             "rhs {v} must be screened"
         );
         // Poisoned coefficient.
         let mut lp = working_lp();
         lp.add_constraint(&[(0, v)], Cmp::Le, 1.0);
         assert!(
-            matches!(lp.solve_budgeted(&Budget::unlimited()), Err(LpError::BadInput(_))),
+            matches!(lp.solve(&Budget::unlimited()), Err(LpError::BadInput(_))),
             "coefficient {v} must be screened"
         );
     }
@@ -268,13 +263,13 @@ fn fallback_chains_absorb_exhaustion_end_to_end() {
     let topo = ring6();
     let tm = antipodal_tm(&topo);
     // Simplex starved, FPTAS viable: the chain degrades instead of failing.
-    let ps = PathSet::k_shortest(&topo, &tm, 8).expect("paths");
+    let ps = PathSet::k_shortest(&topo, &tm, 8, &Budget::unlimited()).expect("paths");
     let r = throughput_with_fallback(&ps, 0.05, &Budget::unlimited().with_iter_cap(8))
         .expect("fallback absorbs the exhaustion");
     assert!(r.provenance.is_degraded());
     assert!(r.theta_lb.is_finite() && r.theta_ub.is_finite());
     // Hungarian starved: tub degrades to the greedy witness, still sound.
-    let t = tub_budgeted(
+    let t = tub(
         &topo,
         MatchingBackend::Exact,
         &Budget::unlimited().with_iter_cap(0),
@@ -312,7 +307,7 @@ fn cancellation_mid_run_stops_promptly() {
     let started = Instant::now();
     // Either it finishes before the flag trips (tiny instance, fast box)
     // or it reports Cancelled — never a wedge.
-    match tub_budgeted(&topo, MatchingBackend::Exact, &budget) {
+    match tub(&topo, MatchingBackend::Exact, &budget) {
         Ok(t) => assert!(t.bound.is_finite()),
         Err(e) => assert!(format!("{e}").contains("cancelled"), "{e:?}"),
     }
@@ -346,7 +341,7 @@ fn random_hostile_lps_terminate_under_budget() {
             let rhs = rng.next_f64() * 6.0 - 3.0;
             lp.add_constraint(&coeffs, cmp, rhs);
         }
-        match lp.solve_budgeted(&Budget::unlimited().with_iter_cap(50_000)) {
+        match lp.solve(&Budget::unlimited().with_iter_cap(50_000)) {
             Ok(sol) => {
                 if sol.status == LpStatus::Optimal {
                     assert!(sol.objective.is_finite(), "case {case}: {sol:?}");

@@ -2,6 +2,7 @@
 //! generated topologies and traffic.
 
 use dcn::core::{tub, MatchingBackend};
+use dcn::guard::prelude::*;
 use dcn::graph::{ksp, DistMatrix, Graph};
 use dcn::lp::{Cmp, LinearProgram, LpStatus};
 use dcn::matching::{greedy_max, hungarian_max, improve_2swap};
@@ -56,8 +57,8 @@ proptest! {
         let topo = jellyfish(n, r, h, &mut rng).unwrap();
         let g = topo.graph().coalesced();
         let dst = (n - 1) as u32;
-        let a = ksp::yen(&g, 0, dst, 12);
-        let b = ksp::k_shortest_by_slack(&g, 0, dst, 12, u16::MAX);
+        let a = ksp::yen(&g, 0, dst, 12, &unlimited()).unwrap();
+        let b = ksp::k_shortest_by_slack(&g, 0, dst, 12, u16::MAX, &unlimited()).unwrap();
         let la: Vec<usize> = a.iter().map(|p| p.len() - 1).collect();
         let lb: Vec<usize> = b.iter().map(|p| p.len() - 1).collect();
         prop_assert_eq!(&la, &lb);
@@ -71,11 +72,11 @@ proptest! {
         prop_assume!(n <= 24); // keep the exact LP affordable
         let mut rng = StdRng::seed_from_u64(seed);
         let topo = jellyfish(n, r, h, &mut rng).unwrap();
-        let exact_b = tub(&topo, MatchingBackend::Exact).unwrap();
-        let greedy_b = tub(&topo, MatchingBackend::Greedy { improvement_passes: 2 }).unwrap();
+        let exact_b = tub(&topo, MatchingBackend::Exact, &unlimited()).unwrap();
+        let greedy_b = tub(&topo, MatchingBackend::Greedy { improvement_passes: 2 }, &unlimited()).unwrap();
         prop_assert!(greedy_b.bound >= exact_b.bound - 1e-12);
         let tm = exact_b.traffic_matrix(&topo).unwrap();
-        let th = ksp_mcf_throughput(&topo, &tm, 16, Engine::Exact).unwrap().theta_lb;
+        let th = ksp_mcf_throughput(&topo, &tm, 16, Engine::Exact, &unlimited()).unwrap().theta_lb;
         prop_assert!(th <= exact_b.bound + 1e-9,
             "θ {} > tub {}", th, exact_b.bound);
     }
@@ -88,7 +89,7 @@ proptest! {
         let mut rng = StdRng::seed_from_u64(seed);
         let topo = jellyfish(n, r, h, &mut rng).unwrap();
         let tm = TrafficMatrix::random_permutation(&topo, &mut rng).unwrap();
-        let res = ksp_mcf_throughput(&topo, &tm, 8, Engine::Fptas { eps: 0.1 }).unwrap();
+        let res = ksp_mcf_throughput(&topo, &tm, 8, Engine::Fptas { eps: 0.1 }, &unlimited()).unwrap();
         prop_assert!(res.theta_lb <= res.theta_ub + 1e-12);
         prop_assert!(res.theta_lb > 0.0);
         prop_assert!((0.0..=1.0 + 1e-9).contains(&res.shortest_path_fraction));
@@ -103,7 +104,7 @@ proptest! {
             .map(|_| (0..n).map(|_| rand::Rng::gen_range(&mut rng, 0..100)).collect())
             .collect();
         let w = |i: usize, j: usize| mat[i][j];
-        let h = hungarian_max(n, w);
+        let h = hungarian_max(n, w, &unlimited()).unwrap();
         let mut g = greedy_max(n, w);
         improve_2swap(n, w, &mut g, 4);
         prop_assert!(h.is_permutation());
@@ -147,7 +148,7 @@ proptest! {
             lp.add_constraint(&coeffs, Cmp::Le, rhs);
             rows.push((coeffs, rhs));
         }
-        let sol = lp.solve();
+        let sol = lp.solve(&unlimited()).unwrap();
         prop_assert_eq!(sol.status, LpStatus::Optimal);
         for (coeffs, rhs) in rows {
             let lhs: f64 = coeffs.iter().map(|&(j, c)| c * sol.x[j]).sum();
