@@ -15,7 +15,7 @@ use dcn_guard::prelude::*;
 
 fn jellyfish_with_tm(n_sw: usize) -> (Topology, TrafficMatrix) {
     let topo = Family::Jellyfish.build(n_sw, 12, 4, 101).expect("jellyfish");
-    let t = dcn_core::tub(&topo, MatchingBackend::Auto { exact_below: 500 }, &unlimited()).expect("tub");
+    let t = dcn_core::tub(&topo, MatchingBackend::Auto { exact_below: 500 }, &dcn_cache::prelude::nocache(), &unlimited()).expect("tub");
     let tm = t.traffic_matrix(&topo).expect("tm");
     (topo, tm)
 }
@@ -26,7 +26,7 @@ fn bench_tub_backends(c: &mut Criterion) {
     for n_sw in [48usize, 128, 256] {
         let (topo, _) = jellyfish_with_tm(n_sw);
         g.bench_with_input(BenchmarkId::new("hungarian", n_sw), &topo, |b, t| {
-            b.iter(|| dcn_core::tub(t, MatchingBackend::Exact, &unlimited()).unwrap().bound)
+            b.iter(|| dcn_core::tub(t, MatchingBackend::Exact, &dcn_cache::prelude::nocache(), &unlimited()).unwrap().bound)
         });
         g.bench_with_input(BenchmarkId::new("greedy", n_sw), &topo, |b, t| {
             b.iter(|| {
@@ -35,6 +35,7 @@ fn bench_tub_backends(c: &mut Criterion) {
                     MatchingBackend::Greedy {
                         improvement_passes: 2,
                     },
+                    &dcn_cache::prelude::nocache(),
                     &unlimited(),
                 )
                 .unwrap()
@@ -61,7 +62,7 @@ fn bench_estimators(c: &mut Criterion) {
     ];
     for est in estimators {
         g.bench_function(est.name(), |b| {
-            b.iter(|| est.estimate(&topo, &tm, &unlimited()).unwrap())
+            b.iter(|| est.estimate(&topo, &tm, &dcn_cache::prelude::nocache(), &unlimited()).unwrap())
         });
     }
     g.finish();
@@ -73,7 +74,7 @@ fn bench_mcf_engines(c: &mut Criterion) {
     let (topo, tm) = jellyfish_with_tm(32);
     g.bench_function("exact_simplex", |b| {
         b.iter(|| {
-            ksp_mcf_throughput(&topo, &tm, 16, Engine::Exact, &unlimited())
+            ksp_mcf_throughput(&topo, &tm, 16, Engine::Exact, &dcn_cache::prelude::nocache(), &unlimited())
                 .unwrap()
                 .theta_lb
         })
@@ -81,7 +82,7 @@ fn bench_mcf_engines(c: &mut Criterion) {
     for eps in [0.1, 0.05, 0.02] {
         g.bench_function(format!("fptas_eps{eps}"), |b| {
             b.iter(|| {
-                ksp_mcf_throughput(&topo, &tm, 16, Engine::Fptas { eps }, &unlimited())
+                ksp_mcf_throughput(&topo, &tm, 16, Engine::Fptas { eps }, &dcn_cache::prelude::nocache(), &unlimited())
                     .unwrap()
                     .theta_lb
             })

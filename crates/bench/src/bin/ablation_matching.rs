@@ -15,6 +15,7 @@ fn main() -> ExitCode {
 }
 
 fn run() -> Result<(), Box<dyn std::error::Error>> {
+    let cache = dcn_bench::cache();
     let radix = 12u32;
     let h = 4u32;
     let sizes: &[usize] = if quick_mode() {
@@ -28,7 +29,7 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     );
     for &n_sw in sizes {
         let topo = Family::Jellyfish.build(n_sw, radix, h, 81)?;
-        let (exact, te) = timed(|| tub(&topo, MatchingBackend::Exact, &unlimited()));
+        let (exact, te) = timed(|| tub(&topo, MatchingBackend::Exact, &cache, &unlimited()));
         let exact = exact?;
         let backends = [
             (
@@ -52,7 +53,7 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
             &format!("{te:.3}"),
         ]);
         for (name, b) in backends {
-            let (g, tg) = timed(|| tub(&topo, b, &unlimited()));
+            let (g, tg) = timed(|| tub(&topo, b, &cache, &unlimited()));
             let g = g?;
             let loosen = (g.bound / exact.bound - 1.0) * 100.0;
             table.row(&[

@@ -19,6 +19,7 @@ fn main() -> ExitCode {
 }
 
 fn run() -> Result<(), Box<dyn std::error::Error>> {
+    let cache = dcn_bench::cache();
     let radix = 12u32;
     let h = 4u32;
     let sizes: &[usize] = if quick_mode() { &[16, 32] } else { &[16, 32, 64] };
@@ -28,7 +29,7 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     );
     for &n_sw in sizes {
         let topo = Family::Jellyfish.build(n_sw, radix, h, 91)?;
-        let (sw_level, ts) = timed(|| tub(&topo, MatchingBackend::Exact, &unlimited()));
+        let (sw_level, ts) = timed(|| tub(&topo, MatchingBackend::Exact, &cache, &unlimited()));
         let sw_level = sw_level?;
 
         // Server-level: expand each switch into H virtual servers; the

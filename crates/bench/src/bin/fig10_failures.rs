@@ -22,6 +22,7 @@ fn main() -> ExitCode {
 }
 
 fn run() -> Result<(), Box<dyn std::error::Error>> {
+    let cache = dcn_bench::cache();
     let radix = 12u32;
     let h = 4u32;
     let backend = MatchingBackend::Auto { exact_below: 500 };
@@ -40,7 +41,7 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     let mut tb = Table::new("fig10c_deviation", &["switches", "servers", "rms_deviation"]);
     for &n_sw in sizes {
         let topo = Family::Jellyfish.build(n_sw, radix, h, 31)?;
-        let pts = failure_sweep(&topo, fractions, trials, backend, 37, &unlimited())?;
+        let pts = failure_sweep(&topo, fractions, trials, backend, 37, &cache, &unlimited())?;
         for p in &pts {
             // Empty points (every sample disconnected) print as "-" rather
             // than a fabricated zero.

@@ -21,6 +21,7 @@ fn main() -> ExitCode {
 }
 
 fn run() -> Result<(), Box<dyn std::error::Error>> {
+    let cache = dcn_bench::cache();
     let radix = 12u32;
     let h = 4u32;
     let family = Family::Jellyfish;
@@ -37,9 +38,9 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     );
     for &n_sw in sizes_a {
         let topo = family.build(n_sw, radix, h, 7)?;
-        let ub = tub(&topo, MatchingBackend::Auto { exact_below: 400 }, &unlimited())?;
+        let ub = tub(&topo, MatchingBackend::Auto { exact_below: 400 }, &cache, &unlimited())?;
         let tm = ub.traffic_matrix(&topo)?;
-        let mcf = ksp_mcf_throughput(&topo, &tm, 32, Engine::Fptas { eps: 0.05 }, &unlimited())?;
+        let mcf = ksp_mcf_throughput(&topo, &tm, 32, Engine::Fptas { eps: 0.05 }, &cache, &unlimited())?;
         ta.row(&[
             &topo.n_switches(),
             &topo.n_servers(),
@@ -61,7 +62,7 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     );
     for &n_sw in sizes_b {
         let topo = family.build(n_sw, radix, h, 7)?;
-        let ub = tub(&topo, MatchingBackend::Auto { exact_below: 400 }, &unlimited())?;
+        let ub = tub(&topo, MatchingBackend::Auto { exact_below: 400 }, &cache, &unlimited())?;
         let g = topo.graph();
         let mut total_len = 0u64;
         let mut total_cnt = 0.0f64;

@@ -7,8 +7,15 @@
 //! Expected shape (paper): both frontiers fall steeply as H grows; for the
 //! higher H values the throughput frontier sits far below the BBW frontier
 //! (many sizes have full BBW but not full throughput).
+//!
+//! This binary doubles as the cache demonstration: the sweep runs twice
+//! against one shared [`dcn_bench::cache`] handle — a cold pass that
+//! populates the cache and a warm pass that replays it. The warm pass must
+//! reproduce the cold frontiers exactly (the cache serves byte-identical
+//! results); pass timings go to **stderr** so stdout and the CSV stay
+//! byte-identical whether or not the cache is enabled.
 
-use dcn_bench::{large_mode, quick_mode, Table};
+use dcn_bench::{large_mode, quick_mode, timed, Table};
 use dcn_core::frontier::{frontier_sweep, Criterion, Family, FrontierConfig};
 use dcn_core::MatchingBackend;
 use dcn_guard::prelude::*;
@@ -48,7 +55,20 @@ fn main() {
             }
         }
     }
-    let frontiers = frontier_sweep(&configs, &unlimited()).unwrap_or_default();
+    let cache = dcn_bench::cache();
+    let (frontiers, cold_secs) =
+        timed(|| frontier_sweep(&configs, &cache, &unlimited()).unwrap_or_default());
+    let (warm, warm_secs) =
+        timed(|| frontier_sweep(&configs, &cache, &unlimited()).unwrap_or_default());
+    if warm != frontiers {
+        eprintln!("fig8_frontier: WARNING: warm pass diverged from cold pass");
+    }
+    if cache.is_enabled() {
+        eprintln!(
+            "fig8_frontier: cold pass {cold_secs:.2}s, warm pass {warm_secs:.2}s ({:.1}x)",
+            cold_secs / warm_secs.max(1e-9)
+        );
+    }
     let show = |v: Option<&Option<u64>>| match v.copied().flatten() {
         Some(x) => x.to_string(),
         None => "-".to_string(),

@@ -16,6 +16,7 @@ use dcn_core::MatchingBackend;
 use dcn_guard::prelude::*;
 
 fn main() {
+    let cache = dcn_bench::cache();
     let backend = MatchingBackend::Auto { exact_below: 600 };
 
     // Panel (a)/(b): switches per family at fixed N.
@@ -36,7 +37,7 @@ fn main() {
                 ("full-bbw", Criterion::FullBisection { tries: 3 }),
                 ("full-tub", Criterion::FullThroughput { backend }),
             ] {
-                match min_uniregular_switches(family, n, radix, crit, 3, &unlimited()) {
+                match min_uniregular_switches(family, n, radix, crit, 3, &cache, &unlimited()) {
                     Ok(Some(c)) => {
                         let ratio = clos_sw
                             .map(|cs| c.switches as f64 / cs as f64)
@@ -77,6 +78,7 @@ fn main() {
             r,
             Criterion::FullBisection { tries: 3 },
             7,
+            &cache,
             &unlimited(),
         )
         .ok()
@@ -87,6 +89,7 @@ fn main() {
             r,
             Criterion::FullThroughput { backend },
             7,
+            &cache,
             &unlimited(),
         )
         .ok()

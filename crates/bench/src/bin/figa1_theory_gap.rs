@@ -16,6 +16,7 @@ fn main() -> ExitCode {
 }
 
 fn run() -> Result<(), Box<dyn std::error::Error>> {
+    let cache = dcn_bench::cache();
     let radix = 12u32;
     let h = 4u32;
     let sizes: &[usize] = if quick_mode() {
@@ -30,7 +31,7 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     for &n_sw in sizes {
         let topo = Family::Jellyfish.build(n_sw, radix, h, 41)?;
         let (ub, lb, gap) =
-            theoretical_gap(&topo, 1, MatchingBackend::Auto { exact_below: 500 }, &unlimited())?;
+            theoretical_gap(&topo, 1, MatchingBackend::Auto { exact_below: 500 }, &cache, &unlimited())?;
         table.row(&[
             &topo.n_switches(),
             &topo.n_servers(),

@@ -17,6 +17,7 @@ fn main() -> ExitCode {
 }
 
 fn run() -> Result<(), Box<dyn std::error::Error>> {
+    let cache = dcn_bench::cache();
     let radices: &[u32] = if quick_mode() { &[8, 10] } else { &[8, 10, 12, 14] };
     let mut table = Table::new(
         "figa2_jellyfish_ft",
@@ -34,7 +35,7 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
                 Ok(t) => t,
                 Err(_) => continue,
             };
-            let t = tub(&topo, MatchingBackend::Auto { exact_below: 600 }, &unlimited())?;
+            let t = tub(&topo, MatchingBackend::Auto { exact_below: 600 }, &cache, &unlimited())?;
             if t.bound >= 1.0 - 1e-9 {
                 best = Some((h, topo.n_servers()));
                 break;

@@ -14,6 +14,7 @@ use dcn_topo::ClosParams;
 use dcn_guard::prelude::*;
 
 fn main() {
+    let cache = dcn_bench::cache();
     let radices: &[u32] = if quick_mode() { &[8, 10] } else { &[8, 10, 12, 14] };
     let mut table = Table::new(
         "figa3_xpander_ft",
@@ -31,6 +32,7 @@ fn main() {
                 backend: MatchingBackend::Auto { exact_below: 600 },
             },
             53,
+            &cache,
             &unlimited(),
         )
         .ok()

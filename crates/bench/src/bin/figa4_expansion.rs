@@ -20,6 +20,7 @@ fn main() -> ExitCode {
 }
 
 fn run() -> Result<(), Box<dyn std::error::Error>> {
+    let cache = dcn_bench::cache();
     let radix = 12u32;
     let steps = if quick_mode() { 3 } else { 8 };
     let initials: &[usize] = if quick_mode() { &[48] } else { &[48, 160] };
@@ -45,6 +46,7 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
                     0.2,
                     MatchingBackend::Auto { exact_below: 500 },
                     67,
+                    &cache,
                     &unlimited(),
                 )?;
                 for p in &curve {

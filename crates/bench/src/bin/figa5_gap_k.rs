@@ -17,6 +17,7 @@ fn main() -> ExitCode {
 }
 
 fn run() -> Result<(), Box<dyn std::error::Error>> {
+    let cache = dcn_bench::cache();
     let radix = 12u32;
     let h = 4u32;
     let ks: &[usize] = if quick_mode() { &[4, 16] } else { &[4, 8, 16, 32] };
@@ -32,9 +33,9 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     for &k in ks {
         for &n_sw in sizes {
             let topo = Family::Jellyfish.build(n_sw, radix, h, 71)?;
-            let ub = tub(&topo, MatchingBackend::Auto { exact_below: 400 }, &unlimited())?;
+            let ub = tub(&topo, MatchingBackend::Auto { exact_below: 400 }, &cache, &unlimited())?;
             let tm = ub.traffic_matrix(&topo)?;
-            let mcf = ksp_mcf_throughput(&topo, &tm, k, Engine::Fptas { eps: 0.05 }, &unlimited())?;
+            let mcf = ksp_mcf_throughput(&topo, &tm, k, Engine::Fptas { eps: 0.05 }, &cache, &unlimited())?;
             let gap = (ub.bound.min(1.0) - mcf.theta_lb.min(1.0)).max(0.0);
             table.row(&[
                 &k,

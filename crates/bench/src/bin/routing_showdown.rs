@@ -27,6 +27,7 @@ fn main() -> ExitCode {
 }
 
 fn run() -> Result<(), Box<dyn std::error::Error>> {
+    let cache = dcn_bench::cache();
     let radix = 12u32;
     let h = 4u32;
     let n_sw = if quick_mode() { 48 } else { 96 };
@@ -42,7 +43,7 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
     for topo in &topos {
-        let bound = tub(topo, MatchingBackend::Auto { exact_below: 500 }, &unlimited())?;
+        let bound = tub(topo, MatchingBackend::Auto { exact_below: 500 }, &cache, &unlimited())?;
         let tm = bound.traffic_matrix(topo)?;
         let tub_v = bound.bound.min(1.0);
         let mut emit = |scheme: &str, theta: f64| {
@@ -54,7 +55,7 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
             ]);
         };
         emit("tub(bound)", tub_v);
-        let mcf = ksp_mcf_throughput(topo, &tm, 16, Engine::Fptas { eps: 0.05 }, &unlimited())?.theta_lb;
+        let mcf = ksp_mcf_throughput(topo, &tm, 16, Engine::Fptas { eps: 0.05 }, &cache, &unlimited())?.theta_lb;
         emit("ksp-mcf(ideal)", mcf);
         emit("ecmp(fluid)", ecmp_throughput(topo, &tm)?);
         emit("vlb(fluid)", vlb_throughput(topo, &tm)?);

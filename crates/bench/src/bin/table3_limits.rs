@@ -13,6 +13,7 @@ use dcn_core::universal::max_full_throughput_servers;
 use dcn_guard::prelude::*;
 
 fn main() {
+    let cache = dcn_bench::cache();
     // Analytic Equation-3 limits at the paper's parameters.
     let mut ta = Table::new("table3_eq3_limits", &["radix", "h", "max_servers_eq3"]);
     for h in [6u32, 7, 8] {
@@ -43,6 +44,7 @@ fn main() {
                 Criterion::FullBisection { tries: 3 },
                 1024,
                 5,
+                &cache,
                 &unlimited(),
             )
             .ok()

@@ -21,6 +21,7 @@ fn main() -> ExitCode {
 }
 
 fn run() -> Result<(), Box<dyn std::error::Error>> {
+    let cache = dcn_bench::cache();
     let mut table = Table::new(
         "table5_oversub",
         &["topology", "n_servers", "h", "bbw_ratio", "tub_ratio", "bbw_frac", "tub_frac"],
@@ -39,7 +40,7 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
                 continue;
             }
         };
-        let o = oversubscription(&topo, backend, 4, 17, &unlimited())?;
+        let o = oversubscription(&topo, backend, 4, 17, &cache, &unlimited())?;
         table.row(&[
             &family.name(),
             &topo.n_servers(),
@@ -61,7 +62,7 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
         spine_uplink_fraction: 1.0,
         leaf_servers: 8,
     })?;
-    let o = oversubscription(&clos, backend, 4, 17, &unlimited())?;
+    let o = oversubscription(&clos, backend, 4, 17, &cache, &unlimited())?;
     table.row(&[
         &"clos(1:2)",
         &clos.n_servers(),

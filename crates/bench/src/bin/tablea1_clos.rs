@@ -20,6 +20,7 @@ fn main() -> ExitCode {
 }
 
 fn run() -> Result<(), Box<dyn std::error::Error>> {
+    let cache = dcn_bench::cache();
     // Part 1: the paper's rows, analytically.
     let mut ta = Table::new(
         "tablea1_paper_counts",
@@ -81,7 +82,7 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     }
     for p in instances {
         let topo = folded_clos(p)?;
-        let t = tub(&topo, MatchingBackend::Auto { exact_below: 700 }, &unlimited())?;
+        let t = tub(&topo, MatchingBackend::Auto { exact_below: 700 }, &cache, &unlimited())?;
         tb.row(&[
             &p.radix,
             &p.layers,

@@ -99,6 +99,9 @@ pub fn run_seed() -> Option<u64> {
 /// [`Table::finish`]; standalone binaries without a table can call it
 /// directly.
 pub fn write_manifest(name: &str) {
+    // Fold cache hit/miss counters into the `cache.hit_rate` gauge so the
+    // manifest's metrics dump records the run's hit rate.
+    dcn_cache::publish_hit_rate();
     let wall = process_start().elapsed().as_secs_f64();
     let manifest = dcn_obs::manifest::RunManifest::capture(
         name,
@@ -196,6 +199,17 @@ impl Table {
         self.write_csv();
         write_manifest(&self.name);
     }
+}
+
+/// The process-wide solver cache shared by every call site in an
+/// experiment binary, built once from the environment
+/// (`DCN_CACHE_BYTES` / `DCN_CACHE_DIR`). Returning clones of one
+/// handle — rather than calling [`dcn_cache::CacheHandle::from_env`]
+/// per call site — is what lets a binary's repeated sub-sweeps share
+/// the in-memory tier.
+pub fn cache() -> dcn_cache::CacheHandle {
+    static CACHE: OnceLock<dcn_cache::CacheHandle> = OnceLock::new();
+    CACHE.get_or_init(dcn_cache::CacheHandle::from_env).clone()
 }
 
 /// Times a closure under an obs span, returning `(result, seconds)`.

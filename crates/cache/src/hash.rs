@@ -1,0 +1,209 @@
+//! Canonical content hashing of solver inputs into 128-bit cache keys.
+//!
+//! Keys are built from the *content* of a [`Topology`], a
+//! [`TrafficMatrix`], and the solver parameters — never from pointers,
+//! names, or construction order. Two topologies with the same switch
+//! count, per-switch server counts, edge list, and capacities hash
+//! identically regardless of how they were generated; the human-readable
+//! [`Topology::name`] is deliberately excluded so that renaming a
+//! topology cannot split the cache.
+//!
+//! **Non-goal: graph isomorphism.** Keys are computed over the *labelled*
+//! edge list. Two isomorphic topologies whose nodes are numbered
+//! differently hash to different keys and are cached separately. Canonical
+//! labelling is graph-isomorphism-hard and the sweeps this cache serves
+//! (frontier probes, resilience trials, K-sweeps) re-present byte-identical
+//! inputs, so label-sensitive hashing captures the wins without it.
+//!
+//! The mixer is two independent [splitmix64] streams seeded with distinct
+//! constants, giving a 128-bit key. This is a content hash for
+//! memoization, not a cryptographic MAC: collisions are astronomically
+//! unlikely for honest inputs but no adversarial resistance is claimed.
+//!
+//! [splitmix64]: https://prng.di.unimi.it/splitmix64.c
+
+use dcn_model::{Topology, TrafficMatrix};
+
+/// Record format version, absorbed into every key. Bumping it invalidates
+/// both tiers at once: in-memory lookups (different keys) and on-disk
+/// records (version field mismatch → quarantine-free miss).
+pub const FORMAT_VERSION: u64 = 1;
+
+/// A 128-bit content-derived cache key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    hi: u64,
+    lo: u64,
+}
+
+impl CacheKey {
+    /// Lower-case hex rendering (32 chars), used in on-disk file names and
+    /// record headers.
+    pub fn to_hex(self) -> String {
+        format!("{:016x}{:016x}", self.hi, self.lo)
+    }
+
+    /// Shard index for an `n`-way sharded store.
+    pub(crate) fn shard(self, n: usize) -> usize {
+        (self.hi % n as u64) as usize
+    }
+}
+
+/// The standard splitmix64 finalizer: a bijective 64-bit mixer.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Incremental builder for a [`CacheKey`].
+///
+/// Construct with a domain tag naming the cached computation (e.g.
+/// `"tub"`, `"pathset"`), absorb every input that influences the result,
+/// then [`finish`](KeyBuilder::finish). Word order matters — absorb inputs
+/// in a fixed, documented order at each call site.
+#[derive(Debug, Clone)]
+pub struct KeyBuilder {
+    hi: u64,
+    lo: u64,
+}
+
+impl KeyBuilder {
+    /// Starts a key for the given computation domain. The domain tag and
+    /// [`FORMAT_VERSION`] are absorbed first, so equal inputs hashed under
+    /// different domains (or format versions) never collide in practice.
+    pub fn new(domain: &str) -> KeyBuilder {
+        let b = KeyBuilder {
+            hi: 0x517c_c1b7_2722_0a95,
+            lo: 0x2545_f491_4f6c_dd1d,
+        };
+        b.u64(FORMAT_VERSION).str(domain)
+    }
+
+    fn absorb(mut self, w: u64) -> KeyBuilder {
+        self.hi = splitmix64(self.hi ^ w);
+        self.lo = splitmix64(self.lo ^ w.rotate_left(32) ^ 0x6c62_272e_07bb_0142);
+        self
+    }
+
+    /// Absorbs one 64-bit word.
+    pub fn u64(self, v: u64) -> KeyBuilder {
+        self.absorb(v)
+    }
+
+    /// Absorbs an `f64` by bit pattern. `-0.0` and `0.0` hash differently;
+    /// callers canonicalize if they treat them as equal.
+    pub fn f64(self, v: f64) -> KeyBuilder {
+        self.absorb(v.to_bits())
+    }
+
+    /// Absorbs a boolean flag.
+    pub fn bool(self, v: bool) -> KeyBuilder {
+        self.absorb(v as u64)
+    }
+
+    /// Absorbs a string: its length, then its bytes in little-endian
+    /// 8-byte words (zero-padded tail). Length-prefixing keeps
+    /// concatenation attacks (`"ab" + "c"` vs `"a" + "bc"`) distinct.
+    pub fn str(self, s: &str) -> KeyBuilder {
+        let mut b = self.absorb(s.len() as u64);
+        for chunk in s.as_bytes().chunks(8) {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            b = b.absorb(u64::from_le_bytes(word));
+        }
+        b
+    }
+
+    /// Absorbs the full content of a topology: switch count, per-switch
+    /// server counts, and the labelled edge list with per-edge capacities.
+    /// The topology's display name is *excluded* (see the module docs);
+    /// isomorphism is not attempted.
+    pub fn topology(self, t: &Topology) -> KeyBuilder {
+        let g = t.graph();
+        let mut b = self.absorb(g.n() as u64);
+        for &s in t.servers() {
+            b = b.absorb(s as u64);
+        }
+        b = b.absorb(g.m() as u64);
+        for (e, &(u, v)) in g.edges().iter().enumerate() {
+            b = b
+                .absorb(u as u64)
+                .absorb(v as u64)
+                .absorb(g.capacity(e as dcn_graph::EdgeId).to_bits());
+        }
+        b
+    }
+
+    /// Absorbs a traffic matrix: the demand count, then each
+    /// `(src, dst, amount)` entry in stored order.
+    pub fn traffic(self, tm: &TrafficMatrix) -> KeyBuilder {
+        let mut b = self.absorb(tm.len() as u64);
+        for d in tm.demands() {
+            b = b
+                .absorb(d.src as u64)
+                .absorb(d.dst as u64)
+                .absorb(d.amount.to_bits());
+        }
+        b
+    }
+
+    /// Finalizes the key with one more mixing round per stream.
+    pub fn finish(self) -> CacheKey {
+        CacheKey {
+            hi: splitmix64(self.hi),
+            lo: splitmix64(self.lo),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn deterministic_and_order_sensitive() {
+        let a = KeyBuilder::new("t").u64(1).u64(2).finish();
+        let b = KeyBuilder::new("t").u64(1).u64(2).finish();
+        let c = KeyBuilder::new("t").u64(2).u64(1).finish();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn domain_tags_separate_equal_inputs() {
+        let a = KeyBuilder::new("tub").u64(7).finish();
+        let b = KeyBuilder::new("bbw").u64(7).finish();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn string_length_prefix_blocks_concat_collisions() {
+        let a = KeyBuilder::new("t").str("ab").str("c").finish();
+        let b = KeyBuilder::new("t").str("a").str("bc").finish();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn topology_hash_ignores_name_but_not_content() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let t1 = dcn_topo::jellyfish(20, 6, 3, &mut rng).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let t2 = dcn_topo::jellyfish(20, 6, 3, &mut rng).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let t3 = dcn_topo::jellyfish(20, 6, 3, &mut rng).unwrap();
+        let k = |t: &Topology| KeyBuilder::new("t").topology(t).finish();
+        assert_eq!(k(&t1), k(&t2), "same seed, same content, same key");
+        assert_ne!(k(&t1), k(&t3), "different wiring must split the key");
+    }
+
+    #[test]
+    fn hex_is_32_chars() {
+        let k = KeyBuilder::new("t").finish();
+        assert_eq!(k.to_hex().len(), 32);
+        assert!(k.to_hex().chars().all(|c| c.is_ascii_hexdigit()));
+    }
+}

@@ -3,6 +3,7 @@
 
 use crate::frontier::{satisfies, Criterion, Family};
 use crate::CoreError;
+use dcn_cache::CacheHandle;
 use dcn_guard::Budget;
 use dcn_topo::ClosParams;
 
@@ -58,6 +59,7 @@ pub fn min_uniregular_switches(
     radix: u32,
     criterion: Criterion,
     seed: u64,
+    cache: &CacheHandle,
     budget: &Budget,
 ) -> Result<Option<UniRegularCost>, CoreError> {
     for h in (1..=(radix.saturating_sub(3))).rev() {
@@ -72,7 +74,7 @@ pub fn min_uniregular_switches(
                 Ok(t) => t,
                 Err(_) => continue,
             };
-            if topo2.n_servers() >= n_servers && satisfies(&topo2, criterion, seed, budget)? {
+            if topo2.n_servers() >= n_servers && satisfies(&topo2, criterion, seed, cache, budget)? {
                 return Ok(Some(UniRegularCost {
                     h,
                     switches: topo2.n_switches() as u64,
@@ -81,7 +83,7 @@ pub fn min_uniregular_switches(
             }
             continue;
         }
-        if satisfies(&topo, criterion, seed, budget)? {
+        if satisfies(&topo, criterion, seed, cache, budget)? {
             return Ok(Some(UniRegularCost {
                 h,
                 switches: topo.n_switches() as u64,
@@ -138,6 +140,7 @@ mod tests {
                 backend: MatchingBackend::Exact,
             },
             3,
+            &dcn_cache::prelude::nocache(),
             &Budget::unlimited(),
         )
         .unwrap();
@@ -147,6 +150,7 @@ mod tests {
             radix,
             Criterion::FullBisection { tries: 3 },
             3,
+            &dcn_cache::prelude::nocache(),
             &Budget::unlimited(),
         )
         .unwrap();

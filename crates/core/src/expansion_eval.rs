@@ -8,6 +8,7 @@
 
 use crate::tub::{tub, MatchingBackend};
 use crate::CoreError;
+use dcn_cache::CacheHandle;
 use dcn_exec::Pool;
 use dcn_guard::Budget;
 use dcn_model::Topology;
@@ -30,6 +31,7 @@ pub struct ExpansionPoint {
 /// Expands `initial` in `steps` increments of `step_fraction` of the
 /// *initial* switch count (the paper uses 20% steps up to 2.6x), computing
 /// the tub after each step.
+#[allow(clippy::too_many_arguments)]
 pub fn expansion_curve(
     initial: &Topology,
     h: u32,
@@ -37,6 +39,7 @@ pub fn expansion_curve(
     step_fraction: f64,
     backend: MatchingBackend,
     seed: u64,
+    cache: &CacheHandle,
     budget: &Budget,
 ) -> Result<Vec<ExpansionPoint>, CoreError> {
     if step_fraction.is_nan() || step_fraction <= 0.0 {
@@ -47,7 +50,7 @@ pub fn expansion_curve(
     let mut rng = StdRng::seed_from_u64(seed);
     let n0 = initial.n_switches();
     let step = ((n0 as f64 * step_fraction).round() as usize).max(1);
-    let theta0 = tub(initial, backend, budget)?.bound.min(1.0);
+    let theta0 = tub(initial, backend, cache, budget)?.bound.min(1.0);
     let mut out = vec![ExpansionPoint {
         ratio: 1.0,
         tub: theta0,
@@ -56,7 +59,7 @@ pub fn expansion_curve(
     let mut current = initial.clone();
     for _ in 0..steps {
         current = expand_by_rewiring(&current, step, h, &mut rng)?;
-        let th = tub(&current, backend, budget)?.bound.min(1.0);
+        let th = tub(&current, backend, cache, budget)?.bound.min(1.0);
         out.push(ExpansionPoint {
             ratio: current.n_switches() as f64 / n0 as f64,
             tub: th,
@@ -74,6 +77,9 @@ pub fn expansion_curve(
 ///
 /// The expansion ratios are identical across seeds (step sizes depend only
 /// on `steps`/`step_fraction`); tub and normalized values are averaged.
+/// All seeds share the one [`CacheHandle`]: the initial topology's tub is
+/// computed once and every rerun of the ensemble warm-starts.
+#[allow(clippy::too_many_arguments)]
 pub fn expansion_ensemble(
     initial: &Topology,
     h: u32,
@@ -81,13 +87,14 @@ pub fn expansion_ensemble(
     step_fraction: f64,
     backend: MatchingBackend,
     seeds: &[u64],
+    cache: &CacheHandle,
     budget: &Budget,
 ) -> Result<Vec<ExpansionPoint>, CoreError> {
     if seeds.is_empty() {
         return Err(CoreError::OutOfRegime("empty seed ensemble".into()));
     }
     let curves = Pool::from_env().par_map(budget, seeds, |_, &seed| {
-        expansion_curve(initial, h, steps, step_fraction, backend, seed, budget)
+        expansion_curve(initial, h, steps, step_fraction, backend, seed, cache, budget)
     })?;
     let n = curves[0].len();
     let k = curves.len() as f64;
@@ -104,13 +111,14 @@ pub fn expansion_ensemble(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dcn_cache::prelude::nocache;
     use dcn_topo::jellyfish;
 
     #[test]
     fn curve_monotone_ratios_and_bounded() {
         let mut rng = StdRng::seed_from_u64(23);
         let t = jellyfish(30, 6, 5, &mut rng).unwrap();
-        let curve = expansion_curve(&t, 5, 4, 0.2, MatchingBackend::Exact, 7, &Budget::unlimited()).unwrap();
+        let curve = expansion_curve(&t, 5, 4, 0.2, MatchingBackend::Exact, 7, &nocache(), &Budget::unlimited()).unwrap();
         assert_eq!(curve.len(), 5);
         assert!((curve[0].ratio - 1.0).abs() < 1e-12);
         assert!((curve[0].normalized - 1.0).abs() < 1e-12);
@@ -129,7 +137,7 @@ mod tests {
         // keeping H fixed should not increase throughput.
         let mut rng = StdRng::seed_from_u64(29);
         let t = jellyfish(24, 5, 5, &mut rng).unwrap();
-        let curve = expansion_curve(&t, 5, 6, 0.25, MatchingBackend::Exact, 11, &Budget::unlimited()).unwrap();
+        let curve = expansion_curve(&t, 5, 6, 0.25, MatchingBackend::Exact, 11, &nocache(), &Budget::unlimited()).unwrap();
         let first = curve.first().unwrap().tub;
         let last = curve.last().unwrap().tub;
         assert!(
@@ -142,6 +150,6 @@ mod tests {
     fn zero_step_fraction_rejected() {
         let mut rng = StdRng::seed_from_u64(31);
         let t = jellyfish(20, 4, 4, &mut rng).unwrap();
-        assert!(expansion_curve(&t, 4, 2, 0.0, MatchingBackend::Exact, 1, &Budget::unlimited()).is_err());
+        assert!(expansion_curve(&t, 4, 2, 0.0, MatchingBackend::Exact, 1, &nocache(), &Budget::unlimited()).is_err());
     }
 }

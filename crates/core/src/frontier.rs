@@ -4,6 +4,7 @@
 
 use crate::tub::{tub, MatchingBackend};
 use crate::CoreError;
+use dcn_cache::CacheHandle;
 use dcn_exec::Pool;
 use dcn_guard::Budget;
 use dcn_model::Topology;
@@ -98,14 +99,15 @@ pub fn satisfies(
     topo: &Topology,
     criterion: Criterion,
     seed: u64,
+    cache: &CacheHandle,
     budget: &Budget,
 ) -> Result<bool, CoreError> {
     match criterion {
         Criterion::FullThroughput { backend } => {
-            Ok(tub(topo, backend, budget)?.bound >= 1.0 - 1e-9)
+            Ok(tub(topo, backend, cache, budget)?.bound >= 1.0 - 1e-9)
         }
         Criterion::FullBisection { tries } => {
-            let bbw = bisection_bandwidth(topo, tries, seed, budget)?;
+            let bbw = bisection_bandwidth(topo, tries, seed, cache, budget)?;
             Ok(bbw >= topo.n_servers() as f64 / 2.0 - 1e-9)
         }
     }
@@ -118,6 +120,7 @@ pub fn satisfies(
 /// the paper's regime up to instance noise); a doubling scan brackets the
 /// transition and binary search pins it down. Returns `None` when even the
 /// smallest instance fails.
+#[allow(clippy::too_many_arguments)]
 pub fn frontier_max_servers(
     family: Family,
     radix: u32,
@@ -125,6 +128,7 @@ pub fn frontier_max_servers(
     criterion: Criterion,
     max_switches: usize,
     seed: u64,
+    cache: &CacheHandle,
     budget: &Budget,
 ) -> Result<Option<u64>, CoreError> {
     let min_switches = ((radix - h) as usize + 2).max(4);
@@ -133,7 +137,7 @@ pub fn frontier_max_servers(
             Ok(t) => t,
             Err(_) => return Ok(None), // infeasible size for this family
         };
-        if satisfies(&topo, criterion, seed, budget)? {
+        if satisfies(&topo, criterion, seed, cache, budget)? {
             Ok(Some(topo.n_servers()))
         } else {
             Ok(None)
@@ -202,8 +206,14 @@ pub struct FrontierConfig {
 /// probes depend on earlier answers), so the parallelism is across sweep
 /// cells, not inside one search. Results come back in input order; a cell
 /// whose family cannot be built at any probed size yields `None`.
+///
+/// All cells share the one [`CacheHandle`]: identical probe topologies
+/// across cells (and across a rerun of the whole sweep) hit the cache,
+/// which is what makes warm reruns fast. Sharing is safe for determinism
+/// because cached results are byte-identical to recomputed ones.
 pub fn frontier_sweep(
     configs: &[FrontierConfig],
+    cache: &CacheHandle,
     budget: &Budget,
 ) -> Result<Vec<Option<u64>>, CoreError> {
     Pool::from_env().par_map(budget, configs, |_, c| {
@@ -214,6 +224,7 @@ pub fn frontier_sweep(
             c.criterion,
             c.max_switches,
             c.seed,
+            cache,
             budget,
         )
     })
@@ -222,6 +233,7 @@ pub fn frontier_sweep(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dcn_cache::prelude::nocache;
 
     #[test]
     fn build_all_families() {
@@ -247,6 +259,7 @@ mod tests {
             },
             512,
             3,
+            &nocache(),
             &Budget::unlimited(),
         )
         .unwrap()
@@ -269,6 +282,7 @@ mod tests {
             Criterion::FullBisection { tries: 3 },
             600,
             3,
+            &nocache(),
             &Budget::unlimited(),
         )
         .unwrap()
@@ -296,6 +310,7 @@ mod tests {
             Criterion::FullThroughput { backend },
             4096,
             3,
+            &nocache(),
             &Budget::unlimited(),
         )
         .unwrap()
@@ -307,6 +322,7 @@ mod tests {
             Criterion::FullBisection { tries: 2 },
             4096,
             3,
+            &nocache(),
             &Budget::unlimited(),
         )
         .unwrap()
@@ -328,6 +344,7 @@ mod tests {
             Criterion::FullThroughput { backend },
             400,
             5,
+            &nocache(),
             &Budget::unlimited(),
         )
         .unwrap()
@@ -339,6 +356,7 @@ mod tests {
             Criterion::FullThroughput { backend },
             400,
             5,
+            &nocache(),
             &Budget::unlimited(),
         )
         .unwrap()

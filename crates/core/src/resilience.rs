@@ -8,6 +8,7 @@
 
 use crate::tub::{tub, MatchingBackend};
 use crate::CoreError;
+use dcn_cache::CacheHandle;
 use dcn_exec::{task_seed, Pool};
 use dcn_guard::Budget;
 use dcn_model::Topology;
@@ -46,16 +47,19 @@ impl FailurePoint {
 /// The `fractions × trials` samples are independent, so they fan out
 /// across the [`dcn_exec`] pool. Each sample draws from its own RNG stream
 /// seeded by `task_seed(seed, sample_index)`, so the curve is byte-
-/// identical at any `DCN_EXEC_THREADS` value (including 1).
+/// identical at any `DCN_EXEC_THREADS` value (including 1). All samples
+/// share the one [`CacheHandle`]; repeated failure patterns (and sweep
+/// reruns) hit the cache without changing any output.
 pub fn failure_sweep(
     topo: &Topology,
     fractions: &[f64],
     trials: u32,
     backend: MatchingBackend,
     seed: u64,
+    cache: &CacheHandle,
     budget: &Budget,
 ) -> Result<Vec<FailurePoint>, CoreError> {
-    let theta0 = tub(topo, backend, budget)?.bound.min(1.0);
+    let theta0 = tub(topo, backend, cache, budget)?.bound.min(1.0);
     let skipped_ctr = dcn_obs::counter!(dcn_obs::names::CORE_RESILIENCE_DISCONNECTED_SAMPLES);
     let trials = trials.max(1);
     // One task per (fraction, trial) sample; merged back per fraction.
@@ -66,7 +70,7 @@ pub fn failure_sweep(
     let results = Pool::from_env().par_map(budget, &samples, |i, &f| -> Result<_, CoreError> {
         let mut rng = StdRng::seed_from_u64(task_seed(seed, i as u64));
         match fail_random_links(topo, f, &mut rng) {
-            Ok(degraded) => Ok(Some(tub(&degraded, backend, budget)?.bound.min(1.0))),
+            Ok(degraded) => Ok(Some(tub(&degraded, backend, cache, budget)?.bound.min(1.0))),
             Err(_) => {
                 skipped_ctr.inc();
                 Ok(None)
@@ -107,6 +111,7 @@ pub fn rms_deviation(points: &[FailurePoint]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dcn_cache::prelude::nocache;
     use dcn_topo::jellyfish;
 
     #[test]
@@ -119,6 +124,7 @@ mod tests {
             2,
             MatchingBackend::Exact,
             5,
+            &nocache(),
             &Budget::unlimited(),
         )
         .unwrap();

@@ -16,10 +16,12 @@
 //! Algorithm 1) trades tightness for speed without losing soundness.
 
 use crate::CoreError;
+use dcn_cache::{CacheEntry, CacheHandle, CacheKey, KeyBuilder};
 use dcn_graph::{DistMatrix, NodeId};
 use dcn_guard::Budget;
 use dcn_match::{greedy_max, hungarian_max, improve_2swap, Matching};
 use dcn_model::{Topology, TrafficMatrix};
+use dcn_obs::json::Json;
 
 /// Which matching algorithm computes the maximal permutation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -76,6 +78,116 @@ impl TubResult {
     }
 }
 
+/// Maps a persisted backend label back to the interned `&'static str` the
+/// solver uses; unknown labels reject the record (→ quarantine).
+fn intern_backend(label: &str) -> Result<&'static str, String> {
+    match label {
+        "hungarian" => Ok("hungarian"),
+        "greedy+2swap" => Ok("greedy+2swap"),
+        "greedy+2swap(fallback)" => Ok("greedy+2swap(fallback)"),
+        other => Err(format!("unknown tub backend {other:?}")),
+    }
+}
+
+impl CacheEntry for TubResult {
+    const KIND: &'static str = "tub";
+
+    fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<TubResult>() + self.pairs.len() * std::mem::size_of::<(NodeId, NodeId)>()
+    }
+
+    fn to_json(&self) -> Json {
+        let pairs = self
+            .pairs
+            .iter()
+            .map(|&(u, v)| Json::Arr(vec![Json::Num(u as f64), Json::Num(v as f64)]))
+            .collect();
+        Json::obj([
+            ("bound", Json::Num(self.bound)),
+            ("weighted_path_len", Json::Num(self.weighted_path_len)),
+            ("capacity", Json::Num(self.capacity)),
+            ("backend", Json::Str(self.backend.to_string())),
+            ("fallback", Json::Bool(self.fallback)),
+            ("pairs", Json::Arr(pairs)),
+        ])
+    }
+
+    fn from_json(json: &Json) -> Result<Self, String> {
+        let num = |k: &str| {
+            json.get(k)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("missing {k}"))
+        };
+        let backend = json
+            .get("backend")
+            .and_then(Json::as_str)
+            .ok_or("missing backend")?;
+        let fallback = match json.get("fallback") {
+            Some(Json::Bool(b)) => *b,
+            _ => return Err("missing fallback".into()),
+        };
+        let mut pairs = Vec::new();
+        for p in json.get("pairs").and_then(Json::as_array).ok_or("missing pairs")? {
+            let p = p.as_array().ok_or("bad pair")?;
+            let [u, v] = p else { return Err("bad pair arity".into()) };
+            let (u, v) = (u.as_u64().ok_or("bad pair src")?, v.as_u64().ok_or("bad pair dst")?);
+            if u > NodeId::MAX as u64 || v > NodeId::MAX as u64 {
+                return Err("pair out of NodeId range".into());
+            }
+            pairs.push((u as NodeId, v as NodeId));
+        }
+        Ok(TubResult {
+            bound: num("bound")?,
+            pairs,
+            weighted_path_len: num("weighted_path_len")?,
+            capacity: num("capacity")?,
+            backend: intern_backend(backend)?,
+            fallback,
+        })
+    }
+
+    fn validate(&self) -> Result<(), String> {
+        if !(self.bound.is_finite() && self.weighted_path_len.is_finite() && self.capacity.is_finite())
+        {
+            return Err("non-finite tub fields".into());
+        }
+        if self.weighted_path_len <= 0.0 || self.bound <= 0.0 || self.capacity <= 0.0 {
+            return Err("non-positive tub fields".into());
+        }
+        // Equation 1's defining identity must survive the round trip.
+        let recomputed = self.capacity / self.weighted_path_len;
+        if (recomputed - self.bound).abs() > dcn_guard::validate::DEFAULT_TOL * self.bound.max(1.0) {
+            return Err(format!(
+                "bound {} inconsistent with capacity/weight {}",
+                self.bound, recomputed
+            ));
+        }
+        if self.pairs.is_empty() {
+            return Err("empty maximal permutation".into());
+        }
+        if self.pairs.iter().any(|&(u, v)| u == v) {
+            return Err("self-pair in maximal permutation".into());
+        }
+        Ok(())
+    }
+}
+
+/// Cache key for a tub computation: topology content plus the matching
+/// backend and its parameters. The budget is deliberately excluded (see
+/// the `dcn-cache` crate docs).
+fn tub_key(topo: &Topology, backend: MatchingBackend) -> CacheKey {
+    let (tag, param) = match backend {
+        MatchingBackend::Exact => (0u64, 0u64),
+        MatchingBackend::Greedy { improvement_passes } => (1, improvement_passes as u64),
+        MatchingBackend::Auto { exact_below } => (2, exact_below as u64),
+    };
+    KeyBuilder::new("tub")
+        .topology(topo)
+        .u64(tag)
+        .u64(param)
+        .finish()
+}
+
 /// Computes the throughput upper bound for a (near-)uni-regular or
 /// bi-regular topology.
 ///
@@ -86,19 +198,34 @@ impl TubResult {
 /// [`TubResult::fallback`] and counted in `core.tub.fallbacks`, so
 /// manifests record it.
 ///
+/// Results are memoized through the [`CacheHandle`] under a key derived
+/// from the topology content and backend (budget excluded — a cached
+/// generous-budget result can serve a tight-budget call). Pass
+/// `dcn_cache::prelude::nocache()` to always recompute.
+///
 /// ```
+/// use dcn_cache::prelude::*;
 /// use dcn_core::{tub, MatchingBackend};
 /// use dcn_guard::prelude::*;
 /// use dcn_topo::fat_tree;
 ///
 /// // Every Clos has full throughput (§4.1): the bound is exactly 1.
 /// let topo = fat_tree(4)?;
-/// let bound = tub(&topo, MatchingBackend::Exact, &unlimited())?;
+/// let bound = tub(&topo, MatchingBackend::Exact, &nocache(), &unlimited())?;
 /// assert!((bound.bound - 1.0).abs() < 1e-9);
 /// assert!(bound.is_full_throughput());
 /// # Ok::<(), dcn_core::CoreError>(())
 /// ```
 pub fn tub(
+    topo: &Topology,
+    backend: MatchingBackend,
+    cache: &CacheHandle,
+    budget: &Budget,
+) -> Result<TubResult, CoreError> {
+    cache.get_or_compute(|| tub_key(topo, backend), || tub_uncached(topo, backend, budget))
+}
+
+fn tub_uncached(
     topo: &Topology,
     backend: MatchingBackend,
     budget: &Budget,
@@ -196,6 +323,7 @@ fn run_matching(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dcn_cache::prelude::nocache;
     use dcn_graph::Graph;
     use dcn_topo::{fat_tree, jellyfish};
     use rand::rngs::StdRng;
@@ -212,7 +340,7 @@ mod tests {
         // Figure 6 middle topology: C5, H=1. Maximal permutation pairs
         // nodes at distance 2: denominator 5*2 = 10, capacity 2E = 10.
         let t = ring(5, 1);
-        let r = tub(&t, MatchingBackend::Exact, &Budget::unlimited()).unwrap();
+        let r = tub(&t, MatchingBackend::Exact, &nocache(), &Budget::unlimited()).unwrap();
         assert!((r.bound - 1.0).abs() < 1e-12, "bound = {}", r.bound);
         assert_eq!(r.pairs.len(), 5);
         assert!(r.is_full_throughput());
@@ -223,7 +351,7 @@ mod tests {
         // C4, H=1: maximal permutation pairs opposite corners (distance 2),
         // denominator 4*2 = 8, 2E = 8 → tub = 1.
         let t = ring(4, 1);
-        let r = tub(&t, MatchingBackend::Exact, &Budget::unlimited()).unwrap();
+        let r = tub(&t, MatchingBackend::Exact, &nocache(), &Budget::unlimited()).unwrap();
         assert!((r.bound - 1.0).abs() < 1e-12);
     }
 
@@ -231,10 +359,10 @@ mod tests {
     fn fat_tree_tub_is_one() {
         // Table A.1: Clos tub = 1.00.
         let t = fat_tree(4).unwrap();
-        let r = tub(&t, MatchingBackend::Exact, &Budget::unlimited()).unwrap();
+        let r = tub(&t, MatchingBackend::Exact, &nocache(), &Budget::unlimited()).unwrap();
         assert!((r.bound - 1.0).abs() < 1e-9, "bound = {}", r.bound);
         let t8 = fat_tree(8).unwrap();
-        let r8 = tub(&t8, MatchingBackend::Exact, &Budget::unlimited()).unwrap();
+        let r8 = tub(&t8, MatchingBackend::Exact, &nocache(), &Budget::unlimited()).unwrap();
         assert!((r8.bound - 1.0).abs() < 1e-9, "bound = {}", r8.bound);
     }
 
@@ -246,9 +374,9 @@ mod tests {
         for seed in 0..3u64 {
             let _ = seed;
             let t = jellyfish(16, 4, 3, &mut rng).unwrap();
-            let r = tub(&t, MatchingBackend::Exact, &Budget::unlimited()).unwrap();
+            let r = tub(&t, MatchingBackend::Exact, &nocache(), &Budget::unlimited()).unwrap();
             let tm = r.traffic_matrix(&t).unwrap();
-            let th = dcn_mcf::ksp_mcf_throughput(&t, &tm, 32, dcn_mcf::Engine::Exact, &Budget::unlimited())
+            let th = dcn_mcf::ksp_mcf_throughput(&t, &tm, 32, dcn_mcf::Engine::Exact, &nocache(), &Budget::unlimited())
                 .unwrap()
                 .theta_lb;
             assert!(
@@ -265,12 +393,13 @@ mod tests {
     fn greedy_bound_is_valid_but_looser() {
         let mut rng = StdRng::seed_from_u64(5);
         let t = jellyfish(30, 5, 4, &mut rng).unwrap();
-        let exact = tub(&t, MatchingBackend::Exact, &Budget::unlimited()).unwrap();
+        let exact = tub(&t, MatchingBackend::Exact, &nocache(), &Budget::unlimited()).unwrap();
         let greedy = tub(
             &t,
             MatchingBackend::Greedy {
                 improvement_passes: 3,
             },
+            &nocache(),
             &Budget::unlimited(),
         )
         .unwrap();
@@ -286,16 +415,16 @@ mod tests {
     fn auto_backend_switches() {
         let mut rng = StdRng::seed_from_u64(6);
         let t = jellyfish(20, 4, 2, &mut rng).unwrap();
-        let small = tub(&t, MatchingBackend::Auto { exact_below: 100 }, &Budget::unlimited()).unwrap();
+        let small = tub(&t, MatchingBackend::Auto { exact_below: 100 }, &nocache(), &Budget::unlimited()).unwrap();
         assert_eq!(small.backend, "hungarian");
-        let large = tub(&t, MatchingBackend::Auto { exact_below: 10 }, &Budget::unlimited()).unwrap();
+        let large = tub(&t, MatchingBackend::Auto { exact_below: 10 }, &nocache(), &Budget::unlimited()).unwrap();
         assert_eq!(large.backend, "greedy+2swap");
     }
 
     #[test]
     fn biregular_ignores_serverless_switches_in_pairs() {
         let t = fat_tree(4).unwrap();
-        let r = tub(&t, MatchingBackend::Exact, &Budget::unlimited()).unwrap();
+        let r = tub(&t, MatchingBackend::Exact, &nocache(), &Budget::unlimited()).unwrap();
         for &(u, v) in &r.pairs {
             assert!(t.servers_at(u) > 0);
             assert!(t.servers_at(v) > 0);
@@ -308,7 +437,7 @@ mod tests {
         // L = 1 → denominator 2 (both directions), 2E = 2 → tub = 1.
         let g = Graph::from_edges(2, &[(0, 1)]).unwrap();
         let t = Topology::new(g, vec![1, 3], "pair").unwrap();
-        let r = tub(&t, MatchingBackend::Exact, &Budget::unlimited()).unwrap();
+        let r = tub(&t, MatchingBackend::Exact, &nocache(), &Budget::unlimited()).unwrap();
         assert!((r.bound - 1.0).abs() < 1e-12);
     }
 
@@ -316,15 +445,15 @@ mod tests {
     fn exhausted_hungarian_degrades_to_greedy() {
         let t = ring(8, 1);
         let tiny = Budget::unlimited().with_iter_cap(1);
-        let r = tub(&t, MatchingBackend::Exact, &tiny).unwrap();
+        let r = tub(&t, MatchingBackend::Exact, &nocache(), &tiny).unwrap();
         assert!(r.fallback);
         assert_eq!(r.backend, "greedy+2swap(fallback)");
         // Still a sound upper bound: no tighter than the exact one.
-        let exact = tub(&t, MatchingBackend::Exact, &Budget::unlimited()).unwrap();
+        let exact = tub(&t, MatchingBackend::Exact, &nocache(), &Budget::unlimited()).unwrap();
         assert!(!exact.fallback);
         assert!(r.bound >= exact.bound - 1e-12);
         // And repeated unlimited calls agree.
-        let b = tub(&t, MatchingBackend::Exact, &Budget::unlimited()).unwrap();
+        let b = tub(&t, MatchingBackend::Exact, &nocache(), &Budget::unlimited()).unwrap();
         assert_eq!(b.bound, exact.bound);
     }
 
@@ -333,7 +462,7 @@ mod tests {
         let g = Graph::from_edges(2, &[(0, 1)]).unwrap();
         let t = Topology::new(g, vec![2, 0], "one").unwrap();
         assert!(matches!(
-            tub(&t, MatchingBackend::Exact, &Budget::unlimited()),
+            tub(&t, MatchingBackend::Exact, &nocache(), &Budget::unlimited()),
             Err(CoreError::OutOfRegime(_))
         ));
     }

@@ -12,6 +12,7 @@ use dcn_exec::{task_seed, Pool};
 use dcn_guard::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use dcn_cache::prelude::nocache;
 
 fn with_threads<T>(n: usize, f: impl FnOnce() -> T) -> T {
     std::env::set_var("DCN_EXEC_THREADS", n.to_string());
@@ -40,7 +41,9 @@ fn thread_count_never_changes_results() {
     assert_eq!(draw(1), draw(4), "par_map RNG streams depend on threads");
 
     // 2. Full resilience curve, compared field-by-field at the bit level.
-    let sweep = |threads: usize| {
+    // Run uncached, then cold and warm against one shared cache: hits must
+    // be bit-identical to recomputation at every thread count.
+    let sweep = |threads: usize, cache: &dcn_cache::CacheHandle| {
         with_threads(threads, || {
             failure_sweep(
                 &topo,
@@ -48,25 +51,36 @@ fn thread_count_never_changes_results() {
                 3,
                 MatchingBackend::Exact,
                 11,
+                cache,
                 &unlimited(),
             )
             .unwrap()
         })
     };
-    let (s1, s4) = (sweep(1), sweep(4));
-    assert_eq!(s1.len(), s4.len());
-    for (a, b) in s1.iter().zip(&s4) {
-        assert_eq!(a.fraction.to_bits(), b.fraction.to_bits());
-        assert_eq!(a.nominal.to_bits(), b.nominal.to_bits());
-        assert_eq!(a.actual.map(f64::to_bits), b.actual.map(f64::to_bits));
-        assert_eq!(a.trials, b.trials);
+    let cache = dcn_cache::CacheHandle::in_memory(1 << 24);
+    let runs = [
+        sweep(1, &nocache()),
+        sweep(4, &nocache()),
+        sweep(1, &cache), // cold
+        sweep(4, &cache), // warm
+        sweep(1, &cache), // warm
+    ];
+    for pair in runs.windows(2) {
+        let (s1, s4) = (&pair[0], &pair[1]);
+        assert_eq!(s1.len(), s4.len());
+        for (a, b) in s1.iter().zip(s4.iter()) {
+            assert_eq!(a.fraction.to_bits(), b.fraction.to_bits());
+            assert_eq!(a.nominal.to_bits(), b.nominal.to_bits());
+            assert_eq!(a.actual.map(f64::to_bits), b.actual.map(f64::to_bits));
+            assert_eq!(a.trials, b.trials);
+        }
     }
 
     // 3. Near-worst search: the accepted swap sequence (and thus the final
     // θ and improvement count) must not depend on the pool width.
     let search = |threads: usize| {
         with_threads(threads, || {
-            adversarial_search(&topo, 12, 6, 0.1, 3, &unlimited()).unwrap()
+            adversarial_search(&topo, 12, 6, 0.1, 3, &nocache(), &unlimited()).unwrap()
         })
     };
     let (n1, n4) = (search(1), search(4));

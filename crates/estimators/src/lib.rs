@@ -24,6 +24,7 @@
 
 #![warn(missing_docs)]
 
+use dcn_cache::CacheHandle;
 use dcn_core::{tub, CoreError, MatchingBackend};
 use dcn_guard::Budget;
 use dcn_graph::DistMatrix;
@@ -80,10 +81,14 @@ pub trait ThroughputEstimator {
 
     /// Estimate of `θ(T)` (or of worst-case throughput, for estimators
     /// that ignore the traffic matrix), metered against `budget`.
+    /// Estimators that delegate to cached solvers (path sets, tub,
+    /// bisection) memoize through `cache`; pass
+    /// `dcn_cache::prelude::nocache()` to force recomputation.
     fn estimate(
         &self,
         topo: &Topology,
         tm: &TrafficMatrix,
+        cache: &CacheHandle,
         budget: &Budget,
     ) -> Result<f64, EstimatorError>;
 }
@@ -103,9 +108,10 @@ impl ThroughputEstimator for HoeflerMethod {
         &self,
         topo: &Topology,
         tm: &TrafficMatrix,
+        cache: &CacheHandle,
         budget: &Budget,
     ) -> Result<f64, EstimatorError> {
-        let ps = PathSet::k_shortest(topo, tm, self.k, budget)?;
+        let ps = PathSet::k_shortest_shared(topo, tm, self.k, cache, budget)?.0;
         // Sub-flow count per directed edge.
         let mut count = vec![0u32; ps.n_directed_edges()];
         for c in ps.commodities() {
@@ -151,9 +157,10 @@ impl ThroughputEstimator for JainMethod {
         &self,
         topo: &Topology,
         tm: &TrafficMatrix,
+        cache: &CacheHandle,
         budget: &Budget,
     ) -> Result<f64, EstimatorError> {
-        let ps = PathSet::k_shortest(topo, tm, self.k, budget)?;
+        let ps = PathSet::k_shortest_shared(topo, tm, self.k, cache, budget)?.0;
         let n_dir = ps.n_directed_edges();
         let mut residual: Vec<f64> = (0..n_dir)
             .map(|i| ps.graph().capacity((i / 2) as u32))
@@ -220,6 +227,7 @@ impl ThroughputEstimator for SinglaBound {
         &self,
         topo: &Topology,
         _tm: &TrafficMatrix,
+        _cache: &CacheHandle,
         _budget: &Budget,
     ) -> Result<f64, EstimatorError> {
         let k = topo.switches_with_servers();
@@ -257,9 +265,10 @@ impl ThroughputEstimator for BbwProxy {
         &self,
         topo: &Topology,
         _tm: &TrafficMatrix,
+        cache: &CacheHandle,
         budget: &Budget,
     ) -> Result<f64, EstimatorError> {
-        let bbw = bisection_bandwidth(topo, self.tries, self.seed, budget)
+        let bbw = bisection_bandwidth(topo, self.tries, self.seed, cache, budget)
             .map_err(|e| EstimatorError::Core(CoreError::Budget(e)))?;
         Ok(bbw / (topo.n_servers() as f64 / 2.0))
     }
@@ -280,6 +289,7 @@ impl ThroughputEstimator for SparsestCut {
         &self,
         topo: &Topology,
         _tm: &TrafficMatrix,
+        _cache: &CacheHandle,
         _budget: &Budget,
     ) -> Result<f64, EstimatorError> {
         Ok(sparsest_cut_sweep(topo, self.power_iters).sparsity)
@@ -302,15 +312,17 @@ impl ThroughputEstimator for TubEstimator {
         &self,
         topo: &Topology,
         _tm: &TrafficMatrix,
+        cache: &CacheHandle,
         budget: &Budget,
     ) -> Result<f64, EstimatorError> {
-        Ok(tub(topo, self.backend, budget)?.bound)
+        Ok(tub(topo, self.backend, cache, budget)?.bound)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dcn_cache::prelude::nocache;
     use dcn_mcf::{ksp_mcf_throughput, Engine};
     use dcn_topo::jellyfish;
     use rand::rngs::StdRng;
@@ -319,7 +331,7 @@ mod tests {
     fn setup() -> (Topology, TrafficMatrix) {
         let mut rng = StdRng::seed_from_u64(1);
         let topo = jellyfish(20, 5, 4, &mut rng).unwrap();
-        let t = tub(&topo, MatchingBackend::Exact, &Budget::unlimited()).unwrap();
+        let t = tub(&topo, MatchingBackend::Exact, &nocache(), &Budget::unlimited()).unwrap();
         let tm = t.traffic_matrix(&topo).unwrap();
         (topo, tm)
     }
@@ -328,9 +340,9 @@ mod tests {
     fn hm_is_feasible_lower_estimate() {
         let (topo, tm) = setup();
         let hm = HoeflerMethod { k: 8 }
-            .estimate(&topo, &tm, &Budget::unlimited())
+            .estimate(&topo, &tm, &nocache(), &Budget::unlimited())
             .unwrap();
-        let exact = ksp_mcf_throughput(&topo, &tm, 8, Engine::Exact, &Budget::unlimited())
+        let exact = ksp_mcf_throughput(&topo, &tm, 8, Engine::Exact, &nocache(), &Budget::unlimited())
             .unwrap()
             .theta_lb;
         // HM's equal-split allocation is feasible, so it cannot exceed the
@@ -343,9 +355,9 @@ mod tests {
     fn jm_is_feasible_and_at_least_single_round_hm() {
         let (topo, tm) = setup();
         let jm = JainMethod { k: 8 }
-            .estimate(&topo, &tm, &Budget::unlimited())
+            .estimate(&topo, &tm, &nocache(), &Budget::unlimited())
             .unwrap();
-        let exact = ksp_mcf_throughput(&topo, &tm, 8, Engine::Exact, &Budget::unlimited())
+        let exact = ksp_mcf_throughput(&topo, &tm, 8, Engine::Exact, &nocache(), &Budget::unlimited())
             .unwrap()
             .theta_lb;
         assert!(jm <= exact + 1e-9, "jm {jm} > exact {exact}");
@@ -358,11 +370,11 @@ mod tests {
         // *maximal* permutation's distances, which are no smaller — so
         // singla >= tub on uni-regular topologies (Figure 5(c)).
         let (topo, tm) = setup();
-        let s = SinglaBound.estimate(&topo, &tm, &Budget::unlimited()).unwrap();
+        let s = SinglaBound.estimate(&topo, &tm, &nocache(), &Budget::unlimited()).unwrap();
         let t = TubEstimator {
             backend: MatchingBackend::Exact,
         }
-        .estimate(&topo, &tm, &Budget::unlimited())
+        .estimate(&topo, &tm, &nocache(), &Budget::unlimited())
         .unwrap();
         assert!(s >= t - 1e-9, "singla {s} < tub {t}");
     }
@@ -383,7 +395,7 @@ mod tests {
         let names: Vec<String> = estimators.iter().map(|e| e.name()).collect();
         assert_eq!(names, vec!["hm(4)", "jm(4)", "singla", "bbw", "sc", "tub"]);
         for e in &estimators {
-            let v = e.estimate(&topo, &tm, &Budget::unlimited()).unwrap();
+            let v = e.estimate(&topo, &tm, &nocache(), &Budget::unlimited()).unwrap();
             assert!(v.is_finite() && v > 0.0, "{}: {v}", e.name());
         }
     }
@@ -395,7 +407,7 @@ mod tests {
         let (topo, tm) = setup();
         for k in [1, 2, 4, 16] {
             let v = HoeflerMethod { k }
-                .estimate(&topo, &tm, &Budget::unlimited())
+                .estimate(&topo, &tm, &nocache(), &Budget::unlimited())
                 .unwrap();
             assert!(v > 0.0 && v.is_finite());
         }
@@ -408,7 +420,7 @@ mod tests {
         let (topo, tm) = setup();
         let ps = PathSet::k_shortest(&topo, &tm, 6, &Budget::unlimited()).unwrap();
         let jm = JainMethod { k: 6 }
-            .estimate(&topo, &tm, &Budget::unlimited())
+            .estimate(&topo, &tm, &nocache(), &Budget::unlimited())
             .unwrap();
         // jm * demand routed per commodity must fit: weaker sanity check —
         // the estimate cannot exceed min total capacity / total demand.

@@ -99,6 +99,32 @@ impl Pool {
     /// short-circuits the pool and is returned; `budget` deadlines and
     /// cancellation are checked before each task claim and surface as
     /// `E::from(BudgetError)`.
+    ///
+    /// ```
+    /// use dcn_exec::Pool;
+    /// use dcn_guard::prelude::*;
+    ///
+    /// // Output order tracks *input* order, not completion order, so the
+    /// // result is identical for any worker count — including 1.
+    /// let doubled = Pool::from_env()
+    ///     .par_map(&unlimited(), &[10u32, 20, 30], |i, &x| {
+    ///         Ok::<_, BudgetError>(x * 2 + i as u32)
+    ///     })
+    ///     .unwrap();
+    /// assert_eq!(doubled, vec![20, 41, 62]);
+    ///
+    /// // Errors propagate as the lowest failing input index would.
+    /// let err = Pool::new(4)
+    ///     .par_map(&unlimited(), &[1u64, 2, 3], |_, &x| {
+    ///         if x % 2 == 0 {
+    ///             Err(BudgetError::IterationsExceeded { cap: x })
+    ///         } else {
+    ///             Ok(x)
+    ///         }
+    ///     })
+    ///     .unwrap_err();
+    /// assert_eq!(err, BudgetError::IterationsExceeded { cap: 2 });
+    /// ```
     pub fn par_map<I, T, E, F>(&self, budget: &Budget, items: &[I], f: F) -> Result<Vec<T>, E>
     where
         I: Sync,

@@ -110,6 +110,24 @@ impl CancelFlag {
 /// deadline is anchored when `with_wall` is called, so a budget passed
 /// down a fallback chain (exact → FPTAS) naturally shares one deadline
 /// across both attempts.
+///
+/// ```
+/// use dcn_guard::{Budget, BudgetError};
+/// use std::time::Duration;
+///
+/// // An iteration cap fires deterministically on the (cap + 1)-th tick.
+/// let budget = Budget::unlimited().with_iter_cap(2);
+/// let mut meter = budget.meter();
+/// assert_eq!(meter.tick(), Ok(()));
+/// assert_eq!(meter.tick(), Ok(()));
+/// assert_eq!(meter.tick(), Err(BudgetError::IterationsExceeded { cap: 2 }));
+///
+/// // A wall limit anchors its deadline at the `with_wall` call.
+/// let timed = Budget::unlimited().with_wall(Duration::from_secs(3600));
+/// let left = timed.remaining_wall().expect("deadline is set");
+/// assert!(left <= Duration::from_secs(3600));
+/// assert!(Budget::unlimited().remaining_wall().is_none());
+/// ```
 #[derive(Debug, Clone, Default)]
 pub struct Budget {
     deadline: Option<Instant>,

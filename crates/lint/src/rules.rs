@@ -85,6 +85,11 @@ pub const RULES: &[RuleInfo] = &[
         summary: "every crate root carries #![forbid(unsafe_code)]",
     },
     RuleInfo {
+        id: "doc-coverage",
+        severity: Severity::Error,
+        summary: "crate roots carry //! docs; pub fn/struct/enum in library code carry /// docs",
+    },
+    RuleInfo {
         id: "allow-justification",
         severity: Severity::Error,
         summary: "every dcn-lint allow annotation carries a written justification",
@@ -202,6 +207,7 @@ pub fn run_all(files: &[SourceFile]) -> Outcome {
     metric_registry(files, &mut raw_diags);
     nondeterminism(files, &mut raw_diags);
     unsafe_forbid(files, &mut raw_diags);
+    doc_coverage(files, &mut raw_diags);
 
     let file_index = |rel: &str| files.iter().position(|f| f.rel == rel);
     let mut diagnostics = Vec::new();
@@ -725,6 +731,110 @@ fn unsafe_forbid(files: &[SourceFile], diags: &mut Vec<Diagnostic>) {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Rule: doc-coverage
+
+/// True when `f.rel` is a crate root (`src/lib.rs` of the umbrella crate
+/// or of any workspace member).
+fn is_crate_root(rel: &str) -> bool {
+    rel == "src/lib.rs"
+        || (rel.starts_with("crates/")
+            && rel.ends_with("/src/lib.rs")
+            && rel.matches('/').count() == 3)
+}
+
+/// True when the item whose `pub` keyword sits at raw offset `at` carries
+/// a doc comment. Doc comments are masked out by the scanner, so this
+/// walks the *raw* lines above the item, skipping over attributes
+/// (`#[…]`, including a bare `)]` continuation tail) and plain `//`
+/// comments such as `dcn-lint: allow(…)` annotations, which
+/// conventionally sit between the doc and the item.
+fn documented(f: &SourceFile, at: usize) -> bool {
+    let mut line = f.line_of(at);
+    // An item not at the start of its line (e.g. emitted by a macro
+    // invocation) is out of scope for a token-level scanner: accept it.
+    let col = at - f.line_starts[line - 1];
+    if !f.raw_line(line)[..col].trim().is_empty() {
+        return true;
+    }
+    let mut in_attr = false;
+    while line > 1 {
+        line -= 1;
+        let t = f.raw_line(line).trim();
+        if in_attr {
+            // Consuming the interior of a multi-line `#[…(\n … \n)]`
+            // attribute bottom-up; its opening line ends the stretch.
+            if t.starts_with("#[") {
+                in_attr = false;
+            }
+            continue;
+        }
+        if t.starts_with("///") || t.starts_with("#[doc") || t.starts_with("#![doc") {
+            return true;
+        }
+        // Attributes and ordinary line comments may sit between the doc
+        // comment and the item.
+        if t.starts_with("#[") || t.starts_with("//") {
+            continue;
+        }
+        if t == ")]" || t == "]" {
+            in_attr = true;
+            continue;
+        }
+        return false;
+    }
+    false
+}
+
+fn doc_coverage(files: &[SourceFile], diags: &mut Vec<Diagnostic>) {
+    for f in files
+        .iter()
+        .filter(|f| f.krate.is_some() && !f.is_test_code && !f.is_bin)
+    {
+        if is_crate_root(&f.rel) && !f.raw.lines().any(|l| l.trim_start().starts_with("//!")) {
+            diags.push(Diagnostic {
+                rule: "doc-coverage",
+                severity: Severity::Error,
+                file: f.rel.clone(),
+                line: 1,
+                message: "crate root lacks `//!` module docs; state the crate's role, its \
+                          paper anchor, and its determinism/budget contract"
+                    .into(),
+            });
+        }
+        for at in word_occurrences(&f.masked, "pub") {
+            if f.in_test_region(at) {
+                continue;
+            }
+            let rest = f.masked[at + 3..].trim_start();
+            let Some(item) = ["fn", "struct", "enum"]
+                .iter()
+                .find(|k| rest.starts_with(&format!("{k} ")))
+            else {
+                continue;
+            };
+            let name: String = rest[item.len()..]
+                .trim_start()
+                .chars()
+                .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                .collect();
+            if !documented(f, at) {
+                push(
+                    diags,
+                    "doc-coverage",
+                    f,
+                    at,
+                    format!(
+                        "`pub {item} {name}` has no `///` doc comment; every public item \
+                         in library code documents its contract (rustdoc is the API \
+                         reference — see DESIGN.md §11)"
+                    ),
+                );
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -823,6 +933,64 @@ mod tests {
         let out = run_all(&[f]);
         assert_eq!(out.diagnostics.len(), 1);
         assert_eq!(out.diagnostics[0].rule, "unused-allow");
+    }
+
+    #[test]
+    fn doc_coverage_flags_undocumented_pub_items() {
+        let src = "//! Module docs.\n\
+                   /// Documented.\n\
+                   pub fn ok() {}\n\
+                   pub fn bare() {}\n\
+                   pub struct Naked;\n\
+                   pub(crate) fn internal() {}\n\
+                   fn private() {}\n";
+        let f = file("crates/core/src/x.rs", src);
+        let mut d = Vec::new();
+        doc_coverage(&[f], &mut d);
+        let lines: Vec<usize> = d.iter().map(|x| x.line).collect();
+        assert_eq!(lines, [4, 5], "{d:?}");
+    }
+
+    #[test]
+    fn doc_coverage_walks_back_over_attributes_and_comments() {
+        // Doc comments legitimately sit above attributes and above inline
+        // `// dcn-lint: allow(...)` annotations; neither hides the doc.
+        let src = "//! Docs.\n\
+                   /// Documented through an attribute stack.\n\
+                   #[derive(\n\
+                       Debug,\n\
+                   )]\n\
+                   #[inline]\n\
+                   // dcn-lint: allow(budget-coverage) — bounded by the radix\n\
+                   pub fn layered() {}\n";
+        let f = file("crates/mcf/src/x.rs", src);
+        let mut d = Vec::new();
+        doc_coverage(&[f], &mut d);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn doc_coverage_requires_crate_root_module_docs() {
+        let bare = file("crates/lp/src/lib.rs", "#![forbid(unsafe_code)]\n");
+        let documented = file(
+            "crates/mcf/src/lib.rs",
+            "#![forbid(unsafe_code)]\n//! The MCF crate.\n",
+        );
+        let submodule = file("crates/lp/src/simplex.rs", "fn x() {}\n");
+        let mut d = Vec::new();
+        doc_coverage(&[bare, documented, submodule], &mut d);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].file, "crates/lp/src/lib.rs");
+        assert_eq!(d[0].line, 1);
+    }
+
+    #[test]
+    fn doc_coverage_skips_tests_benches_and_bins() {
+        let t = file("crates/core/tests/x.rs", "pub fn bare() {}\n");
+        let b = file("crates/bench/src/bin/fig.rs", "pub fn bare() {}\n");
+        let mut d = Vec::new();
+        doc_coverage(&[t, b], &mut d);
+        assert!(d.is_empty(), "{d:?}");
     }
 
     #[test]

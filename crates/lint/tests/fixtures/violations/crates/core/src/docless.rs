@@ -1,0 +1,3 @@
+//! Fixture: an undocumented public item (the seeded doc-coverage violation).
+
+pub struct Bare;

@@ -1,5 +1,6 @@
 //! Fixture metric call sites.
 
+/// Fixture: documented metric bump.
 pub fn bump() {
     dcn_obs::counter!(dcn_obs::names::USED_OK).inc();
     dcn_obs::counter!("fix.raw.literal").inc();

@@ -1,5 +1,6 @@
 //! Fixture: ad-hoc thread spawn outside dcn-exec.
 
+/// Fixture: documented ad-hoc spawn.
 pub fn fan_out() {
     std::thread::spawn(|| {});
 }

@@ -1,5 +1,6 @@
 //! Fixture: an unbudgeted public loop and a stale allow.
 
+/// Fixture: documented unbudgeted loop.
 pub fn spin(n: u32) -> u32 {
     let mut i = 0;
     while i < n {
@@ -9,4 +10,5 @@ pub fn spin(n: u32) -> u32 {
 }
 
 // dcn-lint: allow(float-eq) — fixture: stale annotation with nothing to suppress
+/// Fixture: documented idle fn under a stale allow.
 pub fn idle() {}

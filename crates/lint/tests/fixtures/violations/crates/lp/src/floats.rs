@@ -1,13 +1,16 @@
 //! Fixture: the three exact float comparison patterns.
 
+/// Fixture: documented exact zero test.
 pub fn is_zero(x: f64) -> bool {
     x == 0.0
 }
 
+/// Fixture: documented exact nonzero test.
 pub fn is_nonzero(x: f64) -> bool {
     x != 0.0
 }
 
+/// Fixture: documented exact one test.
 pub fn is_one(x: f64) -> bool {
     x == 1.0
 }

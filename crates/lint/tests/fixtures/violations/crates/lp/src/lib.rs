@@ -1,5 +1,6 @@
 //! Fixture: crate root without the unsafe forbid attribute.
 
+/// Fixture: documented doubling helper.
 pub fn double(x: f64) -> f64 {
     x * 2.0
 }

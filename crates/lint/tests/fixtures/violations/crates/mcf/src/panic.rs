@@ -1,9 +1,11 @@
 //! Fixture: panic-freedom violations, bare and with an unjustified allow.
 
+/// Fixture: documented unwrap site.
 pub fn take(v: Option<u32>) -> u32 {
     v.unwrap()
 }
 
+/// Fixture: documented unwrap site with an unjustified allow.
 pub fn take_annotated(v: Option<u32>) -> u32 {
     // dcn-lint: allow(panic-freedom)
     v.unwrap()

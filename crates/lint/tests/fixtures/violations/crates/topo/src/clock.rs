@@ -1,9 +1,11 @@
 //! Fixture: nondeterminism sources.
 
+/// Fixture: documented clock read.
 pub fn stamp() -> std::time::Instant {
     std::time::Instant::now()
 }
 
+/// Fixture: documented unseeded draw.
 pub fn draw() -> u64 {
     let mut rng = thread_rng();
     rng.next_u64()

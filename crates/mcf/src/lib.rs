@@ -25,11 +25,13 @@ pub mod fptas;
 pub mod pathset;
 pub mod routing;
 
-pub use pathset::{Commodity, PathSet};
+pub use pathset::{Commodity, PathSet, SharedPathSet};
 pub use routing::{ecmp_throughput, vlb_throughput};
 
+use dcn_cache::{CacheEntry, CacheHandle, CacheKey, KeyBuilder};
 use dcn_guard::{Budget, BudgetError, CertError};
 use dcn_model::{ModelError, Topology, TrafficMatrix};
+use dcn_obs::json::Json;
 
 /// Throughput computation backend.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -88,6 +90,73 @@ impl ThroughputResult {
     /// Midpoint estimate of `θ(T)`.
     pub fn theta(&self) -> f64 {
         0.5 * (self.theta_lb + self.theta_ub)
+    }
+}
+
+impl CacheEntry for ThroughputResult {
+    const KIND: &'static str = "mcf_theta";
+
+    fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<ThroughputResult>()
+    }
+
+    fn to_json(&self) -> Json {
+        let (prov, eps) = match self.provenance {
+            Provenance::Exact => ("exact", 0.0),
+            Provenance::Fptas { eps } => ("fptas", eps),
+            Provenance::FptasFallback { eps } => ("fptas_fallback", eps),
+        };
+        Json::obj([
+            ("theta_lb", Json::Num(self.theta_lb)),
+            ("theta_ub", Json::Num(self.theta_ub)),
+            ("shortest_path_fraction", Json::Num(self.shortest_path_fraction)),
+            ("provenance", Json::Str(prov.to_string())),
+            ("eps", Json::Num(eps)),
+        ])
+    }
+
+    fn from_json(json: &Json) -> Result<Self, String> {
+        let num = |k: &str| {
+            json.get(k)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("missing {k}"))
+        };
+        let eps = num("eps")?;
+        let provenance = match json
+            .get("provenance")
+            .and_then(Json::as_str)
+            .ok_or("missing provenance")?
+        {
+            "exact" => Provenance::Exact,
+            "fptas" => Provenance::Fptas { eps },
+            "fptas_fallback" => Provenance::FptasFallback { eps },
+            other => return Err(format!("unknown provenance {other:?}")),
+        };
+        Ok(ThroughputResult {
+            theta_lb: num("theta_lb")?,
+            theta_ub: num("theta_ub")?,
+            shortest_path_fraction: num("shortest_path_fraction")?,
+            provenance,
+        })
+    }
+
+    fn validate(&self) -> Result<(), String> {
+        // Re-run the bracket certificate the solvers established: a
+        // deserialized record must still satisfy lb <= ub with finite,
+        // sane values.
+        dcn_guard::validate::check_bracket(self.theta_lb, self.theta_ub, dcn_guard::validate::DEFAULT_TOL)
+            .map_err(|e| format!("bracket: {e}"))?;
+        let spf = self.shortest_path_fraction;
+        if !spf.is_finite() || !(-dcn_guard::validate::DEFAULT_TOL..=1.0 + dcn_guard::validate::DEFAULT_TOL).contains(&spf)
+        {
+            return Err(format!("shortest-path fraction {spf} outside [0, 1]"));
+        }
+        if let Provenance::Fptas { eps } | Provenance::FptasFallback { eps } = self.provenance {
+            if !(eps > 0.0 && eps < 0.5) {
+                return Err(format!("fptas eps {eps} outside (0, 0.5)"));
+            }
+        }
+        Ok(())
     }
 }
 
@@ -166,7 +235,15 @@ impl std::error::Error for McfError {
 /// solve share one deadline — and exhaustion surfaces as
 /// [`McfError::Budget`].
 ///
+/// Caching is two-level (both through the one [`CacheHandle`]): the
+/// enumerated path set is memoized per `(topology, traffic, k)` —
+/// separately from the solve, so sweeping engines or re-running a figure
+/// warm-starts the expensive enumeration — and the solved bracket per
+/// `(topology, traffic, k, engine)`. Pass
+/// `dcn_cache::prelude::nocache()` to always recompute.
+///
 /// ```
+/// use dcn_cache::prelude::*;
 /// use dcn_graph::Graph;
 /// use dcn_guard::prelude::*;
 /// use dcn_mcf::{ksp_mcf_throughput, Engine};
@@ -176,7 +253,7 @@ impl std::error::Error for McfError {
 /// let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)])?;
 /// let topo = Topology::new(g, vec![1; 5], "c5")?;
 /// let tm = TrafficMatrix::permutation(&topo, &[(0, 3), (3, 1), (1, 4), (4, 2), (2, 0)])?;
-/// let res = ksp_mcf_throughput(&topo, &tm, 8, Engine::Exact, &unlimited())?;
+/// let res = ksp_mcf_throughput(&topo, &tm, 8, Engine::Exact, &nocache(), &unlimited())?;
 /// assert!((res.theta_lb - 5.0 / 6.0).abs() < 1e-9);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
@@ -185,10 +262,30 @@ pub fn ksp_mcf_throughput(
     tm: &TrafficMatrix,
     k: usize,
     engine: Engine,
+    cache: &CacheHandle,
     budget: &Budget,
 ) -> Result<ThroughputResult, McfError> {
-    let ps = PathSet::k_shortest(topo, tm, k, budget)?;
-    throughput_on_paths(&ps, engine, budget)
+    let ps = PathSet::k_shortest_shared(topo, tm, k, cache, budget)?;
+    cache.get_or_compute(
+        || theta_key(topo, tm, k, engine),
+        || throughput_on_paths(&ps.0, engine, budget),
+    )
+}
+
+/// Cache key for a solved KSP-MCF bracket: the path-set inputs plus the
+/// engine and its accuracy parameter. Budget excluded by design.
+fn theta_key(topo: &Topology, tm: &TrafficMatrix, k: usize, engine: Engine) -> CacheKey {
+    let (tag, eps) = match engine {
+        Engine::Exact => (0u64, 0.0),
+        Engine::Fptas { eps } => (1, eps),
+    };
+    KeyBuilder::new("mcf_theta")
+        .topology(topo)
+        .traffic(tm)
+        .u64(k as u64)
+        .u64(tag)
+        .f64(eps)
+        .finish()
 }
 
 /// Computes `θ(T)` over an explicit path set, under an execution

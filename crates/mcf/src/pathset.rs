@@ -1,11 +1,14 @@
 //! Per-commodity restricted path sets over the coalesced switch graph.
 
 use crate::McfError;
+use dcn_cache::{CacheEntry, CacheHandle, KeyBuilder};
 use dcn_graph::ksp;
 use dcn_graph::{EdgeId, Graph, NodeId};
 use dcn_guard::Budget;
 use dcn_model::{Topology, TrafficMatrix};
+use dcn_obs::json::Json;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// A path represented as directed edge hops on the coalesced graph.
 #[derive(Debug, Clone)]
@@ -52,6 +55,59 @@ pub struct PathSet {
     commodities: Vec<Commodity>,
 }
 
+/// An `Arc`-shared [`PathSet`] as stored in the cache: cloning is a
+/// refcount bump, so cache hits never copy the (potentially large)
+/// enumerated paths.
+#[derive(Debug, Clone)]
+pub struct SharedPathSet(pub Arc<PathSet>);
+
+/// Cache key for an enumerated path set: exact topology + traffic matrix
+/// content plus `k`. Keys are exact — a `k=16` path set is *not* served
+/// from a `k=32` entry, because the slack-DFS enumerator guarantees no
+/// prefix property across `k` values.
+fn pathset_key(topo: &Topology, tm: &TrafficMatrix, k: usize) -> dcn_cache::CacheKey {
+    KeyBuilder::new("pathset")
+        .topology(topo)
+        .traffic(tm)
+        .u64(k as u64)
+        .finish()
+}
+
+impl CacheEntry for SharedPathSet {
+    const KIND: &'static str = "pathset";
+    /// Memory-tier only: a serialized path set is far larger than the
+    /// enumeration it would save.
+    const PERSIST: bool = false;
+
+    fn approx_bytes(&self) -> usize {
+        let paths: usize = self
+            .0
+            .commodities
+            .iter()
+            .map(|c| {
+                c.paths
+                    .iter()
+                    .map(|p| {
+                        std::mem::size_of::<PathRepr>()
+                            + p.nodes.len() * std::mem::size_of::<NodeId>()
+                            + p.hops.len() * std::mem::size_of::<(EdgeId, bool)>()
+                    })
+                    .sum::<usize>()
+                    + std::mem::size_of::<Commodity>()
+            })
+            .sum();
+        paths + self.0.graph.m() * 2 * std::mem::size_of::<u64>()
+    }
+
+    fn to_json(&self) -> Json {
+        Json::Null // never called: PERSIST is false
+    }
+
+    fn from_json(_json: &Json) -> Result<Self, String> {
+        Err("path sets are memory-tier only".into())
+    }
+}
+
 impl PathSet {
     /// Builds path sets with up to `k` shortest paths per commodity.
     ///
@@ -67,6 +123,24 @@ impl PathSet {
         Self::build(topo, tm, |g, src, dst, budget| {
             ksp::k_shortest_by_slack(g, src, dst, k, u16::MAX, budget).map_err(McfError::Budget)
         }, budget)
+    }
+
+    /// [`PathSet::k_shortest`] behind the cache: the enumerated path set
+    /// is memoized per exact `(topology, traffic matrix, k)` key and
+    /// shared via `Arc`, so a K-sweep's repeated solves (and warm reruns
+    /// of a whole figure) rebuild each path set once. Memory-tier only —
+    /// serialized path sets would dwarf their recompute cost.
+    pub fn k_shortest_shared(
+        topo: &Topology,
+        tm: &TrafficMatrix,
+        k: usize,
+        cache: &CacheHandle,
+        budget: &Budget,
+    ) -> Result<SharedPathSet, McfError> {
+        cache.get_or_compute(
+            || pathset_key(topo, tm, k),
+            || PathSet::k_shortest(topo, tm, k, budget).map(|ps| SharedPathSet(Arc::new(ps))),
+        )
     }
 
     /// Builds path sets containing every path within `slack` hops of the

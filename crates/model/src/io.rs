@@ -5,6 +5,13 @@
 //! and a weighted edge list — so topologies generated here can be consumed
 //! by external plotting/analysis scripts, and topologies from other tools
 //! (e.g. TopoBench-style edge lists) can be imported.
+//!
+//! Round-tripping is lossless and canonical: edges serialize in the
+//! graph's insertion order and deserialize back to a structurally equal
+//! [`Topology`], so an exported-then-imported fabric produces the same
+//! solver results — and the same `dcn-cache` content keys — as the
+//! original. Import re-validates through [`Topology::new`]; malformed
+//! input surfaces as [`ModelError`], never a panic.
 
 use crate::{ModelError, Topology};
 use dcn_graph::Graph;

@@ -1,4 +1,18 @@
 //! The [`Topology`] type: a switch-level graph with attached servers.
+//!
+//! This is the paper's §2 object of study: a capacity-weighted switch
+//! graph plus a per-switch server count, classified by [`TopoClass`]
+//! into the uni-regular / near-uni-regular / bi-regular taxonomy of
+//! Figure 1 (which decides whether Theorem 2.2's throughput upper bound
+//! applies directly, via Equation 18, or not at all). Construction
+//! checks the shape invariants downstream solvers assume (server counts
+//! match the switch count; at least one server exists) so solvers can
+//! skip re-checking them inside budgeted hot loops; connectivity is the
+//! generators' contract (`dcn-topo` returns only connected fabrics). A
+//! `Topology` is immutable after construction, and its content (edges,
+//! capacities, server counts) is exactly what `dcn-cache` hashes into
+//! solver cache keys — two structurally identical topologies hit the
+//! same cache line regardless of how they were generated.
 
 use crate::ModelError;
 use dcn_graph::{Graph, NodeId};

@@ -1,4 +1,22 @@
 //! Sparse switch-level traffic matrices and the hose model of §2.1.
+//!
+//! A [`TrafficMatrix`] lists demands between *switches*, in server
+//! line-rate units; per-server demands are aggregated onto the switch
+//! hosting them, exactly as the paper's Equation 1 works at the switch
+//! level. [`TrafficMatrix::check_hose`] checks the §2.1 hose constraint
+//! (no switch sources or sinks more than its attached server capacity)
+//! and [`TrafficMatrix::random_permutation`] builds the near-worst-case
+//! matrices the evaluation uses (§3): a random server-level permutation
+//! saturating every server's hose envelope.
+//!
+//! # Determinism
+//!
+//! Generators here take a caller-seeded `&mut impl Rng` and never read
+//! clocks or global state, so a fixed seed reproduces the same matrix
+//! byte-for-byte on every thread count — the contract the workspace-wide
+//! determinism tests (`crates/core/tests/determinism.rs`) pin. Matrix
+//! construction is cheap and unbudgeted; solver budgets (`dcn_guard::Budget`)
+//! start where the matrices are consumed, in the solver crates.
 
 use crate::{ModelError, Topology};
 use dcn_graph::NodeId;

@@ -16,7 +16,9 @@
 //!
 //! All generators saturate at most the hose rate `H_u` per switch and
 //! validate through [`TrafficMatrix::new`], so every output is admissible
-//! by construction.
+//! by construction (§2.1's hose model). Randomized generators take a
+//! caller-seeded `&mut impl Rng` — same seed, same matrix, on any thread
+//! count — so sweeps over workloads stay reproducible and cacheable.
 
 use crate::{Demand, ModelError, TopoClass, Topology, TrafficMatrix};
 use rand::seq::SliceRandom;

@@ -142,6 +142,21 @@ pub const BENCH_FIG3_BBW_PROXY: &str = "bench.fig3.bbw_proxy";
 /// Wall time of a [`dcn_obs::time_scope`]-wrapped experiment body (span).
 pub const BENCH_TIMED: &str = "bench.timed";
 
+// --- dcn-cache -------------------------------------------------------------
+
+/// Solver-result cache lookups served from memory (counter).
+pub const CACHE_HIT: &str = "cache.hit";
+/// Solver-result cache lookups that had to recompute (counter).
+pub const CACHE_MISS: &str = "cache.miss";
+/// Entries evicted to stay under the cache byte budget (counter).
+pub const CACHE_EVICT: &str = "cache.evict";
+/// Lookups served by deserializing an on-disk record (counter).
+pub const CACHE_DISK_HIT: &str = "cache.disk.hit";
+/// On-disk records quarantined as corrupt or invalid (counter).
+pub const CACHE_QUARANTINED: &str = "cache.quarantined";
+/// hits / (hits + misses) at manifest-capture time (gauge).
+pub const CACHE_HIT_RATE: &str = "cache.hit_rate";
+
 /// Every registered name, for exhaustiveness tests and tooling.
 pub const ALL: &[&str] = &[
     GRAPH_KSP_SPUR_SEARCHES,
@@ -195,6 +210,12 @@ pub const ALL: &[&str] = &[
     BENCH_FIG3_EXACT_THETA,
     BENCH_FIG3_BBW_PROXY,
     BENCH_TIMED,
+    CACHE_HIT,
+    CACHE_MISS,
+    CACHE_EVICT,
+    CACHE_DISK_HIT,
+    CACHE_QUARANTINED,
+    CACHE_HIT_RATE,
 ];
 
 #[cfg(test)]

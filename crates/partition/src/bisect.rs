@@ -3,6 +3,7 @@
 use crate::coarsen::coarsen_once;
 use crate::fm::refine;
 use crate::WGraph;
+use dcn_cache::{CacheEntry, CacheHandle, KeyBuilder};
 use dcn_guard::{Budget, BudgetError, BudgetMeter};
 use dcn_model::Topology;
 use rand::rngs::StdRng;
@@ -173,16 +174,60 @@ fn grow_partition<R: Rng>(g: &WGraph, rng: &mut R) -> Vec<u8> {
     side
 }
 
+/// The cut value of a cached bisection-bandwidth computation. A plain
+/// newtype so the scalar can live in the cache with a kind tag and a
+/// finite-and-non-negative certificate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CachedCut(pub f64);
+
+impl CacheEntry for CachedCut {
+    const KIND: &'static str = "bbw";
+
+    fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<CachedCut>()
+    }
+
+    fn to_json(&self) -> dcn_obs::json::Json {
+        dcn_obs::json::Json::Num(self.0)
+    }
+
+    fn from_json(json: &dcn_obs::json::Json) -> Result<Self, String> {
+        json.as_f64().map(CachedCut).ok_or_else(|| "expected a number".into())
+    }
+
+    fn validate(&self) -> Result<(), String> {
+        if self.0.is_finite() && self.0 >= 0.0 {
+            Ok(())
+        } else {
+            Err(format!("cut {} not finite and non-negative", self.0))
+        }
+    }
+}
+
 /// The bisection bandwidth of a topology: the best (smallest) balanced cut
 /// found across `tries` multilevel runs. Like METIS, this *over*-estimates
 /// the true bisection bandwidth (finding it exactly is NP-hard).
+///
+/// Memoized through the [`CacheHandle`] per `(topology, tries, seed)` —
+/// the partitioner is seeded, so equal keys reproduce the same cut.
 pub fn bisection_bandwidth(
     topo: &Topology,
     tries: u32,
     seed: u64,
+    cache: &CacheHandle,
     budget: &Budget,
 ) -> Result<f64, BudgetError> {
-    Ok(bisection(topo, tries, seed, budget)?.cut)
+    let cut = cache.get_or_compute(
+        || {
+            KeyBuilder::new("bbw")
+                .topology(topo)
+                .u64(tries as u64)
+                .u64(seed)
+                .finish()
+        },
+        || bisection(topo, tries, seed, budget).map(|r| CachedCut(r.cut)),
+    )?;
+    Ok(cut.0)
 }
 
 /// Whether the topology has full bisection bandwidth: cut capacity at
@@ -191,14 +236,16 @@ pub fn has_full_bisection(
     topo: &Topology,
     tries: u32,
     seed: u64,
+    cache: &CacheHandle,
     budget: &Budget,
 ) -> Result<bool, BudgetError> {
-    Ok(bisection_bandwidth(topo, tries, seed, budget)? >= topo.n_servers() as f64 / 2.0 - 1e-9)
+    Ok(bisection_bandwidth(topo, tries, seed, cache, budget)? >= topo.n_servers() as f64 / 2.0 - 1e-9)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dcn_cache::prelude::nocache;
     use dcn_graph::Graph;
     use dcn_topo::{fat_tree, jellyfish};
     use rand::rngs::StdRng;
@@ -228,7 +275,7 @@ mod tests {
     #[test]
     fn fat_tree_has_full_bisection() {
         let t = fat_tree(4).unwrap();
-        let bbw = bisection_bandwidth(&t, 8, 3, &Budget::unlimited()).unwrap();
+        let bbw = bisection_bandwidth(&t, 8, 3, &nocache(), &Budget::unlimited()).unwrap();
         // Full bisection: at least N/2 = 8.
         assert!(bbw >= 8.0, "bbw = {bbw}");
     }
@@ -239,7 +286,7 @@ mod tests {
         // 32 switches, degree 8, H=4: a random 8-regular graph's balanced
         // cut is roughly n*r/4 minus expansion slack.
         let t = jellyfish(32, 8, 4, &mut rng).unwrap();
-        let bbw = bisection_bandwidth(&t, 4, 3, &Budget::unlimited()).unwrap();
+        let bbw = bisection_bandwidth(&t, 4, 3, &nocache(), &Budget::unlimited()).unwrap();
         assert!(bbw >= 30.0, "bbw = {bbw} too small for a degree-8 expander");
         assert!(bbw <= 64.0, "bbw = {bbw} exceeds the random-cut average");
     }
@@ -249,7 +296,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         // Degree 16 network ports vs H=4 servers: plenty of fabric capacity.
         let t = jellyfish(32, 16, 4, &mut rng).unwrap();
-        assert!(has_full_bisection(&t, 4, 3, &Budget::unlimited()).unwrap());
+        assert!(has_full_bisection(&t, 4, 3, &nocache(), &Budget::unlimited()).unwrap());
     }
 
     #[test]
@@ -257,9 +304,9 @@ mod tests {
         let edges: Vec<(u32, u32)> = (0..16u32).map(|i| (i, (i + 1) % 16)).collect();
         let g = Graph::from_edges(16, &edges).unwrap();
         let t = Topology::new(g, vec![1; 16], "ring").unwrap();
-        let bbw = bisection_bandwidth(&t, 8, 5, &Budget::unlimited()).unwrap();
+        let bbw = bisection_bandwidth(&t, 8, 5, &nocache(), &Budget::unlimited()).unwrap();
         assert_eq!(bbw, 2.0);
-        assert!(!has_full_bisection(&t, 8, 5, &Budget::unlimited()).unwrap());
+        assert!(!has_full_bisection(&t, 8, 5, &nocache(), &Budget::unlimited()).unwrap());
     }
 
     #[test]
@@ -299,6 +346,7 @@ mod tests {
 #[cfg(test)]
 mod exhaustive_tests {
     use super::*;
+    use dcn_cache::prelude::nocache;
     use dcn_graph::Graph;
     use dcn_topo::jellyfish;
     use rand::rngs::StdRng;
@@ -340,7 +388,7 @@ mod exhaustive_tests {
         let mut rng = StdRng::seed_from_u64(13);
         for trial in 0..4 {
             let t = jellyfish(12, 4, 2, &mut rng).unwrap();
-            let heuristic = bisection_bandwidth(&t, 8, trial, &Budget::unlimited()).unwrap();
+            let heuristic = bisection_bandwidth(&t, 8, trial, &nocache(), &Budget::unlimited()).unwrap();
             let exact = exhaustive_best_cut(&t);
             // The heuristic is an upper bound on the true minimum...
             assert!(
@@ -372,6 +420,6 @@ mod exhaustive_tests {
         .unwrap();
         let t = Topology::new(g, vec![2; 6], "dumbbell").unwrap();
         assert_eq!(exhaustive_best_cut(&t), 1.0);
-        assert_eq!(bisection_bandwidth(&t, 8, 3, &Budget::unlimited()).unwrap(), 1.0);
+        assert_eq!(bisection_bandwidth(&t, 8, 3, &nocache(), &Budget::unlimited()).unwrap(), 1.0);
     }
 }

@@ -6,6 +6,13 @@
 //! remove each, and connect both freed ports to the new switch. Each
 //! rewire preserves the degree of all existing switches and gives the new
 //! switch `r` (or `r - 1`, when `r` is odd) links.
+//!
+//! Expansion steps are driven by the caller's RNG, so a growth trajectory
+//! is a pure function of (initial topology, seed): the expansion-ensemble
+//! experiments in `dcn-core` replay trajectories deterministically under
+//! any pool width, and each intermediate fabric's throughput solve is
+//! individually cacheable by content. Link selection retries are bounded;
+//! infeasible expansion parameters return an error instead of looping.
 
 use dcn_graph::Graph;
 use dcn_model::{ModelError, Topology};

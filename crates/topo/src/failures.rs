@@ -1,4 +1,15 @@
 //! Random link-failure injection (Figure 10 of the paper).
+//!
+//! §6's resilience experiments degrade a fabric by failing a uniformly
+//! random fraction of switch-to-switch links, then re-solve throughput on
+//! the survivor. Sampling is driven entirely by the caller's RNG: the
+//! resilience sweeps in `dcn-core` derive one seed per (fraction, trial)
+//! pair via `dcn_exec::task_seed`, which keeps every trial independent of
+//! pool scheduling — the failed-link set for trial `t` is identical at
+//! `DCN_EXEC_THREADS=1` and `=64`. Samples that would partition the
+//! fabric are retried a bounded number of times and then reported as an
+//! error (a partitioned fabric has throughput zero, not merely reduced),
+//! so callers never spin unbudgeted.
 
 use dcn_model::{ModelError, Topology};
 use rand::seq::SliceRandom;

@@ -5,6 +5,14 @@
 //! follows the Jellyfish paper: repeatedly join random pairs of switches
 //! with free ports, and when the process gets stuck, free up eligible port
 //! pairs by breaking a random existing link.
+//!
+//! Jellyfish is the paper's flagship uni-regular design: §4 shows its
+//! TUB sits within a few percent of 1 at equal cost, and §5 uses it for
+//! the expansion and resilience studies. Wiring is a pure function of the
+//! caller's RNG — one seed, one graph — so ensemble sweeps seed each
+//! instance explicitly and stay bit-reproducible across thread counts.
+//! The stuck-state rewiring loop is bounded, returning an error rather
+//! than spinning when parameters are infeasible (e.g. `r >= n`).
 
 use dcn_graph::Graph;
 use dcn_model::{ModelError, Topology};

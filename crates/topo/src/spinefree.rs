@@ -9,7 +9,10 @@
 //! capacity-weighted, so trunks are first-class here).
 //!
 //! Two inter-pod wirings are provided: a random regular trunk graph
-//! (Jellyfish-at-pod-level) and a complete pod mesh.
+//! (Jellyfish-at-pod-level) and a complete pod mesh. The random wiring
+//! takes a caller-seeded RNG (the mesh is fully deterministic), so both
+//! reproduce bit-identically from their parameters alone — pod-level
+//! sweeps in the cost experiments cache and re-seed per configuration.
 
 use dcn_graph::Graph;
 use dcn_model::{ModelError, Topology};

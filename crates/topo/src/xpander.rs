@@ -9,6 +9,12 @@
 //! exactly one link into each of the other `d` meta-nodes, giving a
 //! `d`-regular graph on `(d+1) * k` switches that is an expander with high
 //! probability.
+//!
+//! The paper treats Xpander as the second uni-regular contender beside
+//! Jellyfish (§4's cost frontier and §7's related-work discussion). The
+//! lift matchings are drawn from the caller's RNG only, so a fixed seed
+//! pins the exact wiring — the property the determinism suite and the
+//! `dcn-cache` content keys both rely on.
 
 use dcn_graph::Graph;
 use dcn_model::{ModelError, Topology};

@@ -14,6 +14,7 @@ use dcn::core::MatchingBackend;
 use dcn::guard::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cache = dcn_cache::CacheHandle::from_env();
     let args: Vec<String> = std::env::args().collect();
     let switches: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(160);
     let h: u32 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(4);
@@ -33,6 +34,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         3,
         MatchingBackend::Auto { exact_below: 500 },
         13,
+        &cache,
         &unlimited(),
     )?;
     println!("{:>9} {:>9} {:>9} {:>10}", "failed", "nominal", "actual", "deviation");

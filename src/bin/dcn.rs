@@ -10,6 +10,7 @@
 //! Families: `jellyfish`, `xpander`, `fatclique`, `fattree`, `clos`.
 //! Topologies are exchanged as the JSON format of `dcn::model::TopologySpec`.
 
+use dcn::cache::CacheHandle;
 use dcn::core::frontier::{frontier_max_servers, Criterion, Family};
 use dcn::core::universal::{max_full_throughput_servers, universal_tub, UniRegularParams};
 use dcn::core::{tub, MatchingBackend};
@@ -156,9 +157,10 @@ fn cmd_eval(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         topo.graph().m(),
         topo.class()
     );
-    let bound = tub(&topo, MatchingBackend::default(), &unlimited())?;
+    let cache = CacheHandle::from_env();
+    let bound = tub(&topo, MatchingBackend::default(), &cache, &unlimited())?;
     println!("tub                 = {:.4}  ({})", bound.bound, bound.backend);
-    let bbw = bisection_bandwidth(&topo, 4, 7, &unlimited())?;
+    let bbw = bisection_bandwidth(&topo, 4, 7, &cache, &unlimited())?;
     println!(
         "bisection bandwidth = {bbw:.1}  ({:.3} of N/2)",
         bbw / (topo.n_servers() as f64 / 2.0)
@@ -174,7 +176,7 @@ fn cmd_eval(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         let k: usize = args.get("k", 16);
         let eps: f64 = args.get("eps", 0.05);
         let tm = bound.traffic_matrix(&topo)?;
-        let mcf = ksp_mcf_throughput(&topo, &tm, k, Engine::Fptas { eps }, &unlimited())?;
+        let mcf = ksp_mcf_throughput(&topo, &tm, k, Engine::Fptas { eps }, &cache, &unlimited())?;
         println!(
             "ksp-mcf θ(worst)    = [{:.4}, {:.4}]  (K = {k}, eps = {eps})",
             mcf.theta_lb, mcf.theta_ub
@@ -206,7 +208,17 @@ fn cmd_frontier(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
             backend: MatchingBackend::Auto { exact_below: 600 },
         },
     };
-    match frontier_max_servers(family, radix, h, criterion, max_switches, seed, &unlimited())? {
+    let cache = CacheHandle::from_env();
+    match frontier_max_servers(
+        family,
+        radix,
+        h,
+        criterion,
+        max_switches,
+        seed,
+        &cache,
+        &unlimited(),
+    )? {
         Some(n) => println!(
             "{} radix={radix} H={h}: largest size satisfying the criterion ≈ {n} servers"
         , family.name()),

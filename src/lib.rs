@@ -2,6 +2,7 @@
 //! Umbrella crate re-exporting the entire `dcn` workspace.
 #![warn(missing_docs)]
 
+pub use dcn_cache as cache;
 pub use dcn_core as core;
 pub use dcn_estimators as estimators;
 pub use dcn_graph as graph;
