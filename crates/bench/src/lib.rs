@@ -15,8 +15,18 @@
 //! `DCN_OBS=summary` (or `trace`) the registry summary is also printed to
 //! stderr; with the default `DCN_OBS=off`, stdout stays byte-identical to
 //! the plain tables.
+//!
+//! With `DCN_TRACE_FILE=<path>` (or `DCN_OBS=trace`) the harness also
+//! installs the `dcn-trace` per-event recorder at startup and flushes a
+//! Chrome `trace_event` JSON file at manifest time — see DESIGN.md §12.
+//! Passing `--baseline` to any experiment binary folds the run's summary
+//! (wall seconds, cache hit rate, per-span totals) into the committed
+//! `BENCH_BASELINE.json`, which `--bin perf_gate` and
+//! `scripts/perf_gate.py` later compare fresh manifests against.
 
 #![warn(missing_docs)]
+
+pub mod perf;
 
 use std::fmt::Display;
 use std::fs;
@@ -119,8 +129,71 @@ pub fn write_manifest(name: &str) {
         }
         Err(e) => eprintln!("{e}"),
     }
+    flush_trace(name);
+    if baseline_mode() {
+        update_baseline(name, &manifest);
+    }
     if dcn_obs::enabled() {
         eprint!("{}", dcn_obs::summary());
+    }
+}
+
+/// Flushes the per-event trace (when active) to `DCN_TRACE_FILE`, or to
+/// `results/<name>.trace.json` when only `DCN_OBS=trace` asked for
+/// tracing. Flushing rewrites the file with all events so far, so in a
+/// binary with several tables the last flush wins with the full trace.
+fn flush_trace(name: &str) {
+    if !dcn_trace::active() {
+        return;
+    }
+    let path = match dcn_trace::trace_file_from_env() {
+        Some(p) => p,
+        None => match results_dir() {
+            Ok(dir) => dir.join(format!("{name}.trace.json")),
+            Err(e) => {
+                eprintln!("{e}");
+                return;
+            }
+        },
+    };
+    match dcn_trace::flush_to_file(&path) {
+        Ok(n) => dcn_obs::obs_log!("wrote {} ({n} events)", path.display()),
+        Err(e) => eprintln!("trace flush failed for {name}: {e}"),
+    }
+}
+
+/// True when `--baseline` was passed: the run's perf summary is folded
+/// into [`baseline_path`] at manifest time.
+pub fn baseline_mode() -> bool {
+    std::env::args().any(|a| a == "--baseline")
+}
+
+/// The perf baseline file: `DCN_BENCH_BASELINE` when set, else
+/// `BENCH_BASELINE.json` at the workspace root.
+pub fn baseline_path() -> PathBuf {
+    match std::env::var_os("DCN_BENCH_BASELINE") {
+        Some(p) => PathBuf::from(p),
+        None => PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .and_then(|p| p.parent())
+            .expect("workspace root")
+            .join("BENCH_BASELINE.json"),
+    }
+}
+
+fn update_baseline(name: &str, manifest: &dcn_obs::manifest::RunManifest) {
+    let path = baseline_path();
+    let mut baseline = match perf::Baseline::load(&path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("baseline load failed ({e}); not updating {}", path.display());
+            return;
+        }
+    };
+    baseline.upsert(name, perf::entry_from_manifest(manifest));
+    match baseline.save(&path) {
+        Ok(()) => eprintln!("updated baseline entry '{name}' in {}", path.display()),
+        Err(e) => eprintln!("baseline write failed for {name}: {e}"),
     }
 }
 
@@ -135,8 +208,10 @@ impl Table {
     /// Creates a named table with the given column headers.
     pub fn new(name: &str, header: &[&str]) -> Self {
         // Pin the wall-clock origin as early as table creation in case the
-        // binary never called into the harness before.
+        // binary never called into the harness before, and install the
+        // per-event trace recorder when the environment asks for one.
         process_start();
+        dcn_trace::init_from_env();
         Table {
             name: name.to_string(),
             header: header.iter().map(|s| s.to_string()).collect(),
@@ -244,6 +319,10 @@ pub fn run_guarded(
     name: &str,
     body: impl FnOnce() -> Result<(), Box<dyn std::error::Error>>,
 ) -> std::process::ExitCode {
+    // Anchor the wall clock and install the trace recorder before any
+    // experiment work runs, so traces cover the whole body.
+    process_start();
+    dcn_trace::init_from_env();
     match body() {
         Ok(()) => std::process::ExitCode::SUCCESS,
         Err(e) => {

@@ -94,6 +94,7 @@ pub fn expansion_ensemble(
         return Err(CoreError::OutOfRegime("empty seed ensemble".into()));
     }
     let curves = Pool::from_env().par_map(budget, seeds, |_, &seed| {
+        let _curve = dcn_obs::span!(dcn_obs::names::CORE_EXPANSION_CURVE);
         expansion_curve(initial, h, steps, step_fraction, backend, seed, cache, budget)
     })?;
     let n = curves[0].len();

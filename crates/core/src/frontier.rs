@@ -217,6 +217,7 @@ pub fn frontier_sweep(
     budget: &Budget,
 ) -> Result<Vec<Option<u64>>, CoreError> {
     Pool::from_env().par_map(budget, configs, |_, c| {
+        let _cell = dcn_obs::span!(dcn_obs::names::CORE_FRONTIER_CELL);
         frontier_max_servers(
             c.family,
             c.radix,

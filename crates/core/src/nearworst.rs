@@ -96,7 +96,10 @@ pub fn adversarial_search(
         if candidates.is_empty() {
             continue;
         }
-        let thetas = pool.par_map(budget, &candidates, |_, cand| eval(cand))?;
+        let thetas = pool.par_map(budget, &candidates, |_, cand| {
+            let _cand = dcn_obs::span!(dcn_obs::names::CORE_NEARWORST_CANDIDATE);
+            eval(cand)
+        })?;
         let best = thetas
             .iter()
             .enumerate()

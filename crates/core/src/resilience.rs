@@ -68,6 +68,7 @@ pub fn failure_sweep(
         .flat_map(|&f| std::iter::repeat_n(f, trials as usize))
         .collect();
     let results = Pool::from_env().par_map(budget, &samples, |i, &f| -> Result<_, CoreError> {
+        let _sample = dcn_obs::span!(dcn_obs::names::CORE_RESILIENCE_SAMPLE);
         let mut rng = StdRng::seed_from_u64(task_seed(seed, i as u64));
         match fail_random_links(topo, f, &mut rng) {
             Ok(degraded) => Ok(Some(tub(&degraded, backend, cache, budget)?.bound.min(1.0))),

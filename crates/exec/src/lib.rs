@@ -32,6 +32,16 @@
 //! inherently time-dependent; determinism is guaranteed for budgets that
 //! do not expire mid-run (the common case: [`dcn_guard::prelude::unlimited`]).
 //!
+//! # Span attribution
+//!
+//! Workers inherit the submitting thread's span path as their thread span
+//! parent ([`dcn_obs::set_thread_span_parent`]), and every task runs
+//! under an `exec.pool.task` span on both the serial and parallel paths —
+//! so span paths and counts are identical at any thread count, and
+//! per-event traces (`dcn-trace`) show tasks nested under the fan-out
+//! that submitted them. Attribution is observability-only: it never
+//! affects task results or output bytes.
+//!
 //! # Thread count
 //!
 //! [`Pool::from_env`] reads `DCN_EXEC_THREADS` (re-read on every call, so
@@ -143,6 +153,12 @@ impl Pool {
         }
         let tasks_ctr = dcn_obs::counter!(dcn_obs::names::EXEC_POOL_TASKS);
         let busy_hist = dcn_obs::histogram!(dcn_obs::names::EXEC_POOL_WORKER_BUSY_NS);
+        // Cross-thread span attribution: each worker inherits the
+        // submitting thread's span path as its thread span parent, so a
+        // task's spans report under the same hierarchical path at any
+        // worker count (the serial path below nests naturally on the
+        // caller thread). Observability-only; never affects results.
+        let span_parent = dcn_obs::current_span_path();
         let next = AtomicUsize::new(0);
         let stop = AtomicBool::new(false);
         // Each worker claims monotonically increasing indices and collects
@@ -152,6 +168,7 @@ impl Pool {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
                     scope.spawn(|| {
+                        let _ = dcn_obs::set_thread_span_parent(span_parent.clone());
                         let started = Instant::now();
                         let mut local: Vec<(usize, Result<T, E>)> = Vec::new();
                         loop {
@@ -172,7 +189,10 @@ impl Pool {
                                 local.push((i, Err(E::from(e))));
                                 break;
                             }
-                            let r = f(i, &items[i]);
+                            let r = {
+                                let _task = dcn_obs::span!(dcn_obs::names::EXEC_POOL_TASK);
+                                f(i, &items[i])
+                            };
                             tasks_ctr.inc();
                             let failed = r.is_err();
                             local.push((i, r));
@@ -258,7 +278,10 @@ impl Pool {
                 dcn_obs::counter!(dcn_obs::names::EXEC_POOL_SHORT_CIRCUITS).inc();
                 return Err(E::from(e));
             }
-            let r = f(i, item);
+            let r = {
+                let _task = dcn_obs::span!(dcn_obs::names::EXEC_POOL_TASK);
+                f(i, item)
+            };
             tasks_ctr.inc();
             match r {
                 Ok(v) => out.push(v),

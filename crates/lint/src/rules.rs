@@ -57,7 +57,7 @@ pub const RULES: &[RuleInfo] = &[
     RuleInfo {
         id: "panic-freedom",
         severity: Severity::Error,
-        summary: "no unwrap/expect/panic!/unreachable!/todo!/unimplemented! in solver library code",
+        summary: "no unwrap/expect/panic!/unreachable!/todo!/unimplemented! in solver/obs/trace library code",
     },
     RuleInfo {
         id: "float-eq",
@@ -113,10 +113,17 @@ pub const SOLVER_CRATES: &[&str] = &[
     "estimators",
 ];
 
+/// Crates additionally held to panic-freedom beyond the solver set:
+/// observability code runs inside every solver call path (span guards,
+/// trace sinks) and must never be the thing that aborts a run — a
+/// poisoned metrics mutex, for example, must recover, not cascade.
+pub const PANIC_FREE_EXTRA_CRATES: &[&str] = &["obs", "trace"];
+
 /// Crates allowed to read wall clocks: `guard` (deadlines) and `obs`
-/// (span timing) exist to encapsulate time, and `exec` re-checks budget
-/// deadlines between pool tasks.
-pub const CLOCK_CRATES: &[&str] = &["guard", "obs", "exec"];
+/// (span timing) exist to encapsulate time, `exec` re-checks budget
+/// deadlines between pool tasks, and `trace` timestamps trace events
+/// against its process-wide monotonic origin.
+pub const CLOCK_CRATES: &[&str] = &["guard", "obs", "exec", "trace"];
 
 /// The one crate allowed to spawn OS threads. Every other crate reaches
 /// parallelism through [`dcn_exec`]'s deterministic pool, so fan-out
@@ -292,6 +299,17 @@ fn solver_library(f: &SourceFile) -> bool {
         && !f.is_bin
 }
 
+/// True when this file is in panic-freedom scope: solver library code
+/// plus the [`PANIC_FREE_EXTRA_CRATES`] observability crates.
+fn panic_free_library(f: &SourceFile) -> bool {
+    solver_library(f)
+        || (f.krate
+            .as_deref()
+            .is_some_and(|k| PANIC_FREE_EXTRA_CRATES.contains(&k))
+            && !f.is_test_code
+            && !f.is_bin)
+}
+
 // ---------------------------------------------------------------------------
 // Rule: panic-freedom
 
@@ -299,7 +317,7 @@ fn panic_freedom(files: &[SourceFile], diags: &mut Vec<Diagnostic>) {
     // (needle, must be followed by, description)
     const METHODS: &[(&str, &str)] = &[(".unwrap", "()"), (".expect", "(")];
     const MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
-    for f in files.iter().filter(|f| solver_library(f)) {
+    for f in files.iter().filter(|f| panic_free_library(f)) {
         for &(m, follow) in METHODS {
             let mut from = 0;
             while let Some(p) = f.masked[from..].find(m) {
@@ -314,8 +332,10 @@ fn panic_freedom(files: &[SourceFile], diags: &mut Vec<Diagnostic>) {
                     f,
                     at,
                     format!(
-                        "`{m}{follow}…` in solver library code; return a typed error \
-                         (see dcn-guard) or annotate with a justified allow"
+                        "`{m}{follow}…` in panic-free library code (solver crates + \
+                         obs/trace); return a typed error (see dcn-guard), recover \
+                         (e.g. Mutex poison via into_inner), or annotate with a \
+                         justified allow"
                     ),
                 );
             }
@@ -330,7 +350,9 @@ fn panic_freedom(files: &[SourceFile], diags: &mut Vec<Diagnostic>) {
                     "panic-freedom",
                     f,
                     at,
-                    format!("`{m}!` in solver library code; solvers must propagate Results"),
+                    format!(
+                        "`{m}!` in panic-free library code; propagate a Result instead"
+                    ),
                 );
             }
         }
@@ -534,6 +556,51 @@ fn metric_registry(files: &[SourceFile], diags: &mut Vec<Diagnostic>) {
         }
     }
     // Call sites: no raw strings, and path args must resolve to a constant.
+    // Shared by the metric macros and the `trace_instant` fn-call form.
+    fn check_arg(
+        diags: &mut Vec<Diagnostic>,
+        used: &mut std::collections::BTreeSet<String>,
+        idents: &std::collections::BTreeSet<&str>,
+        f: &SourceFile,
+        at: usize,
+        arg_off: usize,
+        what: &str,
+    ) {
+        let arg = f.masked[arg_off..].trim_start();
+        if arg.starts_with('"') {
+            push(
+                diags,
+                "metric-registry",
+                f,
+                at,
+                format!(
+                    "raw string passed to {what}; metric names must come from \
+                     dcn_obs::names so manifests and EXPERIMENTS.md stay in sync"
+                ),
+            );
+            return;
+        }
+        // Last path segment of the argument.
+        let path: String = arg
+            .chars()
+            .take_while(|c| c.is_ascii_alphanumeric() || *c == '_' || *c == ':')
+            .collect();
+        let last = path.rsplit("::").next().unwrap_or("").to_string();
+        if last.is_empty() {
+            return; // expression arg (e.g. a local); out of scope
+        }
+        if idents.contains(last.as_str()) {
+            used.insert(last);
+        } else {
+            push(
+                diags,
+                "metric-registry",
+                f,
+                at,
+                format!("`{last}` is not a constant in crates/obs/src/names.rs"),
+            );
+        }
+    }
     let idents: std::collections::BTreeSet<&str> =
         registry.iter().map(|(i, _, _)| i.as_str()).collect();
     let mut used: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
@@ -551,41 +618,23 @@ fn metric_registry(files: &[SourceFile], diags: &mut Vec<Diagnostic>) {
                     continue;
                 }
                 let arg_off = at + mac.len() + 2;
-                let arg = f.masked[arg_off..].trim_start();
-                if arg.starts_with('"') {
-                    push(
-                        diags,
-                        "metric-registry",
-                        f,
-                        at,
-                        format!(
-                            "raw string passed to {mac}!; metric names must come from \
-                             dcn_obs::names so manifests and EXPERIMENTS.md stay in sync"
-                        ),
-                    );
-                    continue;
-                }
-                // Last path segment of the argument.
-                let path: String = arg
-                    .chars()
-                    .take_while(|c| c.is_ascii_alphanumeric() || *c == '_' || *c == ':')
-                    .collect();
-                let last = path.rsplit("::").next().unwrap_or("").to_string();
-                if last.is_empty() {
-                    continue; // expression arg (e.g. a local); out of scope
-                }
-                if idents.contains(last.as_str()) {
-                    used.insert(last);
-                } else {
-                    push(
-                        diags,
-                        "metric-registry",
-                        f,
-                        at,
-                        format!("`{last}` is not a constant in crates/obs/src/names.rs"),
-                    );
-                }
+                check_arg(diags, &mut used, &idents, f, at, arg_off, &format!("{mac}!"));
             }
+        }
+        // `dcn_obs::trace_instant("…")` is a plain fn call rather than a
+        // macro, but its argument names a trace event all the same — hold
+        // it to the registry. The `fn trace_instant(…)` definition in obs
+        // itself is not a call site.
+        const INSTANT: &str = "trace_instant";
+        for at in word_occurrences(&f.masked, INSTANT) {
+            if f.in_test_region(at) || f.masked[..at].trim_end().ends_with("fn") {
+                continue;
+            }
+            if !f.masked[at + INSTANT.len()..].starts_with('(') {
+                continue;
+            }
+            let arg_off = at + INSTANT.len() + 1;
+            check_arg(diags, &mut used, &idents, f, at, arg_off, "trace_instant()");
         }
     }
     // Reverse direction: every constant must be referenced outside
@@ -864,6 +913,53 @@ mod tests {
         panic_freedom(&[f], &mut d);
         assert_eq!(d.len(), 1);
         assert_eq!(d[0].line, 1);
+    }
+
+    #[test]
+    fn panic_freedom_extends_to_obs_and_trace() {
+        // Observability code runs inside every solver call path; it is
+        // held panic-free even though obs/trace are not solver crates.
+        let obs = file(
+            "crates/obs/src/x.rs",
+            "fn a() { m.lock().expect(\"poisoned\"); }\n",
+        );
+        let trace = file("crates/trace/src/x.rs", "fn a() { x.unwrap(); }\n");
+        let bench = file("crates/bench/src/x.rs", "fn a() { x.unwrap(); }\n");
+        let mut d = Vec::new();
+        panic_freedom(&[obs, trace, bench], &mut d);
+        let files: Vec<&str> = d.iter().map(|x| x.file.as_str()).collect();
+        assert_eq!(
+            files,
+            ["crates/obs/src/x.rs", "crates/trace/src/x.rs"],
+            "{d:?}"
+        );
+    }
+
+    #[test]
+    fn metric_registry_checks_trace_instant_call_sites() {
+        let names = file(
+            "crates/obs/src/names.rs",
+            "pub const CACHE_HIT: &str = \"cache.hit\";\n",
+        );
+        // The definition site in obs is not a call; constant-arg calls
+        // count as uses; raw-string calls are violations.
+        let def = file(
+            "crates/obs/src/lib.rs",
+            "pub fn trace_instant(name: &str) { let _ = name; }\n",
+        );
+        let good = file(
+            "crates/cache/src/a.rs",
+            "fn h() { dcn_obs::trace_instant(dcn_obs::names::CACHE_HIT); }\n",
+        );
+        let bad = file(
+            "crates/cache/src/b.rs",
+            "fn h() { dcn_obs::trace_instant(\"cache.hit2\"); }\n",
+        );
+        let mut d = Vec::new();
+        metric_registry(&[names, def, good, bad], &mut d);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].file, "crates/cache/src/b.rs");
+        assert!(d[0].message.contains("raw string"));
     }
 
     #[test]

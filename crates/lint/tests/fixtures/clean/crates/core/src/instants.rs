@@ -1,0 +1,8 @@
+//! Fixture: a raw event name at a `trace_instant` call site silenced by
+//! a justified allow (metric-registry also scans instant call sites).
+
+/// Fixture: documented instant emitter.
+pub fn instant() {
+    // dcn-lint: allow(metric-registry) — fixture: raw name is registered downstream
+    dcn_obs::trace_instant("fix.raw.instant");
+}

@@ -1,0 +1,8 @@
+//! Fixture: a panic site in obs library code silenced by a justified
+//! allow (panic-freedom covers obs/trace as well as solver crates).
+
+/// Fixture: documented lock acquisition with an audited expect.
+pub fn poisoned() {
+    // dcn-lint: allow(panic-freedom) — fixture: audited expect, holder cannot panic
+    LOCK.lock().expect("poisoned");
+}

@@ -6,3 +6,8 @@ pub fn bump() {
     dcn_obs::counter!("fix.raw.literal").inc();
     dcn_obs::gauge!(dcn_obs::names::NOT_REGISTERED).set(1.0);
 }
+
+/// Fixture: documented instant emitter with a raw event name.
+pub fn instant() {
+    dcn_obs::trace_instant("fix.raw.instant");
+}

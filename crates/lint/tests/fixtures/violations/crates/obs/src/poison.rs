@@ -1,0 +1,7 @@
+//! Fixture: obs library code is in panic-freedom scope (observability
+//! must never abort the solver it observes).
+
+/// Fixture: documented poisoned-lock expect.
+pub fn poisoned() {
+    LOCK.lock().expect("poisoned");
+}

@@ -360,7 +360,9 @@ impl Parser<'_> {
                     // Consume one UTF-8 scalar (multi-byte safe).
                     let rest = std::str::from_utf8(&self.b[self.i..])
                         .map_err(|_| self.err("invalid utf8"))?;
-                    let c = rest.chars().next().unwrap();
+                    let Some(c) = rest.chars().next() else {
+                        return Err(self.err("truncated string"));
+                    };
                     out.push(c);
                     self.i += c.len_utf8();
                 }

@@ -13,7 +13,8 @@
 //! * [`Histogram`] — log-bucketed (8 sub-buckets per octave, ~9% relative
 //!   resolution) with quantile readout; one atomic add per record.
 //! * [`span!`] — scoped wall-time timers with parent/child attribution,
-//!   active only when `DCN_OBS` is `summary` or `trace`.
+//!   active when `DCN_OBS` is `summary` or `trace`, or when a
+//!   [`TraceSink`] is installed (per-event export, see `dcn-trace`).
 //!
 //! # Modes
 //!
@@ -93,6 +94,67 @@ pub fn mode() -> Mode {
 #[inline]
 pub fn enabled() -> bool {
     mode() != Mode::Off
+}
+
+// ---------------------------------------------------------------------------
+// Trace sink
+
+/// Phase of one trace event forwarded to an installed [`TraceSink`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TracePhase {
+    /// A span was entered (Chrome `ph: "B"`).
+    Begin,
+    /// A span was exited (Chrome `ph: "E"`).
+    End,
+    /// A point event with no duration, e.g. a cache hit (Chrome `ph: "i"`).
+    Instant,
+}
+
+/// Receiver for per-event span enter/exit and instant notifications.
+///
+/// `dcn-obs` itself only *aggregates* spans (per-path totals); a sink —
+/// in practice `dcn_trace::ChromeTracer` — turns every individual
+/// enter/exit into a timestamped event for `chrome://tracing`. The sink
+/// is expected to be cheap (append to a thread-local buffer) because it
+/// runs inside the span hot path.
+pub trait TraceSink: Send + Sync {
+    /// Records one event. `path` is the full hierarchical span path for
+    /// [`TracePhase::Begin`]/[`TracePhase::End`], or a metric-registry
+    /// event name for [`TracePhase::Instant`].
+    fn record(&self, phase: TracePhase, path: &str);
+}
+
+static TRACE_SINK: OnceLock<&'static dyn TraceSink> = OnceLock::new();
+
+/// Installs the process-wide trace sink. Returns `false` (and leaves the
+/// existing sink in place) if one was already installed. Spans become
+/// active once a sink is installed, even under `DCN_OBS=off`, so traces
+/// can be captured without changing any printed output.
+pub fn install_trace_sink(sink: &'static dyn TraceSink) -> bool {
+    TRACE_SINK.set(sink).is_ok()
+}
+
+/// The installed trace sink, if any.
+#[inline]
+pub fn trace_sink() -> Option<&'static dyn TraceSink> {
+    TRACE_SINK.get().copied()
+}
+
+/// True when a trace sink is installed (per-event export is active).
+#[inline]
+pub fn trace_active() -> bool {
+    TRACE_SINK.get().is_some()
+}
+
+/// Forwards an instant event (e.g. a cache hit) to the installed sink;
+/// a single `OnceLock` load when tracing is inactive. `name` should be a
+/// `dcn_obs::names` constant so traces and manifests stay in sync (the
+/// `metric-registry` lint checks call sites).
+#[inline]
+pub fn trace_instant(name: &str) {
+    if let Some(sink) = trace_sink() {
+        sink.record(TracePhase::Instant, name);
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -328,7 +390,7 @@ static REGISTRY: Mutex<Registry> = Mutex::new(Registry {
 fn register(name: &'static str, m: Metric) {
     REGISTRY
         .lock()
-        .expect("obs registry poisoned")
+        .unwrap_or_else(|e| e.into_inner())
         .metrics
         .push((name, m));
 }
@@ -420,6 +482,30 @@ struct SpanFrame {
 
 thread_local! {
     static SPAN_STACK: RefCell<Vec<SpanFrame>> = const { RefCell::new(Vec::new()) };
+    /// Path prefix applied to root spans on this thread. Set by
+    /// `dcn_exec` workers so a task's spans report under the submitting
+    /// thread's span path — cross-thread attribution without any shared
+    /// mutable state (see [`set_thread_span_parent`]).
+    static SPAN_PARENT: RefCell<Option<String>> = const { RefCell::new(None) };
+}
+
+/// Sets this thread's span parent: while `Some`, spans entered with an
+/// empty stack nest under the given path instead of becoming roots.
+/// Returns the previous value so callers can restore it. Used by
+/// `dcn_exec::Pool` workers to carry the submitting thread's span path
+/// across the thread boundary; attribution is observability-only and
+/// never affects solver output.
+pub fn set_thread_span_parent(parent: Option<String>) -> Option<String> {
+    SPAN_PARENT.with(|p| std::mem::replace(&mut *p.borrow_mut(), parent))
+}
+
+/// The full path of the innermost open span on this thread, falling back
+/// to the thread span parent (if set) when no span is open. `None` when
+/// neither exists or spans are inactive.
+pub fn current_span_path() -> Option<String> {
+    SPAN_STACK
+        .with(|s| s.borrow().last().map(|f| f.path.clone()))
+        .or_else(|| SPAN_PARENT.with(|p| p.borrow().clone()))
 }
 
 /// RAII guard produced by [`span!`]; records on drop.
@@ -429,17 +515,25 @@ pub struct SpanGuard {
 
 impl SpanGuard {
     /// Starts a span named `name`, nested under any enclosing span on this
-    /// thread. A no-op unless the mode is `summary` or `trace`.
+    /// thread (or under the thread span parent when the stack is empty).
+    /// A no-op unless the mode is `summary`/`trace` or a [`TraceSink`] is
+    /// installed.
     pub fn enter(name: &'static str) -> SpanGuard {
-        if !enabled() {
+        if !enabled() && !trace_active() {
             return SpanGuard { start: None };
         }
         SPAN_STACK.with(|s| {
             let mut stack = s.borrow_mut();
             let path = match stack.last() {
                 Some(parent) => format!("{}/{}", parent.path, name),
-                None => name.to_string(),
+                None => match SPAN_PARENT.with(|p| p.borrow().clone()) {
+                    Some(parent) => format!("{parent}/{name}"),
+                    None => name.to_string(),
+                },
             };
+            if let Some(sink) = trace_sink() {
+                sink.record(TracePhase::Begin, &path);
+            }
             stack.push(SpanFrame {
                 path,
                 child_secs: 0.0,
@@ -461,10 +555,17 @@ impl Drop for SpanGuard {
                 Some(f) => f,
                 None => return, // reset() raced a live span; drop silently
             };
+            if let Some(sink) = trace_sink() {
+                sink.record(TracePhase::End, &frame.path);
+            }
             if let Some(parent) = stack.last_mut() {
                 parent.child_secs += elapsed;
             }
-            let mut spans = SPANS.lock().expect("obs spans poisoned");
+            // Poison recovery rather than a panic inside Drop: a panic
+            // while this mutex is held elsewhere must not cascade into an
+            // abort; span totals are plain accumulators, valid regardless
+            // of where another thread unwound.
+            let mut spans = SPANS.lock().unwrap_or_else(|e| e.into_inner());
             let stat = spans.entry(frame.path).or_default();
             stat.count += 1;
             stat.total_secs += elapsed;
@@ -497,7 +598,7 @@ pub fn time_scope<T>(name: &'static str, f: impl FnOnce() -> T) -> (T, f64) {
 pub fn span_snapshot() -> Vec<(String, SpanStat)> {
     SPANS
         .lock()
-        .expect("obs spans poisoned")
+        .unwrap_or_else(|e| e.into_inner())
         .iter()
         .map(|(k, v)| (k.clone(), v.clone()))
         .collect()
@@ -521,7 +622,7 @@ pub struct MetricSnapshot {
 pub fn snapshot() -> Vec<MetricSnapshot> {
     let mut out = Vec::new();
     {
-        let reg = REGISTRY.lock().expect("obs registry poisoned");
+        let reg = REGISTRY.lock().unwrap_or_else(|e| e.into_inner());
         for (name, m) in &reg.metrics {
             let snap = match m {
                 Metric::Counter(c) => MetricSnapshot {
@@ -625,7 +726,7 @@ fn trim_num(v: f64) -> String {
 /// Zeroes every metric and clears span statistics (test support; metric
 /// statics stay registered).
 pub fn reset() {
-    let reg = REGISTRY.lock().expect("obs registry poisoned");
+    let reg = REGISTRY.lock().unwrap_or_else(|e| e.into_inner());
     for (_, m) in &reg.metrics {
         match m {
             Metric::Counter(c) => c.reset(),
@@ -633,13 +734,13 @@ pub fn reset() {
             Metric::Histogram(h) => h.reset(),
         }
     }
-    SPANS.lock().expect("obs spans poisoned").clear();
+    SPANS.lock().unwrap_or_else(|e| e.into_inner()).clear();
 }
 
 /// Current value of a registered counter by name (0 if absent; sums
 /// duplicates). Test/diagnostic support.
 pub fn counter_value(name: &str) -> u64 {
-    let reg = REGISTRY.lock().expect("obs registry poisoned");
+    let reg = REGISTRY.lock().unwrap_or_else(|e| e.into_inner());
     reg.metrics
         .iter()
         .filter(|(n, _)| *n == name)

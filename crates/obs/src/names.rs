@@ -108,6 +108,14 @@ pub const CORE_TUB_FALLBACKS: &str = "core.tub.fallbacks";
 pub const CORE_RESILIENCE_DISCONNECTED_SAMPLES: &str = "core.resilience.disconnected_samples";
 /// One routed lower-bound computation (span).
 pub const CORE_LOWER: &str = "core.lower";
+/// One frontier-sweep cell evaluated as a pool task (span).
+pub const CORE_FRONTIER_CELL: &str = "core.frontier.cell";
+/// One resilience failure sample evaluated as a pool task (span).
+pub const CORE_RESILIENCE_SAMPLE: &str = "core.resilience.sample";
+/// One near-worst candidate TM evaluated as a pool task (span).
+pub const CORE_NEARWORST_CANDIDATE: &str = "core.nearworst.candidate";
+/// One expansion-ensemble curve evaluated as a pool task (span).
+pub const CORE_EXPANSION_CURVE: &str = "core.expansion.curve";
 
 // --- dcn-exec --------------------------------------------------------------
 
@@ -121,6 +129,9 @@ pub const EXEC_POOL_SHORT_CIRCUITS: &str = "exec.pool.short_circuits";
 pub const EXEC_POOL_WORKER_BUSY_NS: &str = "exec.pool.worker_busy_ns";
 /// Worker count of the most recent pool run (gauge).
 pub const EXEC_POOL_THREADS: &str = "exec.pool.threads";
+/// One claimed task executed inside a pool fan-out (span). Nested under
+/// the submitting thread's span path via cross-thread attribution.
+pub const EXEC_POOL_TASK: &str = "exec.pool.task";
 
 // --- dcn-guard -------------------------------------------------------------
 
@@ -156,6 +167,13 @@ pub const CACHE_DISK_HIT: &str = "cache.disk.hit";
 pub const CACHE_QUARANTINED: &str = "cache.quarantined";
 /// hits / (hits + misses) at manifest-capture time (gauge).
 pub const CACHE_HIT_RATE: &str = "cache.hit_rate";
+
+// --- dcn-trace -------------------------------------------------------------
+
+/// Trace events appended to the per-thread buffers (counter).
+pub const TRACE_EVENTS_RECORDED: &str = "trace.events.recorded";
+/// Trace events dropped at the `DCN_TRACE_MAX_EVENTS` cap (counter).
+pub const TRACE_EVENTS_DROPPED: &str = "trace.events.dropped";
 
 /// Every registered name, for exhaustiveness tests and tooling.
 pub const ALL: &[&str] = &[
@@ -198,11 +216,16 @@ pub const ALL: &[&str] = &[
     CORE_TUB_FALLBACKS,
     CORE_RESILIENCE_DISCONNECTED_SAMPLES,
     CORE_LOWER,
+    CORE_FRONTIER_CELL,
+    CORE_RESILIENCE_SAMPLE,
+    CORE_NEARWORST_CANDIDATE,
+    CORE_EXPANSION_CURVE,
     EXEC_POOL_RUNS,
     EXEC_POOL_TASKS,
     EXEC_POOL_SHORT_CIRCUITS,
     EXEC_POOL_WORKER_BUSY_NS,
     EXEC_POOL_THREADS,
+    EXEC_POOL_TASK,
     GUARD_VALIDATE_FAILURES,
     GUARD_BUDGET_ITERATIONS_EXCEEDED,
     GUARD_BUDGET_DEADLINE_EXCEEDED,
@@ -216,6 +239,8 @@ pub const ALL: &[&str] = &[
     CACHE_DISK_HIT,
     CACHE_QUARANTINED,
     CACHE_HIT_RATE,
+    TRACE_EVENTS_RECORDED,
+    TRACE_EVENTS_DROPPED,
 ];
 
 #[cfg(test)]

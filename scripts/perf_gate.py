@@ -1,0 +1,178 @@
+#!/usr/bin/env python3
+"""Perf-regression gate: compare run manifests against BENCH_BASELINE.json.
+
+Usage: perf_gate.py [options] manifest.json [manifest.json ...]
+
+  --baseline PATH      baseline file (default: BENCH_BASELINE.json next to
+                       this script's parent directory, i.e. the repo root)
+  --tolerance T        relative growth allowed before failing (default 0.25)
+  --min-seconds S      skip baseline timings below S seconds (default 0.05)
+  --hit-rate-drop D    absolute cache-hit-rate drop that fails (default 0.25)
+
+Python twin of `cargo run -p dcn-bench --bin perf_gate` (same thresholds,
+same exit codes) for CI steps that run without a warm cargo cache. For
+each manifest whose run name has a baseline entry, the gate checks:
+
+  * `wall_seconds` grew by more than the tolerance
+  * any tracked span's `total_secs` grew by more than the tolerance
+  * the `cache.hit_rate` gauge dropped by more than `--hit-rate-drop`
+
+Baseline timings below `--min-seconds` are not gated (micro-timings
+jitter far beyond any useful tolerance), and spans absent from the
+current manifest (e.g. a `DCN_OBS=off` run records no spans) are skipped:
+the gate flags measured slowdowns, not missing measurements.
+
+Record or refresh the baseline by running an experiment binary with
+`--baseline` (the harness folds the manifest into BENCH_BASELINE.json).
+
+Exit codes: 0 gate passes, 1 regressions found, 2 usage/IO error.
+"""
+
+import json
+import os
+import sys
+
+DEFAULT_TOLERANCE = 0.25
+DEFAULT_MIN_SECONDS = 0.05
+DEFAULT_HIT_RATE_DROP = 0.25
+
+
+def default_baseline_path():
+    env = os.environ.get("DCN_BENCH_BASELINE")
+    if env:
+        return env
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    return os.path.join(root, "BENCH_BASELINE.json")
+
+
+def fail(msg):
+    print(f"perf_gate: error: {msg}", file=sys.stderr)
+    sys.exit(2)
+
+
+def summarize(manifest):
+    """Extract the gated summary (wall, hit rate, span totals)."""
+    spans = {}
+    hit_rate = None
+    for m in manifest.get("metrics", []):
+        if m["kind"] == "span" and m["name"].startswith("span:"):
+            total = m["fields"].get("total_secs")
+            if total is not None:
+                spans[m["name"][len("span:"):]] = total
+        elif m["kind"] == "gauge" and m["name"] == "cache.hit_rate":
+            hit_rate = m["fields"].get("value")
+    return {
+        "wall_seconds": manifest["wall_seconds"],
+        "cache_hit_rate": hit_rate,
+        "spans": spans,
+    }
+
+
+def compare(run, base, cur, tolerance, min_seconds, hit_rate_drop):
+    regressions = []
+
+    def slow(b, c):
+        return b >= min_seconds and c > b * (1.0 + tolerance)
+
+    def flag(what, b, c):
+        pct = (c / b - 1.0) * 100.0
+        regressions.append(
+            f"{run}: {what} regressed: baseline {b:.4f} -> current {c:.4f} ({pct:+.1f}%)"
+        )
+
+    if slow(base["wall_seconds"], cur["wall_seconds"]):
+        flag("wall_seconds", base["wall_seconds"], cur["wall_seconds"])
+    for path, base_total in base.get("spans", {}).items():
+        cur_total = cur["spans"].get(path)
+        if cur_total is None:
+            continue
+        if slow(base_total, cur_total):
+            flag(f"span:{path}", base_total, cur_total)
+    base_rate = base.get("cache_hit_rate")
+    cur_rate = cur["cache_hit_rate"]
+    if base_rate is not None and cur_rate is not None:
+        if base_rate - cur_rate > hit_rate_drop:
+            regressions.append(
+                f"{run}: cache.hit_rate regressed: baseline {base_rate:.4f} "
+                f"-> current {cur_rate:.4f}"
+            )
+    return regressions
+
+
+def main():
+    argv = sys.argv[1:]
+    baseline_path = default_baseline_path()
+    tolerance = DEFAULT_TOLERANCE
+    min_seconds = DEFAULT_MIN_SECONDS
+    hit_rate_drop = DEFAULT_HIT_RATE_DROP
+    manifests = []
+    i = 0
+    while i < len(argv):
+        a = argv[i]
+
+        def value():
+            if i + 1 >= len(argv):
+                fail(f"{a} needs a value")
+            return argv[i + 1]
+
+        if a == "--baseline":
+            baseline_path = value()
+            i += 2
+        elif a == "--tolerance":
+            tolerance = float(value())
+            i += 2
+        elif a == "--min-seconds":
+            min_seconds = float(value())
+            i += 2
+        elif a == "--hit-rate-drop":
+            hit_rate_drop = float(value())
+            i += 2
+        elif a.startswith("--"):
+            fail(f"unknown flag {a}")
+        else:
+            manifests.append(a)
+            i += 1
+    if not manifests:
+        fail(f"no manifests given\n\n{__doc__}")
+
+    try:
+        with open(baseline_path) as f:
+            baseline = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot load baseline {baseline_path}: {e}")
+    entries = baseline.get("entries", {})
+    if not entries:
+        fail(f"baseline {baseline_path} has no entries")
+
+    checked = 0
+    regressions = []
+    for path in manifests:
+        try:
+            with open(path) as f:
+                manifest = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            fail(f"cannot load manifest {path}: {e}")
+        name = manifest.get("name", "?")
+        base = entries.get(name)
+        if base is None:
+            print(f"perf_gate: {name}: no baseline entry, skipped")
+            continue
+        checked += 1
+        cur = summarize(manifest)
+        found = compare(name, base, cur, tolerance, min_seconds, hit_rate_drop)
+        if not found:
+            print(
+                f"perf_gate: {name}: ok (wall {cur['wall_seconds']:.3f}s "
+                f"vs baseline {base['wall_seconds']:.3f}s)"
+            )
+        regressions.extend(found)
+
+    if checked == 0:
+        fail("no manifest matched a baseline entry; nothing was gated")
+    for r in regressions:
+        print(f"perf_gate: REGRESSION {r}")
+    sys.exit(1 if regressions else 0)
+
+
+if __name__ == "__main__":
+    main()
