@@ -15,12 +15,18 @@
 //! results); pass timings go to **stderr** so stdout and the CSV stay
 //! byte-identical whether or not the cache is enabled.
 
+use dcn_bench::fleet::{frontier_sweep_sharded, run_frontier_worker, worker_root_from_args};
 use dcn_bench::{large_mode, quick_mode, timed, Table};
-use dcn_core::frontier::{frontier_sweep, Criterion, Family, FrontierConfig};
+use dcn_core::frontier::{Criterion, Family, FrontierConfig};
 use dcn_core::MatchingBackend;
 use dcn_guard::prelude::*;
 
-fn main() {
+fn main() -> std::process::ExitCode {
+    // Fleet workers re-invoke this binary with `--worker <queue-root>`:
+    // claim cells, solve, publish, exit — no table, no supervision.
+    if let Some(root) = worker_root_from_args() {
+        return run_frontier_worker(&root);
+    }
     let radix = 14u32;
     let max_switches = if large_mode() {
         2048
@@ -56,10 +62,16 @@ fn main() {
         }
     }
     let cache = dcn_bench::cache();
-    let (frontiers, cold_secs) =
-        timed(|| frontier_sweep(&configs, &cache, &unlimited()).unwrap_or_default());
-    let (warm, warm_secs) =
-        timed(|| frontier_sweep(&configs, &cache, &unlimited()).unwrap_or_default());
+    // With DCN_FLEET_WORKERS >= 2 the sweep shards across crash-tolerant
+    // worker processes; the merged frontiers are identical either way.
+    let sweep = |label: &str| {
+        frontier_sweep_sharded(label, &configs, &cache, &unlimited()).unwrap_or_else(|e| {
+            eprintln!("fig8_frontier: sweep failed: {e}");
+            Vec::new()
+        })
+    };
+    let (frontiers, cold_secs) = timed(|| sweep("fig8_frontier"));
+    let (warm, warm_secs) = timed(|| sweep("fig8_frontier"));
     if warm != frontiers {
         eprintln!("fig8_frontier: WARNING: warm pass diverged from cold pass");
     }
@@ -85,4 +97,5 @@ fn main() {
     println!(
         "(search capped at {max_switches} switches; a frontier equal to the cap's server count means 'beyond cap')"
     );
+    std::process::ExitCode::SUCCESS
 }

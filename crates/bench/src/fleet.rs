@@ -1,0 +1,138 @@
+//! Sharded sweep execution for experiment binaries.
+//!
+//! With `DCN_FLEET_WORKERS >= 2`, [`frontier_sweep_sharded`] routes a
+//! frontier sweep through `dcn-fleet` instead of the in-process
+//! [`frontier_sweep`]: each cell becomes a work unit (id = the cell's
+//! [`FrontierConfig::work_key`] content hash), child processes re-invoke
+//! this same binary with `--worker <queue-root>` to claim and solve
+//! cells against the shared `DCN_CACHE_DIR`, and the supervisor merges
+//! the results back in input order. The merged `Vec<Option<u64>>` is
+//! identical to the single-process path at any worker count, so the
+//! table, CSV, and manifest identity fields downstream are byte-stable.
+//!
+//! With fewer than 2 workers the call is a plain passthrough — the
+//! spill-to-disk queue would only add process-spawn overhead.
+
+use dcn_cache::CacheHandle;
+use dcn_core::frontier::{frontier_max_servers, frontier_sweep, FrontierConfig};
+use dcn_fleet::{run_fleet, worker_main, FleetConfig, UnitOutcome, WorkUnit};
+use dcn_guard::Budget;
+use dcn_obs::json::Json;
+use std::path::{Path, PathBuf};
+
+pub use dcn_fleet::worker_root_from_args;
+
+/// Default queue root for a named sweep when `DCN_FLEET_DIR` is unset:
+/// under the shared cache directory when one is configured (so queue and
+/// cache recovery state live side by side), else under the results dir.
+fn default_fleet_root(name: &str) -> PathBuf {
+    if let Some(dir) = std::env::var_os("DCN_CACHE_DIR") {
+        return PathBuf::from(dir).join("fleet").join(name);
+    }
+    match crate::results_dir() {
+        Ok(d) => d.join(".fleet").join(name),
+        Err(_) => std::env::temp_dir().join("dcn-fleet").join(name),
+    }
+}
+
+/// The `--worker <root>` entrypoint for frontier sweeps: claims cells
+/// from the queue at `root`, solves them with [`frontier_max_servers`]
+/// against the process-global [`crate::cache`] handle, and publishes
+/// `{"max_servers": n | null}` results until the queue drains.
+///
+/// Runs under [`crate::run_guarded`], so a panicking solve still
+/// flushes its trace and partial manifest (the supervisor then retries
+/// the cell in a fresh worker).
+pub fn run_frontier_worker(root: &Path) -> std::process::ExitCode {
+    let root = root.to_path_buf();
+    crate::run_guarded("fleet_worker", move || {
+        let cache = crate::cache();
+        let budget = Budget::unlimited();
+        let published = worker_main(&root, |unit, _attempt| {
+            let config = FrontierConfig::from_json(&unit.payload)?;
+            let servers = frontier_max_servers(
+                config.family,
+                config.radix,
+                config.h,
+                config.criterion,
+                config.max_switches,
+                config.seed,
+                &cache,
+                &budget,
+            )
+            .map_err(|e| e.to_string())?;
+            let value = match servers {
+                Some(n) => Json::Num(n as f64),
+                None => Json::Null,
+            };
+            Ok(Json::obj([("max_servers", value)]))
+        })?;
+        dcn_obs::obs_log!("fleet worker published {published} results");
+        Ok(())
+    })
+}
+
+/// [`frontier_sweep`], sharded across `DCN_FLEET_WORKERS` processes when
+/// at least 2 are requested (in-process passthrough otherwise).
+///
+/// Error semantics match the serial path: the lowest-input-index failed
+/// cell becomes the returned error. A *quarantined* cell (one that
+/// repeatedly crashed its workers) degrades to `None` with a stderr
+/// warning instead of failing the sweep — the robustness contract is
+/// that one poison cell cannot take down the whole campaign.
+pub fn frontier_sweep_sharded(
+    name: &str,
+    configs: &[FrontierConfig],
+    cache: &CacheHandle,
+    budget: &Budget,
+) -> Result<Vec<Option<u64>>, Box<dyn std::error::Error>> {
+    if dcn_fleet::workers_from_env() < 2 {
+        return Ok(frontier_sweep(configs, cache, budget)?);
+    }
+    let units: Vec<WorkUnit> = configs
+        .iter()
+        .map(|c| WorkUnit {
+            id: c.work_key().to_hex(),
+            payload: c.to_json(),
+        })
+        .collect();
+    let cfg = FleetConfig::from_env(&default_fleet_root(name));
+    let exe = std::env::current_exe()?;
+    let root = cfg.root.clone();
+    let report = run_fleet(&cfg, &units, budget, &|| {
+        dcn_fleet::worker_command(&exe, &root)
+    })?;
+    if report.recovered > 0 || report.retries > 0 || report.crashes > 0 || report.quarantined > 0 {
+        eprintln!(
+            "{name}: fleet: {} recovered, {} retries, {} crashes ({} lease kills), {} quarantined",
+            report.recovered, report.retries, report.crashes, report.lease_kills, report.quarantined
+        );
+    }
+    let mut out = Vec::with_capacity(configs.len());
+    for (i, outcome) in report.outcomes.iter().enumerate() {
+        match outcome {
+            UnitOutcome::Ok(json) => {
+                let servers = match json.get("max_servers") {
+                    Some(Json::Null) => None,
+                    Some(v) => Some(v.as_u64().ok_or_else(|| {
+                        format!("{name}: cell {i}: malformed max_servers in fleet result")
+                    })?),
+                    None => {
+                        return Err(
+                            format!("{name}: cell {i}: fleet result missing max_servers").into()
+                        )
+                    }
+                };
+                out.push(servers);
+            }
+            UnitOutcome::Err(e) => {
+                return Err(format!("{name}: frontier cell {i} failed: {e}").into());
+            }
+            UnitOutcome::Quarantined(reason) => {
+                eprintln!("{name}: WARNING: cell {i} quarantined ({reason}); reporting '-'");
+                out.push(None);
+            }
+        }
+    }
+    Ok(out)
+}

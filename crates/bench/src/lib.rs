@@ -26,6 +26,7 @@
 
 #![warn(missing_docs)]
 
+pub mod fleet;
 pub mod perf;
 
 use std::fmt::Display;
@@ -86,6 +87,69 @@ fn process_start() -> Instant {
     static START: OnceLock<Instant> = OnceLock::new();
     // dcn-lint: allow(nondeterminism) — wall-clock anchor for human-facing progress lines only; never feeds solver results
     *START.get_or_init(Instant::now)
+}
+
+static PANIC_FLUSH_NAME: OnceLock<std::sync::Mutex<String>> = OnceLock::new();
+
+/// Installs (once per process) a panic hook that flushes the partial run
+/// manifest and any buffered `dcn-trace` events before the process dies,
+/// and records `name` as the run the hook reports under. Without this, a
+/// panicking experiment binary — or a `dcn-fleet` worker killed by a
+/// solver abort — drops its trace on the floor; with it, the post-mortem
+/// lands in `results/<name>.panic.manifest.json` (and
+/// `<name>.panic.trace.json` when tracing is active). The previous hook
+/// (the default backtrace printer) still runs first.
+pub fn install_panic_flush(name: &str) {
+    let cell = PANIC_FLUSH_NAME.get_or_init(|| std::sync::Mutex::new(String::new()));
+    *cell.lock().unwrap_or_else(|poisoned| poisoned.into_inner()) = name.to_string();
+    static INSTALL: std::sync::Once = std::sync::Once::new();
+    INSTALL.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            prev(info);
+            panic_flush();
+        }));
+    });
+}
+
+/// The body of the panic hook. Must never panic itself: every fallible
+/// step degrades to a stderr line or a silent skip.
+fn panic_flush() {
+    let Some(cell) = PANIC_FLUSH_NAME.get() else {
+        return;
+    };
+    let name = cell
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+        .clone();
+    if name.is_empty() {
+        return;
+    }
+    dcn_cache::publish_hit_rate();
+    let wall = process_start().elapsed().as_secs_f64();
+    let manifest = dcn_obs::manifest::RunManifest::capture(
+        &name,
+        run_seed(),
+        wall,
+        dcn_exec::Pool::from_env().threads(),
+    );
+    let Ok(dir) = results_dir() else {
+        return;
+    };
+    let mpath = dir.join(format!("{name}.panic.manifest.json"));
+    match manifest.write_to(&mpath) {
+        Ok(()) => eprintln!("{name}: panic: partial manifest flushed to {}", mpath.display()),
+        Err(e) => eprintln!("{name}: panic: manifest flush failed: {e}"),
+    }
+    if dcn_trace::active() {
+        let tpath = dir.join(format!("{name}.panic.trace.json"));
+        match dcn_trace::flush_to_file(&tpath) {
+            Ok(n) => {
+                eprintln!("{name}: panic: flushed {n} trace events to {}", tpath.display());
+            }
+            Err(e) => eprintln!("{name}: panic: trace flush failed: {e}"),
+        }
+    }
 }
 
 static RUN_SEED: AtomicU64 = AtomicU64::new(u64::MAX);
@@ -208,10 +272,12 @@ impl Table {
     /// Creates a named table with the given column headers.
     pub fn new(name: &str, header: &[&str]) -> Self {
         // Pin the wall-clock origin as early as table creation in case the
-        // binary never called into the harness before, and install the
-        // per-event trace recorder when the environment asks for one.
+        // binary never called into the harness before, install the
+        // per-event trace recorder when the environment asks for one, and
+        // arm the panic hook so a mid-sweep abort still flushes.
         process_start();
         dcn_trace::init_from_env();
+        install_panic_flush(name);
         Table {
             name: name.to_string(),
             header: header.iter().map(|s| s.to_string()).collect(),
@@ -319,10 +385,12 @@ pub fn run_guarded(
     name: &str,
     body: impl FnOnce() -> Result<(), Box<dyn std::error::Error>>,
 ) -> std::process::ExitCode {
-    // Anchor the wall clock and install the trace recorder before any
-    // experiment work runs, so traces cover the whole body.
+    // Anchor the wall clock, install the trace recorder, and arm the
+    // panic-flush hook before any experiment work runs, so traces cover
+    // the whole body and survive a panicking one.
     process_start();
     dcn_trace::init_from_env();
+    install_panic_flush(name);
     match body() {
         Ok(()) => std::process::ExitCode::SUCCESS,
         Err(e) => {

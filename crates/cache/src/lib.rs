@@ -44,6 +44,7 @@ mod disk;
 mod hash;
 mod store;
 
+pub use disk::scan_keys;
 pub use hash::{CacheKey, KeyBuilder, FORMAT_VERSION};
 
 use dcn_obs::json::Json;

@@ -1,0 +1,145 @@
+//! The worker side of the queue: claim, heartbeat, solve, publish.
+//!
+//! A worker is just a loop over the pending directory. Claiming is an
+//! atomic rename into `claimed/<id>.<pid>.json` (exactly one process
+//! wins), a heartbeat records which unit this pid is holding, and the
+//! result is published with another atomic rename. Solve *errors* are
+//! results (`{"err": …}` records) — only a crash (abort, SIGKILL, OOM)
+//! leaves a claim behind for the supervisor to retry.
+
+use crate::queue::{
+    list_json_stems, read_json, write_json_atomic, write_quarantine, QueueDirs, UnitRecord,
+    WorkUnit,
+};
+use crate::FleetError;
+use dcn_obs::json::Json;
+use std::fs;
+use std::path::Path;
+use std::time::Duration;
+
+/// Runs the worker loop over the queue at `root` until no pending work
+/// remains, applying `solve` to each claimed unit. Returns the number of
+/// units this worker published results for.
+///
+/// `solve` receives the unit and its attempt number (0 on first try);
+/// payloads whose behaviour should differ on retry — none in production,
+/// but kill-injection tests rely on it — can branch on the attempt.
+pub fn worker_main(
+    root: &Path,
+    solve: impl Fn(&WorkUnit, u64) -> Result<Json, String>,
+) -> Result<usize, FleetError> {
+    let dirs = QueueDirs::open(root)?;
+    let pid = std::process::id();
+    let mut published = 0usize;
+    loop {
+        let stems = list_json_stems(&dirs.pending);
+        if stems.is_empty() {
+            break;
+        }
+        let mut claimed_any = false;
+        for id in stems {
+            let claim = dirs.claim_path(&id, pid);
+            if fs::rename(dirs.pending_path(&id), &claim).is_err() {
+                continue; // a sibling won the claim race
+            }
+            claimed_any = true;
+            let rec = match read_json(&claim).and_then(|j| UnitRecord::from_json(&j)) {
+                Ok(r) => r,
+                Err(reason) => {
+                    // An unreadable unit can never succeed on retry:
+                    // quarantine it immediately so the sweep reports it
+                    // instead of crash-looping.
+                    write_quarantine(&dirs, &id, 0, &format!("unreadable unit record: {reason}"))?;
+                    let _ = fs::remove_file(&claim);
+                    continue;
+                }
+            };
+            write_json_atomic(
+                &dirs.heartbeat_path(pid),
+                &Json::obj([
+                    ("pid", Json::Num(pid as f64)),
+                    ("id", Json::Str(rec.id.clone())),
+                    ("attempt", Json::Num(rec.attempt as f64)),
+                ]),
+            )?;
+            let unit = WorkUnit {
+                id: rec.id.clone(),
+                payload: rec.payload.clone(),
+            };
+            let outcome = match solve(&unit, rec.attempt) {
+                Ok(v) => ("ok", v),
+                Err(e) => ("err", Json::Str(e)),
+            };
+            let record = Json::obj([
+                ("id", Json::Str(rec.id.clone())),
+                ("attempt", Json::Num(rec.attempt as f64)),
+                outcome,
+            ]);
+            write_json_atomic(&dirs.result_path(&rec.id), &record)?;
+            let _ = fs::remove_file(&claim);
+            published += 1;
+        }
+        if !claimed_any {
+            // Everything listed was claimed by siblings between the
+            // listing and our rename; back off briefly before re-listing.
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+    let _ = fs::remove_file(dirs.heartbeat_path(pid));
+    Ok(published)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queue::write_json_atomic as atomic;
+
+    fn scratch(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("dcn-fleet-worker-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn worker_drains_pending_in_process() {
+        let root = scratch("drain");
+        let dirs = QueueDirs::open(&root).unwrap();
+        for i in 0..5u64 {
+            let rec = UnitRecord {
+                id: format!("unit-{i}"),
+                attempt: 0,
+                payload: Json::obj([("x", Json::Num(i as f64))]),
+            };
+            atomic(&dirs.pending_path(&rec.id), &rec.to_json()).unwrap();
+        }
+        let n = worker_main(&root, |unit, attempt| {
+            assert_eq!(attempt, 0);
+            let x = unit.payload.get("x").and_then(Json::as_u64).ok_or("no x")?;
+            Ok(Json::obj([("sq", Json::Num((x * x) as f64))]))
+        })
+        .unwrap();
+        assert_eq!(n, 5);
+        assert!(list_json_stems(&dirs.pending).is_empty());
+        let result = read_json(&dirs.result_path("unit-3")).unwrap();
+        assert_eq!(result.get("ok").and_then(|o| o.get("sq")).and_then(Json::as_u64), Some(9));
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn solve_errors_publish_err_records_not_crashes() {
+        let root = scratch("err");
+        let dirs = QueueDirs::open(&root).unwrap();
+        let rec = UnitRecord {
+            id: "bad".to_string(),
+            attempt: 1,
+            payload: Json::Null,
+        };
+        atomic(&dirs.pending_path(&rec.id), &rec.to_json()).unwrap();
+        let n = worker_main(&root, |_, _| Err("synthetic failure".to_string())).unwrap();
+        assert_eq!(n, 1);
+        let result = read_json(&dirs.result_path("bad")).unwrap();
+        assert_eq!(result.get("err").and_then(Json::as_str), Some("synthetic failure"));
+        assert_eq!(result.get("attempt").and_then(Json::as_u64), Some(1));
+        let _ = fs::remove_dir_all(&root);
+    }
+}

@@ -1,0 +1,77 @@
+//! Wall-clock leases for supervised work units.
+//!
+//! A [`Lease`] is the vocabulary a supervisor (see `dcn-fleet`) uses to
+//! decide when a worker holding a claimed unit is wedged: the claim is
+//! granted `duration()` of wall time, after which the supervisor may
+//! kill the worker and retry the unit elsewhere. Leases are *derived
+//! from budgets* — [`Lease::from_budget`] caps the default lease at the
+//! run budget's remaining wall time, so no single unit can be granted
+//! longer than the whole run has left.
+//!
+//! A `Lease` holds only a duration, never a start instant: the clock it
+//! is measured against belongs to the *observer* (the supervisor's
+//! first sighting of a claim), which keeps this type trivially testable
+//! and free of cross-process clock assumptions.
+
+use crate::Budget;
+use std::time::Duration;
+
+/// A wall-clock grant for holding one unit of supervised work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Lease {
+    duration: Duration,
+}
+
+impl Lease {
+    /// A lease of exactly `duration`.
+    pub fn new(duration: Duration) -> Lease {
+        Lease { duration }
+    }
+
+    /// Derives a lease from a run budget: `default`, capped at the
+    /// budget's remaining wall time (an unlimited budget grants the
+    /// default unchanged). A supervisor granting per-unit leases this
+    /// way can never promise a worker more time than its own deadline.
+    pub fn from_budget(budget: &Budget, default: Duration) -> Lease {
+        match budget.remaining_wall() {
+            Some(remaining) => Lease::new(default.min(remaining)),
+            None => Lease::new(default),
+        }
+    }
+
+    /// The granted duration.
+    pub fn duration(&self) -> Duration {
+        self.duration
+    }
+
+    /// Has a holder that has held the lease for `held_for` exceeded it?
+    pub fn is_expired(&self, held_for: Duration) -> bool {
+        held_for >= self.duration
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_budget_grants_the_default() {
+        let lease = Lease::from_budget(&Budget::unlimited(), Duration::from_secs(600));
+        assert_eq!(lease.duration(), Duration::from_secs(600));
+    }
+
+    #[test]
+    fn tight_budget_caps_the_lease() {
+        let budget = Budget::unlimited().with_wall(Duration::from_millis(50));
+        let lease = Lease::from_budget(&budget, Duration::from_secs(600));
+        assert!(lease.duration() <= Duration::from_millis(50));
+    }
+
+    #[test]
+    fn expiry_is_inclusive_of_the_boundary() {
+        let lease = Lease::new(Duration::from_millis(100));
+        assert!(!lease.is_expired(Duration::from_millis(99)));
+        assert!(lease.is_expired(Duration::from_millis(100)));
+        assert!(lease.is_expired(Duration::from_millis(101)));
+    }
+}

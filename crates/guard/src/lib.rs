@@ -44,9 +44,11 @@
 #![warn(missing_docs)]
 
 pub mod adversarial;
+pub mod lease;
 pub mod tol;
 pub mod validate;
 
+pub use lease::Lease;
 pub use validate::{validation_enabled, CertError};
 
 /// Convenience re-exports for call sites of the budgeted solver API.

@@ -77,7 +77,8 @@ pub const RULES: &[RuleInfo] = &[
     RuleInfo {
         id: "nondeterminism",
         severity: Severity::Error,
-        summary: "clocks only in guard/obs/exec; threads only in exec; no unseeded RNG outside tests",
+        summary: "clocks only in guard/obs/exec/trace/fleet; threads only in exec; processes only \
+                  in fleet; no unseeded RNG outside tests",
     },
     RuleInfo {
         id: "unsafe-forbid",
@@ -121,14 +122,22 @@ pub const PANIC_FREE_EXTRA_CRATES: &[&str] = &["obs", "trace"];
 
 /// Crates allowed to read wall clocks: `guard` (deadlines) and `obs`
 /// (span timing) exist to encapsulate time, `exec` re-checks budget
-/// deadlines between pool tasks, and `trace` timestamps trace events
-/// against its process-wide monotonic origin.
-pub const CLOCK_CRATES: &[&str] = &["guard", "obs", "exec", "trace"];
+/// deadlines between pool tasks, `trace` timestamps trace events
+/// against its process-wide monotonic origin, and `fleet` measures
+/// worker leases and retry backoff against real wall time.
+pub const CLOCK_CRATES: &[&str] = &["guard", "obs", "exec", "trace", "fleet"];
 
 /// The one crate allowed to spawn OS threads. Every other crate reaches
 /// parallelism through [`dcn_exec`]'s deterministic pool, so fan-out
 /// cannot silently reorder merges or leak thread-count dependence.
 pub const THREAD_CRATES: &[&str] = &["exec"];
+
+/// The one crate allowed to spawn OS processes. Multi-process fan-out
+/// goes through [`dcn_fleet`]'s supervised queue (leases, bounded retry,
+/// quarantine, input-order merge); ad-hoc `Command` use elsewhere would
+/// escape crash detection and the determinism contract the same way
+/// ad-hoc threads would escape the pool's ordered merge.
+pub const PROC_CRATES: &[&str] = &["fleet"];
 
 /// Minimum justification length (characters after the allow's rule list).
 pub const MIN_JUSTIFICATION: usize = 8;
@@ -752,6 +761,39 @@ fn nondeterminism(files: &[SourceFile], diags: &mut Vec<Diagnostic>) {
             }
         }
     }
+    // Process spawning is likewise scanned over all non-fleet crates:
+    // multi-process fan-out must go through dcn-fleet's supervised queue
+    // so crashes are detected, retries are bounded, and merges stay in
+    // input order.
+    const PROCS: &[&str] = &["Command::new"];
+    for f in files.iter().filter(|f| {
+        f.krate
+            .as_deref()
+            .is_some_and(|k| !PROC_CRATES.contains(&k))
+            && !f.is_test_code
+    }) {
+        for &pat in PROCS {
+            let mut from = 0;
+            while let Some(p) = f.masked[from..].find(pat) {
+                let at = from + p;
+                from = at + pat.len();
+                if f.in_test_region(at) {
+                    continue;
+                }
+                push(
+                    diags,
+                    "nondeterminism",
+                    f,
+                    at,
+                    format!(
+                        "`{pat}` outside dcn-fleet; fan out across processes through \
+                         dcn_fleet::run_fleet so workers are leased, crashes retried, \
+                         and results merged in input order"
+                    ),
+                );
+            }
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -1118,5 +1160,24 @@ mod tests {
             ["crates/obs/src/x.rs", "crates/core/src/x.rs"],
             "{d:?}"
         );
+    }
+
+    #[test]
+    fn nondeterminism_flags_process_spawns_outside_fleet() {
+        let fleet = file(
+            "crates/fleet/src/x.rs",
+            "fn a() { std::process::Command::new(\"x\").spawn(); }\n",
+        );
+        // Fleet may spawn processes *and* read the clocks its leases need.
+        let fleet_clock = file("crates/fleet/src/y.rs", "fn a() { Instant::now(); }\n");
+        let core = file(
+            "crates/core/src/x.rs",
+            "fn a() { std::process::Command::new(\"x\").spawn(); }\n",
+        );
+        let mut d = Vec::new();
+        nondeterminism(&[fleet, fleet_clock, core], &mut d);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].file, "crates/core/src/x.rs");
+        assert!(d[0].message.contains("dcn_fleet::run_fleet"), "{d:?}");
     }
 }

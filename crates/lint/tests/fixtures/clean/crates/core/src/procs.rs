@@ -1,0 +1,7 @@
+//! Fixture: justified process spawn.
+
+/// Fixture: documented process fan-out under an allow.
+pub fn fan_out() {
+    // dcn-lint: allow(nondeterminism) — fixture: one-shot tool invocation, not sweep fan-out
+    std::process::Command::new("solver");
+}

@@ -1,0 +1,8 @@
+//! Fixture: the fleet crate may read clocks (leases, backoff) and spawn
+//! worker processes without any allow.
+
+/// Fixture: documented lease stamp plus worker spawn.
+pub fn lease_and_spawn() -> std::time::Instant {
+    std::process::Command::new("worker");
+    std::time::Instant::now()
+}

@@ -1,0 +1,6 @@
+//! Fixture: ad-hoc process spawn outside dcn-fleet.
+
+/// Fixture: documented ad-hoc process fan-out.
+pub fn fan_out() {
+    std::process::Command::new("solver");
+}

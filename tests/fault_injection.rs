@@ -317,6 +317,294 @@ fn cancellation_mid_run_stops_promptly() {
     canceller.join().expect("canceller thread");
 }
 
+// ---------------------------------------------------------------------------
+// Fleet kill injection
+//
+// The process-level analogue of the solver attacks above: workers are
+// SIGKILLed mid-cell (via the supervisor's injection hook and via lease
+// expiry), the supervisor itself is SIGKILLed and a successor resumes
+// from the queue directory, and a deliberately poisonous unit crashes
+// every worker that touches it. The uniform contract: every variant ends
+// with a merged outcome list byte-identical to an undisturbed serial run
+// — or an explicit quarantine report, never a wedge and never a torn
+// merge. Worker (and supervisor) processes are this test binary
+// re-invoked against gated entry tests.
+
+use dcn::fleet::{run_fleet, worker_main, FleetConfig, FleetReport, UnitOutcome, WorkUnit};
+use dcn::obs::json::Json;
+use std::path::{Path, PathBuf};
+
+const FLEET_WORKER_ENV: &str = "DCN_FAULT_TEST_FLEET_WORKER";
+const FLEET_SUPERVISOR_ENV: &str = "DCN_FAULT_TEST_FLEET_SUPERVISOR";
+
+fn fleet_scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dcn-fault-fleet-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// `square` computes; `sleep_once` stalls only on its first attempt (so
+/// a lease kill is survivable on retry); `abort` kills every worker that
+/// claims it (the poison).
+fn fleet_toy_solve(unit: &WorkUnit, attempt: u64) -> Result<Json, String> {
+    let op = unit
+        .payload
+        .get("op")
+        .and_then(Json::as_str)
+        .ok_or("missing op")?;
+    match op {
+        "square" => {
+            let x = unit
+                .payload
+                .get("x")
+                .and_then(Json::as_u64)
+                .ok_or("missing x")?;
+            Ok(Json::obj([("sq", Json::Num((x * x) as f64))]))
+        }
+        "sleep_once" => {
+            if attempt == 0 {
+                std::thread::sleep(Duration::from_secs(30));
+            }
+            Ok(Json::obj([("survived_at", Json::Num(attempt as f64))]))
+        }
+        "sleep_ms" => {
+            let ms = unit
+                .payload
+                .get("ms")
+                .and_then(Json::as_u64)
+                .ok_or("missing ms")?;
+            std::thread::sleep(Duration::from_millis(ms));
+            Ok(Json::obj([("slept", Json::Num(ms as f64))]))
+        }
+        "abort" => std::process::abort(),
+        other => Err(format!("unknown op {other:?}")),
+    }
+}
+
+/// Gated worker entrypoint; a no-op in the normal suite.
+#[test]
+fn fleet_worker_entry() {
+    let Ok(root) = std::env::var(FLEET_WORKER_ENV) else {
+        return;
+    };
+    worker_main(Path::new(&root), fleet_toy_solve).expect("fault-injection worker");
+}
+
+fn fleet_worker_cmd(root: &Path) -> std::process::Command {
+    let mut c = std::process::Command::new(std::env::current_exe().expect("current_exe"));
+    c.args(["fleet_worker_entry", "--exact", "--nocapture"]);
+    c.env(FLEET_WORKER_ENV, root);
+    c
+}
+
+fn fleet_cfg(root: &Path, workers: usize) -> FleetConfig {
+    FleetConfig {
+        workers,
+        root: root.to_path_buf(),
+        lease: Duration::from_secs(60),
+        max_retries: 2,
+        backoff_base: Duration::from_millis(10),
+        poll: Duration::from_millis(10),
+        inject_kill_after: None,
+    }
+}
+
+/// Serializes a report's merged outcomes so variants can be compared
+/// byte-for-byte against an undisturbed serial run.
+fn merged_bytes(report: &FleetReport) -> String {
+    let rows: Vec<Json> = report
+        .outcomes
+        .iter()
+        .map(|o| match o {
+            UnitOutcome::Ok(v) => Json::obj([("ok", v.clone())]),
+            UnitOutcome::Err(e) => Json::obj([("err", Json::Str(e.clone()))]),
+            UnitOutcome::Quarantined(r) => Json::obj([("quarantined", Json::Str(r.clone()))]),
+        })
+        .collect();
+    Json::Arr(rows).to_string_pretty()
+}
+
+fn square_unit(i: u64) -> WorkUnit {
+    WorkUnit {
+        id: format!("cell-{i:02}"),
+        payload: Json::obj([
+            ("op", Json::Str("square".to_string())),
+            ("x", Json::Num(i as f64)),
+        ]),
+    }
+}
+
+/// Runs the same unit list undisturbed at one worker and returns the
+/// reference merge bytes.
+fn serial_reference(name: &str, units: &[WorkUnit]) -> String {
+    let root = fleet_scratch(name);
+    let report = run_fleet(&fleet_cfg(&root, 1), units, &Budget::unlimited(), &|| {
+        fleet_worker_cmd(&root)
+    })
+    .expect("serial reference run");
+    let _ = std::fs::remove_dir_all(&root);
+    merged_bytes(&report)
+}
+
+#[test]
+fn fleet_worker_sigkilled_mid_cell_still_merges_identically() {
+    // Sleepy cells keep the campaign alive long enough for the injected
+    // kill to land while a worker is mid-cell (instant cells can drain
+    // before the supervisor's kill condition is ever evaluated).
+    let units: Vec<WorkUnit> = (0..8)
+        .map(|i| {
+            if i % 2 == 0 {
+                square_unit(i)
+            } else {
+                WorkUnit {
+                    id: format!("cell-{i:02}"),
+                    payload: Json::obj([
+                        ("op", Json::Str("sleep_ms".to_string())),
+                        ("ms", Json::Num(120.0)),
+                    ]),
+                }
+            }
+        })
+        .collect();
+    let reference = serial_reference("sigkill-ref", &units);
+    let root = fleet_scratch("sigkill");
+    let mut cfg = fleet_cfg(&root, 2);
+    // The supervisor SIGKILLs one of its own workers after the first
+    // completed cell; whatever that worker held must be retried.
+    cfg.inject_kill_after = Some(1);
+    let report = run_fleet(&cfg, &units, &Budget::unlimited(), &|| fleet_worker_cmd(&root))
+        .expect("injected-kill run");
+    assert!(report.crashes >= 1, "the injected SIGKILL must be observed");
+    assert_eq!(report.quarantined, 0);
+    assert_eq!(merged_bytes(&report), reference);
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn fleet_lease_expiry_sigkills_stalled_worker_and_recovers() {
+    let mut units: Vec<WorkUnit> = (0..4).map(square_unit).collect();
+    units.insert(
+        1,
+        WorkUnit {
+            id: "stall-first-attempt".to_string(),
+            payload: Json::obj([("op", Json::Str("sleep_once".to_string()))]),
+        },
+    );
+    let root = fleet_scratch("lease");
+    let mut cfg = fleet_cfg(&root, 2);
+    // The stalled cell sleeps 30s on attempt 0; a 300ms lease means the
+    // supervisor SIGKILLs its worker and the retry (attempt 1) returns
+    // instantly.
+    cfg.lease = Duration::from_millis(300);
+    let report = run_fleet(&cfg, &units, &Budget::unlimited(), &|| fleet_worker_cmd(&root))
+        .expect("lease-kill run");
+    assert!(report.lease_kills >= 1, "{report:?}");
+    assert_eq!(report.quarantined, 0);
+    match &report.outcomes[1] {
+        UnitOutcome::Ok(v) => {
+            assert_eq!(v.get("survived_at").and_then(Json::as_u64), Some(1))
+        }
+        other => panic!("stalled cell must survive its retry, got {other:?}"),
+    }
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// Gated supervisor entrypoint for the kill-and-resume test: supervises
+/// the slow unit list in a child process the parent can SIGKILL.
+#[test]
+fn fleet_supervisor_entry() {
+    let Ok(root) = std::env::var(FLEET_SUPERVISOR_ENV) else {
+        return;
+    };
+    let root = PathBuf::from(root);
+    let units = slow_units();
+    run_fleet(&fleet_cfg(&root, 2), &units, &Budget::unlimited(), &|| {
+        fleet_worker_cmd(&root)
+    })
+    .expect("child supervisor");
+}
+
+fn slow_units() -> Vec<WorkUnit> {
+    (0..8)
+        .map(|i| WorkUnit {
+            id: format!("slow-{i:02}"),
+            payload: Json::obj([
+                ("op", Json::Str("sleep_ms".to_string())),
+                ("ms", Json::Num(150.0)),
+            ]),
+        })
+        .collect()
+}
+
+#[test]
+fn fleet_supervisor_sigkilled_and_resumed_recovers_solved_cells() {
+    let units = slow_units();
+    let root = fleet_scratch("resume");
+    std::fs::create_dir_all(&root).expect("create queue root");
+    let mut supervisor = std::process::Command::new(std::env::current_exe().expect("current_exe"))
+        .args(["fleet_supervisor_entry", "--exact", "--nocapture"])
+        .env(FLEET_SUPERVISOR_ENV, &root)
+        .spawn()
+        .expect("spawn child supervisor");
+    // Wait until at least two cells are solved, then SIGKILL the
+    // supervisor mid-campaign (its workers become orphans).
+    let results = root.join("results");
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while dcn::cache::scan_keys(&results, "fleet-result").len() < 2 {
+        assert!(Instant::now() < deadline, "child supervisor made no progress");
+        if let Some(status) = supervisor.try_wait().expect("try_wait") {
+            panic!("child supervisor exited early: {status}");
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    supervisor.kill().expect("SIGKILL child supervisor");
+    let _ = supervisor.wait();
+    // A successor supervisor over the same queue directory recovers the
+    // solved cells, re-queues whatever was claimed by the dead fleet's
+    // workers, and completes the campaign.
+    let report = run_fleet(&fleet_cfg(&root, 2), &units, &Budget::unlimited(), &|| {
+        fleet_worker_cmd(&root)
+    })
+    .expect("successor supervisor");
+    assert!(report.recovered >= 2, "{report:?}");
+    assert_eq!(report.quarantined, 0);
+    assert_eq!(merged_bytes(&report), serial_reference("resume-ref", &units));
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn fleet_poison_unit_yields_explicit_quarantine_report() {
+    let mut units: Vec<WorkUnit> = (0..5).map(square_unit).collect();
+    units.insert(
+        3,
+        WorkUnit {
+            id: "poison".to_string(),
+            payload: Json::obj([("op", Json::Str("abort".to_string()))]),
+        },
+    );
+    // The poison quarantines identically at any worker count, so even
+    // this variant's merge is byte-comparable to the serial run.
+    let reference = serial_reference("poison-ref", &units);
+    let root = fleet_scratch("poison");
+    let report = run_fleet(&fleet_cfg(&root, 2), &units, &Budget::unlimited(), &|| {
+        fleet_worker_cmd(&root)
+    })
+    .expect("poison run");
+    assert_eq!(report.quarantined, 1);
+    assert!(
+        report.crashes >= 3,
+        "poison must crash max_retries+1 workers: {report:?}"
+    );
+    assert!(matches!(&report.outcomes[3], UnitOutcome::Quarantined(_)));
+    assert_eq!(merged_bytes(&report), reference);
+    // The quarantine is also durable: the queue directory records the
+    // unit and why it was pulled.
+    let q = std::fs::read_to_string(root.join("quarantine").join("poison.json"))
+        .expect("durable quarantine record");
+    assert!(q.contains("attempts"), "{q}");
+    let _ = std::fs::remove_dir_all(&root);
+}
+
 #[test]
 fn random_hostile_lps_terminate_under_budget() {
     // Fuzz-ish sweep: random small LPs with mixed constraint senses and
