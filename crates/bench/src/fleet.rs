@@ -26,7 +26,7 @@ pub use dcn_fleet::worker_root_from_args;
 /// under the shared cache directory when one is configured (so queue and
 /// cache recovery state live side by side), else under the results dir.
 fn default_fleet_root(name: &str) -> PathBuf {
-    if let Some(dir) = std::env::var_os("DCN_CACHE_DIR") {
+    if let Some(dir) = dcn_guard::env::CACHE_DIR.get_os() {
         return PathBuf::from(dir).join("fleet").join(name);
     }
     match crate::results_dir() {

@@ -65,7 +65,7 @@ impl std::error::Error for ResultsDirError {}
 /// environment variable overrides the location (useful for CI and for
 /// keeping scratch runs out of the tree).
 pub fn results_dir() -> Result<PathBuf, ResultsDirError> {
-    let dir = match std::env::var_os("DCN_RESULTS_DIR") {
+    let dir = match dcn_guard::env::RESULTS_DIR.get_os() {
         Some(d) => PathBuf::from(d),
         None => {
             // CARGO_MANIFEST_DIR = crates/bench; the workspace root is two up.
@@ -235,7 +235,7 @@ pub fn baseline_mode() -> bool {
 /// The perf baseline file: `DCN_BENCH_BASELINE` when set, else
 /// `BENCH_BASELINE.json` at the workspace root.
 pub fn baseline_path() -> PathBuf {
-    match std::env::var_os("DCN_BENCH_BASELINE") {
+    match dcn_guard::env::BENCH_BASELINE.get_os() {
         Some(p) => PathBuf::from(p),
         None => PathBuf::from(env!("CARGO_MANIFEST_DIR"))
             .parent()

@@ -166,15 +166,14 @@ impl CacheHandle {
     /// Unparseable values fall back to the default rather than erroring:
     /// the cache is an accelerator and must never fail a run.
     pub fn from_env() -> CacheHandle {
-        let bytes = match std::env::var("DCN_CACHE_BYTES") {
-            Ok(v) => v.trim().parse::<usize>().unwrap_or(DEFAULT_CACHE_BYTES),
-            Err(_) => DEFAULT_CACHE_BYTES,
-        };
+        let bytes = dcn_guard::env::CACHE_BYTES
+            .parsed::<usize>()
+            .unwrap_or(DEFAULT_CACHE_BYTES);
         if bytes == 0 {
             return CacheHandle::disabled();
         }
-        match std::env::var("DCN_CACHE_DIR") {
-            Ok(dir) if !dir.trim().is_empty() => CacheHandle::with_disk(bytes, dir),
+        match dcn_guard::env::CACHE_DIR.get() {
+            Some(dir) if !dir.trim().is_empty() => CacheHandle::with_disk(bytes, dir),
             _ => CacheHandle::in_memory(bytes),
         }
     }

@@ -86,9 +86,8 @@ impl Pool {
     /// fan-outs). Unset, empty, zero, or unparsable values fall back to
     /// the machine's available parallelism.
     pub fn from_env() -> Self {
-        let from_var = std::env::var("DCN_EXEC_THREADS")
-            .ok()
-            .and_then(|s| s.trim().parse::<usize>().ok())
+        let from_var = dcn_guard::env::EXEC_THREADS
+            .parsed::<usize>()
             .filter(|&n| n > 0);
         let threads = from_var.unwrap_or_else(|| {
             std::thread::available_parallelism().map_or(1, |n| n.get())

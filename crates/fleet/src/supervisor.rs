@@ -52,17 +52,11 @@ pub struct FleetConfig {
 /// at least 2 — one worker would pay the process-spawn tax for no
 /// isolation gain.
 pub fn workers_from_env() -> usize {
-    std::env::var("DCN_FLEET_WORKERS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-        .unwrap_or(1)
+    dcn_guard::env::FLEET_WORKERS.parsed::<usize>().unwrap_or(1)
 }
 
-fn env_u64(name: &str, default: u64) -> u64 {
-    std::env::var(name)
-        .ok()
-        .and_then(|v| v.parse::<u64>().ok())
-        .unwrap_or(default)
+fn env_u64(var: &dcn_guard::env::EnvVar, default: u64) -> u64 {
+    var.parsed::<u64>().unwrap_or(default)
 }
 
 impl FleetConfig {
@@ -74,19 +68,18 @@ impl FleetConfig {
     /// `DCN_FLEET_BACKOFF_MS` (default 50), and the
     /// `DCN_FLEET_INJECT_KILL_AFTER` test hook.
     pub fn from_env(default_root: &Path) -> FleetConfig {
-        let root = std::env::var_os("DCN_FLEET_DIR")
+        let root = dcn_guard::env::FLEET_DIR
+            .get_os()
             .map(PathBuf::from)
             .unwrap_or_else(|| default_root.to_path_buf());
         FleetConfig {
             workers: workers_from_env().max(1),
             root,
-            lease: Duration::from_secs(env_u64("DCN_FLEET_LEASE_SECS", 600)),
-            max_retries: env_u64("DCN_FLEET_MAX_RETRIES", 2),
-            backoff_base: Duration::from_millis(env_u64("DCN_FLEET_BACKOFF_MS", 50)),
+            lease: Duration::from_secs(env_u64(&dcn_guard::env::FLEET_LEASE_SECS, 600)),
+            max_retries: env_u64(&dcn_guard::env::FLEET_MAX_RETRIES, 2),
+            backoff_base: Duration::from_millis(env_u64(&dcn_guard::env::FLEET_BACKOFF_MS, 50)),
             poll: Duration::from_millis(20),
-            inject_kill_after: std::env::var("DCN_FLEET_INJECT_KILL_AFTER")
-                .ok()
-                .and_then(|v| v.parse::<u64>().ok()),
+            inject_kill_after: dcn_guard::env::FLEET_INJECT_KILL_AFTER.parsed::<u64>(),
         }
     }
 }

@@ -48,6 +48,15 @@ pub mod lease;
 pub mod tol;
 pub mod validate;
 
+/// The workspace-wide `DCN_*` environment-variable registry.
+///
+/// Defined in `dcn-obs` (the bottom of the crate stack, so `obs` and
+/// `trace` can read knobs without a dependency cycle) and re-exported
+/// here under the name the rest of the workspace imports: every env
+/// read outside tests goes through a `dcn_guard::env` constant, and
+/// `dcn-lint`'s `env-registry` rule rejects raw `std::env::var` sites.
+pub use dcn_obs::env;
+
 pub use lease::Lease;
 pub use validate::{validation_enabled, CertError};
 

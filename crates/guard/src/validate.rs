@@ -30,9 +30,9 @@ static ENABLED: OnceLock<bool> = OnceLock::new();
 /// True when certificate checks should run (see module docs for the
 /// `DCN_VALIDATE` / debug-build policy). Read once per process.
 pub fn validation_enabled() -> bool {
-    *ENABLED.get_or_init(|| match std::env::var("DCN_VALIDATE").as_deref() {
-        Ok("1") | Ok("on") | Ok("true") => true,
-        Ok("0") | Ok("off") | Ok("false") => false,
+    *ENABLED.get_or_init(|| match crate::env::VALIDATE.get().as_deref() {
+        Some("1") | Some("on") | Some("true") => true,
+        Some("0") | Some("off") | Some("false") => false,
         _ => cfg!(debug_assertions),
     })
 }

@@ -1,5 +1,14 @@
-//! The rule engine: six workspace invariants plus the allow-annotation
-//! escape hatch.
+//! The rule engine: eleven workspace invariants plus the allow-annotation
+//! escape hatch (thirteen rule ids in all).
+//!
+//! Since dcn-lint v2 the engine is **two-pass** (DESIGN.md §14). Pass 1
+//! builds a [`WorkspaceIndex`](crate::index::WorkspaceIndex) over the
+//! lossy per-file scan: `fn` bodies, identifiers declared with
+//! `Mutex`/`RwLock`/`Atomic*` types, and the `dcn_guard::env` registry.
+//! Pass 2 runs the rules against that index, split into
+//! [`per_file_diags`] (pure per file, fanned out by the driver over a
+//! `dcn_exec::Pool` and merged in input order) and [`cross_file_diags`]
+//! (registry liveness checks that need the whole file set; run serially).
 //!
 //! Every rule emits [`Diagnostic`]s anchored to `file:line`. A diagnostic
 //! can be suppressed by an inline annotation on the same line or the line
@@ -15,6 +24,7 @@
 //! nothing is reported as `unused-allow` so stale annotations cannot
 //! accumulate.
 
+use crate::index::{self, FileIndex, WorkspaceIndex};
 use crate::scan::{match_brace, word_occurrences, SourceFile};
 
 /// Diagnostic severity. Every built-in rule is `Error`; `Warn` exists so
@@ -91,6 +101,30 @@ pub const RULES: &[RuleInfo] = &[
         summary: "crate roots carry //! docs; pub fn/struct/enum in library code carry /// docs",
     },
     RuleInfo {
+        id: "lock-order",
+        severity: Severity::Error,
+        summary: "nested guard acquisitions follow the declared order \
+                  REGISTRY → SPANS → drained → shards (shard self-nesting only in cache)",
+    },
+    RuleInfo {
+        id: "blocking-under-lock",
+        severity: Severity::Error,
+        summary: "no file I/O, process spawns, sleeps, or channel recv while a lock guard \
+                  is live in obs/trace/cache/exec/fleet",
+    },
+    RuleInfo {
+        id: "atomic-ordering",
+        severity: Severity::Error,
+        summary: "every atomic load/store/swap/fetch_*/compare_exchange names a literal \
+                  Ordering; SeqCst outside exec/fleet needs a justified allow",
+    },
+    RuleInfo {
+        id: "env-registry",
+        severity: Severity::Error,
+        summary: "env reads go through dcn_guard::env constants; registered vars must be \
+                  DCN_-named, unique, live, and mirrored in the README table",
+    },
+    RuleInfo {
         id: "allow-justification",
         severity: Severity::Error,
         summary: "every dcn-lint allow annotation carries a written justification",
@@ -138,6 +172,27 @@ pub const THREAD_CRATES: &[&str] = &["exec"];
 /// escape crash detection and the determinism contract the same way
 /// ad-hoc threads would escape the pool's ordered merge.
 pub const PROC_CRATES: &[&str] = &["fleet"];
+
+/// The workspace's declared global lock-acquisition order, outermost
+/// first: the obs metric registry, then the obs span table, then the
+/// trace drain buffer, then a cache shard (DESIGN.md §14). A nested
+/// acquisition must name a strictly later symbol than every guard still
+/// live around it. Ranks are indices into this table.
+pub const LOCK_ORDER: &[&str] = &["REGISTRY", "SPANS", "drained", "shards"];
+
+/// Crates scanned by the guard-region rules (`lock-order` and
+/// `blocking-under-lock`): the concurrent service crates that own or
+/// drive the ordered locks. Solver crates hold no locks at all (the
+/// nondeterminism rule already keeps threads out of them).
+pub const LOCK_CRATES: &[&str] = &["obs", "trace", "cache", "exec", "fleet"];
+
+/// Crates allowed to use `Ordering::SeqCst`: only the fan-out engines,
+/// where cross-thread shutdown handoff could conceivably need it. The
+/// workspace's other atomics are monotone counters and latched flags,
+/// for which `Relaxed` (or `Acquire`/`Release` for payload handoff) is
+/// sufficient — a stray `SeqCst` usually hides a missing happens-before
+/// argument rather than supplying one.
+pub const SEQCST_CRATES: &[&str] = &["exec", "fleet"];
 
 /// Minimum justification length (characters after the allow's rule list).
 pub const MIN_JUSTIFICATION: usize = 8;
@@ -212,19 +267,64 @@ pub struct Outcome {
     pub allows_honored: usize,
 }
 
-/// Runs every rule, applies allow annotations, and appends the
-/// annotation-hygiene diagnostics.
+/// Runs every rule serially, applies allow annotations, and appends the
+/// annotation-hygiene diagnostics. Convenience entry point for tests and
+/// embedders; the CLI driver ([`crate::lint_root`]) instead builds the
+/// index once, fans [`per_file_diags`] out over a pool, and passes the
+/// README through for the drift check.
 pub fn run_all(files: &[SourceFile]) -> Outcome {
-    let allows = collect_allows(files);
-    let mut raw_diags = Vec::new();
-    panic_freedom(files, &mut raw_diags);
-    float_eq(files, &mut raw_diags);
-    budget_coverage(files, &mut raw_diags);
-    metric_registry(files, &mut raw_diags);
-    nondeterminism(files, &mut raw_diags);
-    unsafe_forbid(files, &mut raw_diags);
-    doc_coverage(files, &mut raw_diags);
+    run_all_with(files, None)
+}
 
+/// [`run_all`] with an optional README text for the env-table drift check.
+pub fn run_all_with(files: &[SourceFile], readme: Option<&str>) -> Outcome {
+    let index = WorkspaceIndex::build(files, files.iter().map(index::index_file).collect());
+    let mut raw = Vec::new();
+    for (fi, f) in files.iter().enumerate() {
+        raw.extend(per_file_diags(f, fi, &index));
+    }
+    raw.extend(cross_file_diags(files, &index, readme));
+    finish(files, raw)
+}
+
+/// Pass 2, per-file portion: every rule whose verdict depends only on one
+/// file plus the read-only pass-1 index. A pure function of its inputs,
+/// so the driver can evaluate files concurrently and concatenate the
+/// results in input order without changing the report.
+pub fn per_file_diags(f: &SourceFile, fi: usize, index: &WorkspaceIndex) -> Vec<Diagnostic> {
+    let one = std::slice::from_ref(f);
+    let mut d = Vec::new();
+    panic_freedom(one, &mut d);
+    float_eq(one, &mut d);
+    budget_coverage_file(f, &index.files[fi], &mut d);
+    nondeterminism(one, &mut d);
+    unsafe_forbid(one, &mut d);
+    doc_coverage(one, &mut d);
+    lock_order(f, index, &mut d);
+    blocking_under_lock(f, index, &mut d);
+    atomic_ordering(f, index, &mut d);
+    d
+}
+
+/// Pass 2, cross-file portion: the registry rules, which relate
+/// definition sites to every use site in the tree (both directions) and
+/// so cannot be evaluated one file at a time.
+pub fn cross_file_diags(
+    files: &[SourceFile],
+    index: &WorkspaceIndex,
+    readme: Option<&str>,
+) -> Vec<Diagnostic> {
+    let mut d = Vec::new();
+    metric_registry(files, &mut d);
+    env_registry(files, index, readme, &mut d);
+    d
+}
+
+/// Applies allow annotations to the raw findings, appends the
+/// annotation-hygiene diagnostics, and sorts/dedups into the final
+/// report order.
+pub fn finish(files: &[SourceFile], raw_diags: Vec<Diagnostic>) -> Outcome {
+    let allows = collect_allows(files);
     let file_index = |rel: &str| files.iter().position(|f| f.rel == rel);
     let mut diagnostics = Vec::new();
     let mut allows_honored = 0usize;
@@ -438,65 +538,46 @@ fn float_eq(files: &[SourceFile], diags: &mut Vec<Diagnostic>) {
 // ---------------------------------------------------------------------------
 // Rule: budget-coverage
 
+/// Serial wrapper over [`budget_coverage_file`] (tests and embedders);
+/// the driver passes the pass-1 index instead of re-deriving it.
+#[cfg(test)]
 fn budget_coverage(files: &[SourceFile], diags: &mut Vec<Diagnostic>) {
-    for f in files.iter().filter(|f| solver_library(f)) {
-        for at in word_occurrences(&f.masked, "pub") {
-            let rest = f.masked[at + 3..].trim_start();
-            if !rest.starts_with("fn ") {
-                continue;
-            }
-            let fn_at_off = at + 3 + (f.masked[at + 3..].len() - rest.len());
-            let Some((name, sig, body)) = fn_at(f, fn_at_off) else {
-                continue;
-            };
-            if f.in_test_region(at) {
-                continue;
-            }
-            let has_loop = !word_occurrences(body, "while").is_empty()
-                || word_occurrences(body, "loop")
-                    .iter()
-                    .any(|&p| body[p + 4..].trim_start().starts_with('{'));
-            if !has_loop {
-                continue;
-            }
-            if !sig.contains("Budget") {
-                push(
-                    diags,
-                    "budget-coverage",
-                    f,
-                    at,
-                    format!(
-                        "`pub fn {name}` contains a loop/while but does not take a \
-                         &Budget/BudgetMeter; thread a budget through (call sites \
-                         without one use dcn_guard::prelude::unlimited()) — bounded \
-                         loops may carry a justified allow"
-                    ),
-                );
-            }
-        }
+    for f in files {
+        budget_coverage_file(f, &index::index_file(f), diags);
     }
 }
 
-/// Parses the fn at masked offset `at` (pointing at the `fn` keyword):
-/// returns (name, signature text, body text). `None` for bodyless fns.
-fn fn_at(f: &SourceFile, at: usize) -> Option<(String, &str, &str)> {
-    let after = &f.masked[at + 2..];
-    let name: String = after
-        .trim_start()
-        .chars()
-        .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
-        .collect();
-    if name.is_empty() {
-        return None;
+fn budget_coverage_file(f: &SourceFile, fidx: &FileIndex, diags: &mut Vec<Diagnostic>) {
+    if !solver_library(f) {
+        return;
     }
-    let sig_start = at;
-    let rel = f.masked[sig_start..].find(['{', ';'])?;
-    let open = sig_start + rel;
-    if f.masked.as_bytes()[open] != b'{' {
-        return None;
+    for def in &fidx.fns {
+        if !def.is_pub || f.in_test_region(def.sig_start) {
+            continue;
+        }
+        let sig = &f.masked[def.sig_start..def.body_start];
+        let body = &f.masked[def.body_start..def.body_end];
+        let has_loop = !word_occurrences(body, "while").is_empty()
+            || word_occurrences(body, "loop")
+                .iter()
+                .any(|&p| body[p + 4..].trim_start().starts_with('{'));
+        if !has_loop || sig.contains("Budget") {
+            continue;
+        }
+        push(
+            diags,
+            "budget-coverage",
+            f,
+            def.sig_start,
+            format!(
+                "`pub fn {}` contains a loop/while but does not take a \
+                 &Budget/BudgetMeter; thread a budget through (call sites \
+                 without one use dcn_guard::prelude::unlimited()) — bounded \
+                 loops may carry a justified allow",
+                def.name
+            ),
+        );
     }
-    let close = match_brace(&f.masked, open)?;
-    Some((name, &f.masked[sig_start..open], &f.masked[open..close]))
 }
 
 // ---------------------------------------------------------------------------
@@ -922,6 +1003,519 @@ fn doc_coverage(files: &[SourceFile], diags: &mut Vec<Diagnostic>) {
                     ),
                 );
             }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Guard regions (shared by lock-order and blocking-under-lock)
+
+/// One classified guard acquisition: byte offset of the call, the end of
+/// the region over which the guard is assumed live, and the symbol's
+/// rank in [`LOCK_ORDER`].
+struct Acquisition {
+    off: usize,
+    region_end: usize,
+    rank: usize,
+}
+
+/// End of the statement containing masked offset `from`: one past the
+/// next `;` at balanced bracket depth, or the closing bracket of the
+/// enclosing block/call if that comes first (tail expressions).
+fn statement_end(masked: &str, from: usize) -> usize {
+    let b = masked.as_bytes();
+    let mut depth = 0u32;
+    for (i, &c) in b.iter().enumerate().skip(from) {
+        match c {
+            b'(' | b'[' | b'{' => depth += 1,
+            b')' | b']' | b'}' => {
+                if depth == 0 {
+                    return i;
+                }
+                depth -= 1;
+            }
+            b';' if depth == 0 => return i + 1,
+            _ => {}
+        }
+    }
+    b.len()
+}
+
+/// One past the closing `}` of the innermost block enclosing masked
+/// offset `at` (the whole file when `at` is at the top level).
+fn enclosing_block_end(masked: &str, at: usize) -> usize {
+    let b = masked.as_bytes();
+    let mut stack: Vec<usize> = Vec::new();
+    for (i, &c) in b.iter().enumerate().take(at) {
+        match c {
+            b'{' => stack.push(i),
+            b'}' => {
+                stack.pop();
+            }
+            _ => {}
+        }
+    }
+    match stack.last() {
+        Some(&open) => match_brace(masked, open).unwrap_or(masked.len()),
+        None => masked.len(),
+    }
+}
+
+/// Collects the guard acquisitions of one file, sorted by offset.
+///
+/// A `.lock(`/`.read(`/`.write(` call counts as an acquisition only when
+/// the statement chunk leading up to it (back to the previous `;`, `{`,
+/// or `}`) names a [`LOCK_ORDER`] symbol that pass 1 actually found
+/// declared with a `Mutex`/`RwLock` type somewhere in the tree — this is
+/// what keeps `io::Read::read` and `Disk::store`-style methods from
+/// being classified as locking. `let`-bound guards are assumed live to
+/// the end of the innermost enclosing block; temporaries to the end of
+/// the statement. Guards returned from helper fns escape this analysis
+/// (documented trade-off, DESIGN.md §14).
+fn guard_acquisitions(f: &SourceFile, index: &WorkspaceIndex) -> Vec<Acquisition> {
+    let mut out = Vec::new();
+    for call in [".lock(", ".read(", ".write("] {
+        let mut from = 0;
+        while let Some(p) = f.masked[from..].find(call) {
+            let at = from + p;
+            from = at + call.len();
+            if f.in_test_region(at) {
+                continue;
+            }
+            let stmt_start = f.masked[..at].rfind([';', '{', '}']).map_or(0, |i| i + 1);
+            let chunk = &f.masked[stmt_start..at];
+            let hit = LOCK_ORDER
+                .iter()
+                .enumerate()
+                .filter(|&(_, sym)| index.lock_idents.contains(*sym))
+                .filter_map(|(rank, sym)| word_occurrences(chunk, sym).last().map(|&p| (p, rank)))
+                .max_by_key(|&(p, _)| p);
+            let Some((_, rank)) = hit else {
+                continue;
+            };
+            let region_end = if word_occurrences(chunk, "let").is_empty() {
+                statement_end(&f.masked, at)
+            } else {
+                enclosing_block_end(&f.masked, at)
+            };
+            out.push(Acquisition {
+                off: at,
+                region_end,
+                rank,
+            });
+        }
+    }
+    out.sort_unstable_by_key(|a| a.off);
+    out
+}
+
+/// True when the guard-region rules apply to this file.
+fn lock_scope(f: &SourceFile) -> bool {
+    f.krate
+        .as_deref()
+        .is_some_and(|k| LOCK_CRATES.contains(&k))
+        && !f.is_test_code
+}
+
+// ---------------------------------------------------------------------------
+// Rule: lock-order
+
+fn lock_order(f: &SourceFile, index: &WorkspaceIndex, diags: &mut Vec<Diagnostic>) {
+    if !lock_scope(f) {
+        return;
+    }
+    let in_cache = f.krate.as_deref() == Some("cache");
+    let acqs = guard_acquisitions(f, index);
+    for (i, outer) in acqs.iter().enumerate() {
+        for inner in &acqs[i + 1..] {
+            if inner.off >= outer.region_end {
+                continue;
+            }
+            // Re-acquiring a different shard by index is the one legal
+            // self-nesting, and only inside the crate that owns the
+            // shard array and can prove index disjointness.
+            let shard_self = inner.rank == outer.rank
+                && LOCK_ORDER[inner.rank] == "shards"
+                && in_cache;
+            if inner.rank > outer.rank || shard_self {
+                continue;
+            }
+            push(
+                diags,
+                "lock-order",
+                f,
+                inner.off,
+                format!(
+                    "`{}` (rank {}) acquired while a `{}` (rank {}) guard is live; the \
+                     declared acquisition order is {} — release the outer guard (or \
+                     copy what you need out of it) before taking this one",
+                    LOCK_ORDER[inner.rank],
+                    inner.rank,
+                    LOCK_ORDER[outer.rank],
+                    outer.rank,
+                    LOCK_ORDER.join(" → "),
+                ),
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: blocking-under-lock
+
+/// Substring patterns treated as blocking calls when they appear inside
+/// a guard region. `sleep` is handled separately (word-bounded).
+const BLOCKING_CALLS: &[&str] = &["fs::", "File::", "OpenOptions", "Command::new", ".recv("];
+
+fn blocking_under_lock(f: &SourceFile, index: &WorkspaceIndex, diags: &mut Vec<Diagnostic>) {
+    if !lock_scope(f) {
+        return;
+    }
+    for acq in &guard_acquisitions(f, index) {
+        let region = &f.masked[acq.off..acq.region_end];
+        let sym = LOCK_ORDER[acq.rank];
+        for pat in BLOCKING_CALLS {
+            let mut from = 0;
+            while let Some(p) = region[from..].find(pat) {
+                let at = acq.off + from + p;
+                from += p + pat.len();
+                if f.in_test_region(at) {
+                    continue;
+                }
+                push(
+                    diags,
+                    "blocking-under-lock",
+                    f,
+                    at,
+                    format!(
+                        "`{pat}…` while a `{sym}` guard is live; every other thread \
+                         touching `{sym}` stalls behind this call — serialize what you \
+                         need into a local under the guard, release it, then block"
+                    ),
+                );
+            }
+        }
+        for &p in &word_occurrences(region, "sleep") {
+            if !region[p + "sleep".len()..].starts_with('(') {
+                continue;
+            }
+            let at = acq.off + p;
+            if f.in_test_region(at) {
+                continue;
+            }
+            push(
+                diags,
+                "blocking-under-lock",
+                f,
+                at,
+                format!(
+                    "`sleep(…)` while a `{sym}` guard is live; sleeping under a lock \
+                     turns a backoff into a convoy — release the guard first"
+                ),
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: atomic-ordering
+
+/// One past the `)` matching the `(` at `open`.
+fn match_paren(masked: &str, open: usize) -> Option<usize> {
+    let b = masked.as_bytes();
+    let mut depth = 0usize;
+    for (i, &c) in b.iter().enumerate().skip(open) {
+        match c {
+            b'(' => depth += 1,
+            b')' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(i + 1);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+fn atomic_ordering(f: &SourceFile, index: &WorkspaceIndex, diags: &mut Vec<Diagnostic>) {
+    if f.krate.is_none() || f.is_test_code {
+        return;
+    }
+    // (a) Read-modify-write methods are unambiguously atomic whatever the
+    // receiver: `.fetch_*` and `.compare_exchange{,_weak}` must name
+    // literal `Ordering::` arguments (two for compare-exchange).
+    for (prefix, needed) in [(".fetch_", 1usize), (".compare_exchange", 2)] {
+        let mut from = 0;
+        while let Some(p) = f.masked[from..].find(prefix) {
+            let at = from + p;
+            from = at + prefix.len();
+            let b = f.masked.as_bytes();
+            let mut open = at + prefix.len();
+            while open < b.len() && (b[open].is_ascii_alphanumeric() || b[open] == b'_') {
+                open += 1;
+            }
+            if b.get(open) != Some(&b'(') || f.in_test_region(at) {
+                continue;
+            }
+            let method = &f.masked[at + 1..open];
+            let Some(close) = match_paren(&f.masked, open) else {
+                continue;
+            };
+            let found = f.masked[open..close].matches("Ordering::").count();
+            if found < needed {
+                push(
+                    diags,
+                    "atomic-ordering",
+                    f,
+                    at,
+                    format!(
+                        "`.{method}(…)` names {found} explicit `Ordering::…` argument(s), \
+                         need {needed}; spell the ordering out at the call site — it is \
+                         part of the concurrency contract, not a default"
+                    ),
+                );
+            }
+        }
+    }
+    // (b) `.load`/`.store`/`.swap` are ambiguous method names; they are
+    // held to the same requirement only when the receiver identifier is
+    // one pass 1 saw declared with an atomic type (so `disk.store(key,
+    // value)` and `io::Write` stay out of scope).
+    for prefix in [".load(", ".store(", ".swap("] {
+        let mut from = 0;
+        while let Some(p) = f.masked[from..].find(prefix) {
+            let at = from + p;
+            from = at + prefix.len();
+            if f.in_test_region(at) {
+                continue;
+            }
+            let recv = index::ident_before(&f.masked, at);
+            if recv.is_empty() || !index.atomic_idents.contains(recv) {
+                continue;
+            }
+            let open = at + prefix.len() - 1;
+            let Some(close) = match_paren(&f.masked, open) else {
+                continue;
+            };
+            if !f.masked[open..close].contains("Ordering::") {
+                let method = prefix.trim_matches(['.', '(']);
+                push(
+                    diags,
+                    "atomic-ordering",
+                    f,
+                    at,
+                    format!(
+                        "`{recv}.{method}(…)` on an atomic names no explicit \
+                         `Ordering::…`; spell the ordering out at the call site"
+                    ),
+                );
+            }
+        }
+    }
+    // (c) SeqCst containment: outside the fan-out engines it needs a
+    // justified allow.
+    if !f
+        .krate
+        .as_deref()
+        .is_some_and(|k| SEQCST_CRATES.contains(&k))
+    {
+        for at in word_occurrences(&f.masked, "SeqCst") {
+            if f.in_test_region(at) {
+                continue;
+            }
+            push(
+                diags,
+                "atomic-ordering",
+                f,
+                at,
+                "`Ordering::SeqCst` outside exec/fleet; the workspace's atomics are \
+                 counters and latched flags, for which Relaxed (or Acquire/Release \
+                 for handoff) suffices — justify with an allow if this site truly \
+                 needs a total order"
+                    .to_string(),
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: env-registry
+
+/// True when `name` follows the `DCN_` upper-snake convention.
+fn env_name_ok(name: &str) -> bool {
+    name.strip_prefix("DCN_").is_some_and(|rest| {
+        !rest.is_empty()
+            && rest
+                .chars()
+                .all(|c| c.is_ascii_uppercase() || c.is_ascii_digit() || c == '_')
+    })
+}
+
+/// Marker lines bracketing the generated env-var table in README.md.
+pub const ENV_TABLE_BEGIN: &str = "<!-- dcn-env:begin -->";
+/// See [`ENV_TABLE_BEGIN`].
+pub const ENV_TABLE_END: &str = "<!-- dcn-env:end -->";
+
+fn env_registry(
+    files: &[SourceFile],
+    index: &WorkspaceIndex,
+    readme: Option<&str>,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let env_rel = index::ENV_REGISTRY_REL;
+    // No registry in this tree (e.g. a fixture without one): raw reads
+    // have no constants to use, so skip quietly — same gating as the
+    // metric registry.
+    if !files.iter().any(|f| f.rel == env_rel) {
+        return;
+    }
+    let entries = &index.env_entries;
+    let entry_diag = |line: usize, message: String| Diagnostic {
+        rule: "env-registry",
+        severity: Severity::Error,
+        file: env_rel.to_string(),
+        line,
+        message,
+    };
+    // Registered names: convention + uniqueness.
+    let mut seen: std::collections::BTreeMap<&str, &str> = std::collections::BTreeMap::new();
+    for e in entries {
+        if !env_name_ok(&e.name) {
+            diags.push(entry_diag(
+                e.line,
+                format!(
+                    "`{}` registers \"{}\", which violates the DCN_ upper-snake naming \
+                     convention every knob shares",
+                    e.ident, e.name
+                ),
+            ));
+        }
+        if let Some(first) = seen.insert(e.name.as_str(), e.ident.as_str()) {
+            diags.push(entry_diag(
+                e.line,
+                format!(
+                    "`{}` duplicates the variable \"{}\" already registered as `{first}`",
+                    e.ident, e.name
+                ),
+            ));
+        }
+    }
+    // Use sites: no raw env reads, no unregistered DCN_* names, and every
+    // entry referenced somewhere outside the registry.
+    let names: std::collections::BTreeSet<&str> =
+        entries.iter().map(|e| e.name.as_str()).collect();
+    let mut used: std::collections::BTreeSet<&str> = std::collections::BTreeSet::new();
+    const RAW_READ: &str = "env::var";
+    for f in files
+        .iter()
+        .filter(|f| f.krate.is_some() && !f.is_test_code && f.rel != env_rel)
+    {
+        let mut from = 0;
+        while let Some(p) = f.masked[from..].find(RAW_READ) {
+            let at = from + p;
+            from = at + RAW_READ.len();
+            let after = &f.masked[at + RAW_READ.len()..];
+            if !(after.starts_with('(') || after.starts_with("_os(")) || f.in_test_region(at) {
+                continue;
+            }
+            push(
+                diags,
+                "env-registry",
+                f,
+                at,
+                "raw `std::env::var` read; route it through a `dcn_guard::env` constant \
+                 (e.g. `env::CACHE_DIR.get()`) so the knob is named once, documented in \
+                 the README table, and checked for liveness"
+                    .to_string(),
+            );
+        }
+        for s in &f.strings {
+            if f.in_test_region(s.start)
+                || !env_name_ok(&s.value)
+                || names.contains(s.value.as_str())
+            {
+                continue;
+            }
+            push(
+                diags,
+                "env-registry",
+                f,
+                s.start,
+                format!(
+                    "\"{}\" looks like a DCN environment variable but is not registered \
+                     in dcn_guard::env; register it (name + default + doc line) or move \
+                     it out of the DCN_ namespace",
+                    s.value
+                ),
+            );
+        }
+        for e in entries {
+            if !used.contains(e.ident.as_str())
+                && !word_occurrences(&f.masked, &e.ident).is_empty()
+            {
+                used.insert(&e.ident);
+            }
+        }
+    }
+    for e in entries {
+        if !used.contains(e.ident.as_str()) {
+            diags.push(entry_diag(
+                e.line,
+                format!(
+                    "dead env var: `{}` (\"{}\") is registered but never read outside \
+                     the registry — delete it or wire it up",
+                    e.ident, e.name
+                ),
+            ));
+        }
+    }
+    // README drift: the generated table between the markers must match
+    // the registry exactly.
+    if let Some(readme) = readme {
+        let readme_diag = |line: usize, message: String| Diagnostic {
+            rule: "env-registry",
+            severity: Severity::Error,
+            file: "README.md".to_string(),
+            line,
+            message,
+        };
+        let begin = readme.find(ENV_TABLE_BEGIN);
+        let end = readme.find(ENV_TABLE_END);
+        let (begin, end) = match (begin, end) {
+            (Some(b), Some(e)) if b < e => (b, e),
+            _ => {
+                diags.push(readme_diag(
+                    1,
+                    format!(
+                        "README.md lacks the `{ENV_TABLE_BEGIN}` / `{ENV_TABLE_END}` \
+                         markers; add them and paste the output of \
+                         `cargo run -p dcn-lint -- --env-table` between them"
+                    ),
+                ));
+                return;
+            }
+        };
+        let actual: Vec<&str> = readme[begin + ENV_TABLE_BEGIN.len()..end]
+            .lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty())
+            .collect();
+        let expected_text = index::env_table(entries);
+        let expected: Vec<&str> = expected_text
+            .lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty())
+            .collect();
+        if actual != expected {
+            diags.push(readme_diag(
+                readme[..begin].matches('\n').count() + 1,
+                "the README environment-variable table no longer matches \
+                 dcn_guard::env; regenerate the block with \
+                 `cargo run -p dcn-lint -- --env-table`"
+                    .to_string(),
+            ));
         }
     }
 }

@@ -5,10 +5,15 @@
 //! a clock read, an unseeded RNG, an ad-hoc thread spawn, and an ad-hoc
 //! process spawn for nondeterminism; an undocumented `pub struct` for
 //! doc-coverage; an obs-crate `.expect` for the extended panic-freedom
-//! scope and a raw `trace_instant` name for metric-registry);
-//! `fixtures/clean/` carries the same shapes, each suppressed by a
-//! justified allow. The assertions pin the exact (rule, file, line)
-//! triples and the CLI exit codes.
+//! scope and a raw `trace_instant` name for metric-registry; for the v2
+//! workspace-aware rules: an out-of-order nested SPANS→REGISTRY
+//! acquisition for lock-order, an `fs::write` under the `drained` guard
+//! for blocking-under-lock, a non-literal ordering plus a stray SeqCst
+//! for atomic-ordering, and — for env-registry — a raw `env::var` read,
+//! a raw `env::var_os` read of an unregistered `DCN_*` literal, a dead
+//! registry entry, and a misnamed one); `fixtures/clean/` carries the
+//! same shapes, each suppressed by a justified allow. The assertions pin
+//! the exact (rule, file, line) triples and the CLI exit codes.
 
 use std::path::PathBuf;
 use std::process::Command;
@@ -28,6 +33,11 @@ fn violations_tree_yields_exact_diagnostics() {
         .map(|d| (d.rule.to_string(), d.file.clone(), d.line))
         .collect();
     let expected: Vec<(&str, &str, usize)> = vec![
+        ("atomic-ordering", "crates/cache/src/atomics.rs", 13),
+        ("atomic-ordering", "crates/cache/src/atomics.rs", 18),
+        ("env-registry", "crates/cache/src/reads.rs", 6),
+        ("env-registry", "crates/cache/src/reads.rs", 12),
+        ("env-registry", "crates/cache/src/reads.rs", 13),
         ("doc-coverage", "crates/core/src/docless.rs", 3),
         ("metric-registry", "crates/core/src/metrics.rs", 6),
         ("metric-registry", "crates/core/src/metrics.rs", 7),
@@ -43,11 +53,15 @@ fn violations_tree_yields_exact_diagnostics() {
         ("panic-freedom", "crates/mcf/src/panic.rs", 5),
         ("allow-justification", "crates/mcf/src/panic.rs", 10),
         ("panic-freedom", "crates/mcf/src/panic.rs", 11),
+        ("env-registry", "crates/obs/src/env.rs", 21),
+        ("env-registry", "crates/obs/src/env.rs", 29),
+        ("lock-order", "crates/obs/src/locks.rs", 15),
         ("metric-registry", "crates/obs/src/names.rs", 6),
         ("metric-registry", "crates/obs/src/names.rs", 8),
         ("panic-freedom", "crates/obs/src/poison.rs", 6),
         ("nondeterminism", "crates/topo/src/clock.rs", 5),
         ("nondeterminism", "crates/topo/src/clock.rs", 10),
+        ("blocking-under-lock", "crates/trace/src/blocking.rs", 13),
     ];
     let expected: Vec<(String, String, usize)> = expected
         .into_iter()
@@ -68,9 +82,11 @@ fn clean_tree_is_quiet_and_honors_allows() {
     // One justified allow per core rule: unsafe-forbid, float-eq,
     // panic-freedom, budget-coverage, nondeterminism, metric-registry,
     // doc-coverage — plus one panic-freedom allow in obs library code,
-    // one metric-registry allow at a `trace_instant` call site, and one
-    // nondeterminism allow on a process spawn outside dcn-fleet.
-    assert_eq!(report.allows_honored, 10);
+    // one metric-registry allow at a `trace_instant` call site, one
+    // nondeterminism allow on a process spawn outside dcn-fleet, and one
+    // each for the v2 rules: lock-order, blocking-under-lock,
+    // atomic-ordering, env-registry.
+    assert_eq!(report.allows_honored, 14);
 }
 
 fn run_cli(args: &[&str]) -> std::process::Output {

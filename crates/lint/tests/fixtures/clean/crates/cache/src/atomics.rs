@@ -1,0 +1,20 @@
+//! Fixture: a caller-chosen atomic ordering silenced by a justified
+//! allow (and a counter bump spelled out properly).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Fixture: a clock whose call sites must name their orderings.
+pub struct Clock {
+    ticks: AtomicU64,
+}
+
+/// Fixture: documented load whose ordering the caller supplies.
+pub fn peek(c: &Clock, order: Ordering) -> u64 {
+    // dcn-lint: allow(atomic-ordering) — fixture: ordering audited at the one caller
+    c.ticks.load(order)
+}
+
+/// Fixture: documented increment with the ordering spelled out.
+pub fn bump(c: &Clock) -> u64 {
+    c.ticks.fetch_add(1, Ordering::Relaxed)
+}

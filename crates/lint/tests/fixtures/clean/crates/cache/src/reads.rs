@@ -1,0 +1,13 @@
+//! Fixture: a raw environment read kept deliberately, silenced by a
+//! justified allow.
+
+/// Fixture: documented raw read audited as registry-bootstrap only.
+pub fn raw_read() -> Option<String> {
+    // dcn-lint: allow(env-registry) — fixture: bootstrap read before registry init
+    std::env::var("DCN_CACHE_DIR").ok()
+}
+
+/// Fixture: registry constant referenced so the liveness check holds.
+pub fn touch() -> &'static str {
+    crate::env::CACHE_DIR.name
+}

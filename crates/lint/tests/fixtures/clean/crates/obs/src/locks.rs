@@ -1,0 +1,17 @@
+//! Fixture: an out-of-order nested acquisition silenced by a justified
+//! allow.
+
+use std::sync::Mutex;
+
+/// Fixture: the span table, rank 1 in the declared order.
+static SPANS: Mutex<u32> = Mutex::new(0);
+/// Fixture: the metric registry, rank 0 in the declared order.
+static REGISTRY: Mutex<u32> = Mutex::new(0);
+
+/// Fixture: documented nested acquisition audited as deadlock-free.
+pub fn snapshot() -> u32 {
+    let spans = SPANS.lock().unwrap_or_else(|e| e.into_inner());
+    // dcn-lint: allow(lock-order) — fixture: init-only path, no concurrent taker
+    let registry = REGISTRY.lock().unwrap_or_else(|e| e.into_inner());
+    *spans + *registry
+}

@@ -1,0 +1,16 @@
+//! Fixture: file I/O under the drain-buffer lock, silenced by a
+//! justified allow.
+
+use std::sync::Mutex;
+
+/// Fixture: owner of the drain buffer, rank 2 in the declared order.
+pub struct Buffers {
+    drained: Mutex<Vec<u8>>,
+}
+
+/// Fixture: documented flush audited as single-threaded at shutdown.
+pub fn flush(b: &Buffers) -> std::io::Result<()> {
+    let guard = b.drained.lock().unwrap_or_else(|e| e.into_inner());
+    // dcn-lint: allow(blocking-under-lock) — fixture: shutdown path, no other holder
+    std::fs::write("trace.json", &*guard)
+}

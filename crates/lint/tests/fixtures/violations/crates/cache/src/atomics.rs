@@ -1,0 +1,19 @@
+//! Fixture: an atomic load with its ordering hidden behind a local, and
+//! a SeqCst outside the fan-out engines.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Fixture: a clock whose call sites must name their orderings.
+pub struct Clock {
+    ticks: AtomicU64,
+}
+
+/// Fixture: documented load with no literal `Ordering::` at the call.
+pub fn peek(c: &Clock, order: Ordering) -> u64 {
+    c.ticks.load(order)
+}
+
+/// Fixture: documented increment with a stronger order than a counter needs.
+pub fn bump(c: &Clock) -> u64 {
+    c.ticks.fetch_add(1, Ordering::SeqCst)
+}

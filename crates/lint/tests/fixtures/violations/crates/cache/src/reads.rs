@@ -1,0 +1,22 @@
+//! Fixture: raw environment reads and an unregistered DCN_* literal.
+
+/// Fixture: documented raw read bypassing the registry (the variable
+/// itself is registered; the *read* is the violation).
+pub fn raw_read() -> Option<String> {
+    std::env::var("DCN_CACHE_DIR").ok()
+}
+
+/// Fixture: documented read of a variable the registry does not know
+/// (literal on its own line so the two findings pin distinct lines).
+pub fn mystery() -> bool {
+    std::env::var_os(
+        "DCN_MYSTERY_KNOB",
+    )
+    .is_some()
+}
+
+/// Fixture: registry constants referenced from code so the liveness
+/// check holds for the live and misnamed entries.
+pub fn touch() -> (&'static str, &'static str) {
+    (crate::env::CACHE_DIR.name, crate::env::BAD_NAME.name)
+}

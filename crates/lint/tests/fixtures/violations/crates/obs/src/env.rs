@@ -1,0 +1,33 @@
+//! Fixture: the env registry with a dead entry and a misnamed variable.
+
+/// Fixture: one registered environment variable.
+pub struct EnvVar {
+    /// Fixture: the variable name (first literal — the parser keys on it).
+    pub name: &'static str,
+    /// Fixture: human-readable default.
+    pub default: &'static str,
+    /// Fixture: one-line description.
+    pub doc: &'static str,
+}
+
+/// Fixture: a live, well-formed entry.
+pub const CACHE_DIR: EnvVar = EnvVar {
+    name: "DCN_CACHE_DIR",
+    default: "unset",
+    doc: "Fixture: on-disk cache root.",
+};
+
+/// Fixture: registered but never read anywhere.
+pub const DEAD_KNOB: EnvVar = EnvVar {
+    name: "DCN_DEAD_KNOB",
+    default: "unset",
+    doc: "Fixture: nothing reads this.",
+};
+
+/// Fixture: a name that breaks the DCN_ upper-snake convention (still
+/// referenced from reads.rs, so only the naming violation fires here).
+pub const BAD_NAME: EnvVar = EnvVar {
+    name: "dcn_lower_case",
+    default: "unset",
+    doc: "Fixture: misnamed knob.",
+};

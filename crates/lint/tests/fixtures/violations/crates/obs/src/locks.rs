@@ -1,0 +1,17 @@
+//! Fixture: nested guard acquisition against the declared lock order
+//! (the span table is rank 1, the metric registry rank 0).
+
+use std::sync::Mutex;
+
+/// Fixture: the span table, rank 1 in the declared order.
+static SPANS: Mutex<u32> = Mutex::new(0);
+/// Fixture: the metric registry, rank 0 in the declared order.
+static REGISTRY: Mutex<u32> = Mutex::new(0);
+
+/// Fixture: documented snapshot that takes the registry while the span
+/// guard is still live — the inverted order.
+pub fn snapshot() -> u32 {
+    let spans = SPANS.lock().unwrap_or_else(|e| e.into_inner());
+    let registry = REGISTRY.lock().unwrap_or_else(|e| e.into_inner());
+    *spans + *registry
+}

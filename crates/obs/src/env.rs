@@ -1,0 +1,238 @@
+//! Central registry of every `DCN_*` environment variable the workspace
+//! reads.
+//!
+//! Environment variables are configuration surface: README documents
+//! them, CI jobs set them, and EXPERIMENTS.md measurements are only
+//! reproducible if the knobs they were taken under are identifiable. A
+//! raw `std::env::var("DCN_…")` call site used to be able to invent a
+//! knob (or typo an existing one) silently; now `dcn-lint`'s
+//! `env-registry` rule requires every read to go through one of the
+//! [`EnvVar`] constants below and requires every constant to be read
+//! somewhere — so unknown and dead variables both fail CI, exactly as
+//! metric names are policed by `dcn_obs::names`.
+//!
+//! The registry lives in `dcn-obs` (the bottom of the crate stack, so
+//! `obs` and `trace` can use it without a dependency cycle) and is
+//! re-exported as `dcn_guard::env`, the name the rest of the workspace
+//! imports it under. The README's environment-variable table is
+//! generated from [`ALL`] (`cargo run -p dcn-lint -- --env-table`) and
+//! checked for drift by the same lint rule.
+//!
+//! Test-only variables (e.g. the fault-injection harness's
+//! `DCN_FAULT_TEST_*` hooks) are deliberately not registered: the rule
+//! scopes to library/binary code, and test knobs are not user surface.
+
+/// One registered environment variable: its name, a human-readable
+/// default, and a one-line description. The `name` field must be the
+/// first field textually — the lint registry parser keys on it.
+#[derive(Debug, Clone, Copy)]
+pub struct EnvVar {
+    /// The variable name, `DCN_` upper-snake (enforced by `dcn-lint`).
+    pub name: &'static str,
+    /// Human-readable default, for the README table (not parsed).
+    pub default: &'static str,
+    /// One-line description, for the README table.
+    pub doc: &'static str,
+}
+
+impl EnvVar {
+    /// The variable's value as UTF-8, if set and valid UTF-8.
+    pub fn get(&self) -> Option<String> {
+        std::env::var(self.name).ok()
+    }
+
+    /// The variable's value as an `OsString`, if set (for paths, which
+    /// need not be UTF-8).
+    pub fn get_os(&self) -> Option<std::ffi::OsString> {
+        std::env::var_os(self.name)
+    }
+
+    /// The trimmed value parsed as `T`; `None` when unset, empty, or
+    /// unparsable — callers supply their own default, keeping "bad value"
+    /// and "no value" deliberately indistinguishable (a typo'd knob must
+    /// degrade to the default, never abort a run).
+    pub fn parsed<T: std::str::FromStr>(&self) -> Option<T> {
+        self.get().and_then(|s| s.trim().parse().ok())
+    }
+}
+
+// --- dcn-obs / dcn-guard ---------------------------------------------------
+
+/// Observability mode.
+pub const OBS: EnvVar = EnvVar {
+    name: "DCN_OBS",
+    default: "off",
+    doc: "Observability mode: `off`, `summary` (metrics + span totals on stderr), or `trace` (adds live logging and enables per-event capture).",
+};
+
+/// Post-solve certificate validation toggle.
+pub const VALIDATE: EnvVar = EnvVar {
+    name: "DCN_VALIDATE",
+    default: "on in debug builds, off in release",
+    doc: "Post-solve certificate validation: `1`/`on`/`true` forces on, `0`/`off`/`false` forces off.",
+};
+
+// --- dcn-exec --------------------------------------------------------------
+
+/// Worker-thread count for deterministic pool fan-outs.
+pub const EXEC_THREADS: EnvVar = EnvVar {
+    name: "DCN_EXEC_THREADS",
+    default: "available parallelism",
+    doc: "Worker count for every `dcn-exec` parallel fan-out; results are byte-identical at any value, including 1.",
+};
+
+// --- dcn-cache -------------------------------------------------------------
+
+/// In-memory cache byte budget.
+pub const CACHE_BYTES: EnvVar = EnvVar {
+    name: "DCN_CACHE_BYTES",
+    default: "268435456 (256 MiB)",
+    doc: "In-memory byte budget of the solver result cache; `0` disables caching entirely.",
+};
+
+/// Persistent cache tier root.
+pub const CACHE_DIR: EnvVar = EnvVar {
+    name: "DCN_CACHE_DIR",
+    default: "unset (memory-only)",
+    doc: "When set, enables the on-disk cache tier rooted at this directory (one JSON record per entry, surviving across processes).",
+};
+
+// --- dcn-trace -------------------------------------------------------------
+
+/// Chrome trace output path.
+pub const TRACE_FILE: EnvVar = EnvVar {
+    name: "DCN_TRACE_FILE",
+    default: "unset (tracing off unless DCN_OBS=trace)",
+    doc: "Chrome `trace_event` JSON output path; setting it enables per-event tracing.",
+};
+
+/// Trace event buffer cap.
+pub const TRACE_MAX_EVENTS: EnvVar = EnvVar {
+    name: "DCN_TRACE_MAX_EVENTS",
+    default: "2000000",
+    doc: "Cap on buffered trace events; events past the cap bump `trace.events.dropped` instead of allocating.",
+};
+
+// --- dcn-bench -------------------------------------------------------------
+
+/// Results directory override.
+pub const RESULTS_DIR: EnvVar = EnvVar {
+    name: "DCN_RESULTS_DIR",
+    default: "results/ at the workspace root",
+    doc: "Output directory for tables, CSVs, run manifests, and traces.",
+};
+
+/// Perf-gate baseline file override.
+pub const BENCH_BASELINE: EnvVar = EnvVar {
+    name: "DCN_BENCH_BASELINE",
+    default: "BENCH_BASELINE.json at the workspace root",
+    doc: "Perf-gate baseline file compared against fresh manifests (refreshed with `--baseline`).",
+};
+
+// --- dcn-fleet -------------------------------------------------------------
+
+/// Fleet worker-process count.
+pub const FLEET_WORKERS: EnvVar = EnvVar {
+    name: "DCN_FLEET_WORKERS",
+    default: "1 (in-process passthrough)",
+    doc: "Worker-process count for sharded sweeps; sweeps shard only at 2 or more.",
+};
+
+/// Fleet queue root override.
+pub const FLEET_DIR: EnvVar = EnvVar {
+    name: "DCN_FLEET_DIR",
+    default: "under DCN_CACHE_DIR, else under the results dir",
+    doc: "Root directory of the spill-to-disk work queue for sharded sweeps.",
+};
+
+/// Per-unit worker lease.
+pub const FLEET_LEASE_SECS: EnvVar = EnvVar {
+    name: "DCN_FLEET_LEASE_SECS",
+    default: "600",
+    doc: "Wall-clock lease per claimed unit; a worker holding a claim past it is SIGKILLed and the unit retried.",
+};
+
+/// Retry cap before quarantine.
+pub const FLEET_MAX_RETRIES: EnvVar = EnvVar {
+    name: "DCN_FLEET_MAX_RETRIES",
+    default: "2",
+    doc: "Crash retries per unit before it is quarantined as poison.",
+};
+
+/// Retry backoff base.
+pub const FLEET_BACKOFF_MS: EnvVar = EnvVar {
+    name: "DCN_FLEET_BACKOFF_MS",
+    default: "50",
+    doc: "Base of the exponential per-unit retry backoff (`base * 2^attempt` milliseconds).",
+};
+
+/// Crash-injection test hook.
+pub const FLEET_INJECT_KILL_AFTER: EnvVar = EnvVar {
+    name: "DCN_FLEET_INJECT_KILL_AFTER",
+    default: "unset",
+    doc: "Test hook: after this many units complete, SIGKILL one live worker exactly once (exercises crash recovery).",
+};
+
+/// Every registered variable, in README-table order. The lint rule and
+/// the `--env-table` generator both key on this list.
+pub const ALL: &[&EnvVar] = &[
+    &OBS,
+    &VALIDATE,
+    &EXEC_THREADS,
+    &CACHE_BYTES,
+    &CACHE_DIR,
+    &TRACE_FILE,
+    &TRACE_MAX_EVENTS,
+    &RESULTS_DIR,
+    &BENCH_BASELINE,
+    &FLEET_WORKERS,
+    &FLEET_DIR,
+    &FLEET_LEASE_SECS,
+    &FLEET_MAX_RETRIES,
+    &FLEET_BACKOFF_MS,
+    &FLEET_INJECT_KILL_AFTER,
+];
+
+#[cfg(test)]
+mod tests {
+    use super::ALL;
+
+    #[test]
+    fn names_are_unique_and_conventional() {
+        let mut seen = std::collections::BTreeSet::new();
+        for v in ALL {
+            assert!(seen.insert(v.name), "duplicate env var {}", v.name);
+            assert!(
+                v.name.starts_with("DCN_"),
+                "{} lacks the DCN_ prefix",
+                v.name
+            );
+            assert!(
+                v.name
+                    .chars()
+                    .all(|c| c.is_ascii_uppercase() || c.is_ascii_digit() || c == '_'),
+                "{} is not upper-snake",
+                v.name
+            );
+            assert!(!v.doc.is_empty() && !v.default.is_empty());
+        }
+    }
+
+    #[test]
+    fn parsed_trims_and_rejects_garbage() {
+        // Use a name no other test reads; set_var is process-global.
+        std::env::set_var("DCN_ENVTEST_PARSE", " 42 ");
+        let v = super::EnvVar {
+            name: "DCN_ENVTEST_PARSE",
+            default: "0",
+            doc: "test",
+        };
+        assert_eq!(v.parsed::<u64>(), Some(42));
+        std::env::set_var("DCN_ENVTEST_PARSE", "nope");
+        assert_eq!(v.parsed::<u64>(), None);
+        std::env::remove_var("DCN_ENVTEST_PARSE");
+        assert_eq!(v.parsed::<u64>(), None);
+        assert!(v.get().is_none());
+        assert!(v.get_os().is_none());
+    }
+}

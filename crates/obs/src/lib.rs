@@ -42,6 +42,7 @@
 
 #![warn(missing_docs)]
 
+pub mod env;
 pub mod json;
 pub mod manifest;
 pub mod names;
@@ -83,9 +84,9 @@ static MODE: OnceLock<Mode> = OnceLock::new();
 /// fall back to `off` so a typo can never change benchmark output.
 #[inline]
 pub fn mode() -> Mode {
-    *MODE.get_or_init(|| match std::env::var("DCN_OBS").as_deref() {
-        Ok("summary") => Mode::Summary,
-        Ok("trace") => Mode::Trace,
+    *MODE.get_or_init(|| match env::OBS.get().as_deref() {
+        Some("summary") => Mode::Summary,
+        Some("trace") => Mode::Trace,
         _ => Mode::Off,
     })
 }

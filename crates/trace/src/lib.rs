@@ -103,9 +103,8 @@ thread_local! {
 
 impl ChromeTracer {
     fn new() -> ChromeTracer {
-        let max_events = std::env::var("DCN_TRACE_MAX_EVENTS")
-            .ok()
-            .and_then(|s| s.trim().parse::<u64>().ok())
+        let max_events = dcn_obs::env::TRACE_MAX_EVENTS
+            .parsed::<u64>()
             .filter(|&n| n > 0)
             .unwrap_or(DEFAULT_MAX_EVENTS);
         ChromeTracer {
@@ -175,7 +174,7 @@ pub fn install() -> bool {
 /// Idempotent; returns `true` when tracing is active after the call.
 pub fn init_from_env() -> bool {
     let wanted =
-        std::env::var_os("DCN_TRACE_FILE").is_some() || dcn_obs::mode() == dcn_obs::Mode::Trace;
+        dcn_obs::env::TRACE_FILE.get_os().is_some() || dcn_obs::mode() == dcn_obs::Mode::Trace;
     if wanted {
         install();
     }
@@ -189,7 +188,7 @@ pub fn active() -> bool {
 
 /// The explicit trace output path from `DCN_TRACE_FILE`, if set.
 pub fn trace_file_from_env() -> Option<PathBuf> {
-    std::env::var_os("DCN_TRACE_FILE").map(PathBuf::from)
+    dcn_obs::env::TRACE_FILE.get_os().map(PathBuf::from)
 }
 
 /// Serializes every event recorded so far to `path` as Chrome
@@ -209,18 +208,25 @@ pub fn flush_to_file(path: &std::path::Path) -> std::io::Result<usize> {
         let mut events = std::mem::take(&mut buf.events);
         tracer.absorb(&mut events);
     });
-    let guard = tracer.drained.lock().unwrap_or_else(|e| e.into_inner());
-    let mut order: Vec<usize> = (0..guard.len()).collect();
-    // Stable by timestamp: same-thread events keep their buffer order, so
-    // B/E pairs at equal ns timestamps never invert.
-    order.sort_by_key(|&i| guard[i].ts_ns);
-    let events: Vec<Json> = order.iter().map(|&i| event_json(&guard[i])).collect();
-    let n = events.len();
-    let doc = Json::obj([
-        ("traceEvents", Json::Arr(events)),
-        ("displayTimeUnit", Json::from("ms")),
-    ]);
-    std::fs::write(path, doc.to_string_compact())?;
+    // Serialize under the guard, write with it released: holding the
+    // drain mutex across file I/O would stall every thread that fills its
+    // local buffer during the write (and is exactly what the lint's
+    // blocking-under-lock rule rejects).
+    let (n, body) = {
+        let guard = tracer.drained.lock().unwrap_or_else(|e| e.into_inner());
+        let mut order: Vec<usize> = (0..guard.len()).collect();
+        // Stable by timestamp: same-thread events keep their buffer order,
+        // so B/E pairs at equal ns timestamps never invert.
+        order.sort_by_key(|&i| guard[i].ts_ns);
+        let events: Vec<Json> = order.iter().map(|&i| event_json(&guard[i])).collect();
+        let n = events.len();
+        let doc = Json::obj([
+            ("traceEvents", Json::Arr(events)),
+            ("displayTimeUnit", Json::from("ms")),
+        ]);
+        (n, doc.to_string_compact())
+    };
+    std::fs::write(path, body)?;
     Ok(n)
 }
 
