@@ -11,11 +11,10 @@ use dcn_estimators::{
 };
 use dcn_mcf::{ksp_mcf_throughput, Engine};
 use dcn_model::{Topology, TrafficMatrix};
-use dcn_guard::prelude::*;
 
 fn jellyfish_with_tm(n_sw: usize) -> (Topology, TrafficMatrix) {
     let topo = Family::Jellyfish.build(n_sw, 12, 4, 101).expect("jellyfish");
-    let t = dcn_core::tub(&topo, MatchingBackend::Auto { exact_below: 500 }, &dcn_cache::prelude::nocache(), &unlimited()).expect("tub");
+    let t = dcn_core::tub(&topo, MatchingBackend::Auto { exact_below: 500 }, &dcn_cache::prelude::unlimited_ctx()).expect("tub");
     let tm = t.traffic_matrix(&topo).expect("tm");
     (topo, tm)
 }
@@ -26,7 +25,7 @@ fn bench_tub_backends(c: &mut Criterion) {
     for n_sw in [48usize, 128, 256] {
         let (topo, _) = jellyfish_with_tm(n_sw);
         g.bench_with_input(BenchmarkId::new("hungarian", n_sw), &topo, |b, t| {
-            b.iter(|| dcn_core::tub(t, MatchingBackend::Exact, &dcn_cache::prelude::nocache(), &unlimited()).unwrap().bound)
+            b.iter(|| dcn_core::tub(t, MatchingBackend::Exact, &dcn_cache::prelude::unlimited_ctx()).unwrap().bound)
         });
         g.bench_with_input(BenchmarkId::new("greedy", n_sw), &topo, |b, t| {
             b.iter(|| {
@@ -35,8 +34,7 @@ fn bench_tub_backends(c: &mut Criterion) {
                     MatchingBackend::Greedy {
                         improvement_passes: 2,
                     },
-                    &dcn_cache::prelude::nocache(),
-                    &unlimited(),
+                    &dcn_cache::prelude::unlimited_ctx(),
                 )
                 .unwrap()
                 .bound
@@ -61,8 +59,8 @@ fn bench_estimators(c: &mut Criterion) {
         Box::new(JainMethod { k: 16 }),
     ];
     for est in estimators {
-        g.bench_function(est.name(), |b| {
-            b.iter(|| est.estimate(&topo, &tm, &dcn_cache::prelude::nocache(), &unlimited()).unwrap())
+        g.bench_function(est.name().as_ref(), |b| {
+            b.iter(|| est.estimate(&topo, &tm, &dcn_cache::prelude::unlimited_ctx()).unwrap())
         });
     }
     g.finish();
@@ -74,7 +72,7 @@ fn bench_mcf_engines(c: &mut Criterion) {
     let (topo, tm) = jellyfish_with_tm(32);
     g.bench_function("exact_simplex", |b| {
         b.iter(|| {
-            ksp_mcf_throughput(&topo, &tm, 16, Engine::Exact, &dcn_cache::prelude::nocache(), &unlimited())
+            ksp_mcf_throughput(&topo, &tm, 16, Engine::Exact, &dcn_cache::prelude::unlimited_ctx())
                 .unwrap()
                 .theta_lb
         })
@@ -82,7 +80,7 @@ fn bench_mcf_engines(c: &mut Criterion) {
     for eps in [0.1, 0.05, 0.02] {
         g.bench_function(format!("fptas_eps{eps}"), |b| {
             b.iter(|| {
-                ksp_mcf_throughput(&topo, &tm, 16, Engine::Fptas { eps }, &dcn_cache::prelude::nocache(), &unlimited())
+                ksp_mcf_throughput(&topo, &tm, 16, Engine::Fptas { eps }, &dcn_cache::prelude::unlimited_ctx())
                     .unwrap()
                     .theta_lb
             })

@@ -62,7 +62,7 @@ fn bench_partition(c: &mut Criterion) {
     g.sample_size(10);
     let topo = Family::Jellyfish.build(256, 12, 4, 3).unwrap();
     g.bench_function("bisection_t2", |b| {
-        b.iter(|| bisection_bandwidth(&topo, 2, 7, &dcn_cache::prelude::nocache(), &unlimited()).unwrap())
+        b.iter(|| bisection_bandwidth(&topo, 2, 7, &dcn_cache::prelude::unlimited_ctx()).unwrap())
     });
     g.bench_function("spectral_sweep", |b| {
         b.iter(|| sparsest_cut_sweep(&topo, 200).cut)

@@ -8,7 +8,7 @@ use dcn_bench::{f3, quick_mode, run_guarded, timed, Table};
 use dcn_core::frontier::Family;
 use dcn_core::{tub, MatchingBackend};
 use std::process::ExitCode;
-use dcn_guard::prelude::*;
+use dcn_cache::SolveCtx;
 
 fn main() -> ExitCode {
     run_guarded("ablation_matching", run)
@@ -16,6 +16,7 @@ fn main() -> ExitCode {
 
 fn run() -> Result<(), Box<dyn std::error::Error>> {
     let cache = dcn_bench::cache();
+    let sctx = SolveCtx::unlimited(&cache);
     let radix = 12u32;
     let h = 4u32;
     let sizes: &[usize] = if quick_mode() {
@@ -29,7 +30,7 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     );
     for &n_sw in sizes {
         let topo = Family::Jellyfish.build(n_sw, radix, h, 81)?;
-        let (exact, te) = timed(|| tub(&topo, MatchingBackend::Exact, &cache, &unlimited()));
+        let (exact, te) = timed(|| tub(&topo, MatchingBackend::Exact, &sctx));
         let exact = exact?;
         let backends = [
             (
@@ -53,7 +54,7 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
             &format!("{te:.3}"),
         ]);
         for (name, b) in backends {
-            let (g, tg) = timed(|| tub(&topo, b, &cache, &unlimited()));
+            let (g, tg) = timed(|| tub(&topo, b, &sctx));
             let g = g?;
             let loosen = (g.bound / exact.bound - 1.0) * 100.0;
             table.row(&[

@@ -13,6 +13,7 @@ use dcn_graph::DistMatrix;
 use dcn_match::hungarian_max;
 use std::process::ExitCode;
 use dcn_guard::prelude::*;
+use dcn_cache::SolveCtx;
 
 fn main() -> ExitCode {
     run_guarded("ablation_switch_level", run)
@@ -20,6 +21,7 @@ fn main() -> ExitCode {
 
 fn run() -> Result<(), Box<dyn std::error::Error>> {
     let cache = dcn_bench::cache();
+    let sctx = SolveCtx::unlimited(&cache);
     let radix = 12u32;
     let h = 4u32;
     let sizes: &[usize] = if quick_mode() { &[16, 32] } else { &[16, 32, 64] };
@@ -29,7 +31,7 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     );
     for &n_sw in sizes {
         let topo = Family::Jellyfish.build(n_sw, radix, h, 91)?;
-        let (sw_level, ts) = timed(|| tub(&topo, MatchingBackend::Exact, &cache, &unlimited()));
+        let (sw_level, ts) = timed(|| tub(&topo, MatchingBackend::Exact, &sctx));
         let sw_level = sw_level?;
 
         // Server-level: expand each switch into H virtual servers; the

@@ -15,7 +15,7 @@ use dcn_topo::fail_random_links;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::process::ExitCode;
-use dcn_guard::prelude::*;
+use dcn_cache::SolveCtx;
 
 fn main() -> ExitCode {
     run_guarded("fct_failures", run)
@@ -23,6 +23,7 @@ fn main() -> ExitCode {
 
 fn run() -> Result<(), Box<dyn std::error::Error>> {
     let cache = dcn_bench::cache();
+    let sctx = SolveCtx::unlimited(&cache);
     dcn_bench::set_run_seed(7);
     let n_sw = if quick_mode() { 48 } else { 96 };
     let fractions: &[f64] = if quick_mode() {
@@ -31,7 +32,7 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
         &[0.0, 0.1, 0.2, 0.3]
     };
     let topo = Family::Jellyfish.build(n_sw, 12, 4, 3)?;
-    let bound = tub(&topo, MatchingBackend::Exact, &cache, &unlimited())?;
+    let bound = tub(&topo, MatchingBackend::Exact, &sctx)?;
     let tm = bound.traffic_matrix(&topo)?;
     let mut rng = StdRng::seed_from_u64(7);
     let mut table = Table::new(

@@ -15,7 +15,7 @@ use dcn_core::frontier::Family;
 use dcn_core::resilience::{failure_sweep, rms_deviation};
 use dcn_core::MatchingBackend;
 use std::process::ExitCode;
-use dcn_guard::prelude::*;
+use dcn_cache::SolveCtx;
 
 fn main() -> ExitCode {
     run_guarded("fig10_failures", run)
@@ -23,6 +23,7 @@ fn main() -> ExitCode {
 
 fn run() -> Result<(), Box<dyn std::error::Error>> {
     let cache = dcn_bench::cache();
+    let sctx = SolveCtx::unlimited(&cache);
     let radix = 12u32;
     let h = 4u32;
     let backend = MatchingBackend::Auto { exact_below: 500 };
@@ -41,7 +42,7 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     let mut tb = Table::new("fig10c_deviation", &["switches", "servers", "rms_deviation"]);
     for &n_sw in sizes {
         let topo = Family::Jellyfish.build(n_sw, radix, h, 31)?;
-        let pts = failure_sweep(&topo, fractions, trials, backend, 37, &cache, &unlimited())?;
+        let pts = failure_sweep(&topo, fractions, trials, backend, 37, &sctx)?;
         for p in &pts {
             // Empty points (every sample disconnected) print as "-" rather
             // than a fabricated zero.

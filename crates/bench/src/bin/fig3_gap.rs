@@ -15,7 +15,7 @@ use dcn_core::frontier::Family;
 use dcn_core::{tub, MatchingBackend};
 use dcn_mcf::{ksp_mcf_throughput, Engine};
 use std::process::ExitCode;
-use dcn_guard::prelude::*;
+use dcn_cache::SolveCtx;
 
 fn main() -> ExitCode {
     run_guarded("fig3_gap", run)
@@ -23,6 +23,7 @@ fn main() -> ExitCode {
 
 fn run() -> Result<(), Box<dyn std::error::Error>> {
     let cache = dcn_bench::cache();
+    let sctx = SolveCtx::unlimited(&cache);
     let seed = 42u64;
     dcn_bench::set_run_seed(seed);
     let radix = 12u32;
@@ -47,10 +48,10 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
                         continue;
                     }
                 };
-                let ub = tub(&topo, MatchingBackend::Auto { exact_below: 400 }, &cache, &unlimited())?;
+                let ub = tub(&topo, MatchingBackend::Auto { exact_below: 400 }, &sctx)?;
                 let tm = ub.traffic_matrix(&topo)?;
                 let mcf =
-                    ksp_mcf_throughput(&topo, &tm, k_paths, Engine::Fptas { eps }, &cache, &unlimited())?;
+                    ksp_mcf_throughput(&topo, &tm, k_paths, Engine::Fptas { eps }, &sctx)?;
                 // Obs-mode diagnostic on the smallest instance of each
                 // family: cross-check the FPTAS bracket against the exact
                 // simplex, and record the bisection-bandwidth proxy, so
@@ -58,9 +59,9 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
                 // alongside the mcf/graph counters. Skipped entirely when
                 // observability is off (no stdout either way).
                 if dcn_obs::enabled() && h == 4 && n_sw == switch_counts[0] {
-                    let exact = ksp_mcf_throughput(&topo, &tm, k_paths, Engine::Exact, &cache, &unlimited())?;
+                    let exact = ksp_mcf_throughput(&topo, &tm, k_paths, Engine::Exact, &sctx)?;
                     dcn_obs::gauge!(dcn_obs::names::BENCH_FIG3_EXACT_THETA).set(exact.theta_lb);
-                    let bbw = dcn_partition::bisection_bandwidth(&topo, 2, seed, &cache, &unlimited())?;
+                    let bbw = dcn_partition::bisection_bandwidth(&topo, 2, seed, &sctx)?;
                     dcn_obs::gauge!(dcn_obs::names::BENCH_FIG3_BBW_PROXY).set(bbw);
                     dcn_obs::obs_log!(
                         "cross-check {}: fptas [{:.4},{:.4}] exact {:.4} bbw {:.4}",

@@ -14,7 +14,7 @@ use dcn_core::frontier::Family;
 use dcn_core::{tub, MatchingBackend};
 use dcn_mcf::{ksp_mcf_throughput, Engine};
 use std::process::ExitCode;
-use dcn_guard::prelude::*;
+use dcn_cache::SolveCtx;
 
 fn main() -> ExitCode {
     run_guarded("fig4_paths", run)
@@ -22,6 +22,7 @@ fn main() -> ExitCode {
 
 fn run() -> Result<(), Box<dyn std::error::Error>> {
     let cache = dcn_bench::cache();
+    let sctx = SolveCtx::unlimited(&cache);
     let radix = 12u32;
     let h = 4u32;
     let family = Family::Jellyfish;
@@ -38,9 +39,9 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     );
     for &n_sw in sizes_a {
         let topo = family.build(n_sw, radix, h, 7)?;
-        let ub = tub(&topo, MatchingBackend::Auto { exact_below: 400 }, &cache, &unlimited())?;
+        let ub = tub(&topo, MatchingBackend::Auto { exact_below: 400 }, &sctx)?;
         let tm = ub.traffic_matrix(&topo)?;
-        let mcf = ksp_mcf_throughput(&topo, &tm, 32, Engine::Fptas { eps: 0.05 }, &cache, &unlimited())?;
+        let mcf = ksp_mcf_throughput(&topo, &tm, 32, Engine::Fptas { eps: 0.05 }, &sctx)?;
         ta.row(&[
             &topo.n_switches(),
             &topo.n_servers(),
@@ -62,7 +63,7 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     );
     for &n_sw in sizes_b {
         let topo = family.build(n_sw, radix, h, 7)?;
-        let ub = tub(&topo, MatchingBackend::Auto { exact_below: 400 }, &cache, &unlimited())?;
+        let ub = tub(&topo, MatchingBackend::Auto { exact_below: 400 }, &sctx)?;
         let g = topo.graph();
         let mut total_len = 0u64;
         let mut total_cnt = 0.0f64;

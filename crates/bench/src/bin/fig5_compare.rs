@@ -21,7 +21,7 @@ use dcn_estimators::{
     TubEstimator,
 };
 use dcn_mcf::{ksp_mcf_throughput, Engine};
-use dcn_guard::prelude::*;
+use dcn_cache::SolveCtx;
 
 fn estimators(k: usize) -> Vec<Box<dyn ThroughputEstimator>> {
     vec![
@@ -52,6 +52,7 @@ fn main() -> ExitCode {
 
 fn run_small(family: Family, radix: u32, h: u32) -> Result<(), Box<dyn std::error::Error>> {
     let cache = dcn_bench::cache();
+    let sctx = SolveCtx::unlimited(&cache);
     let sizes: &[usize] = if quick_mode() {
         &[24, 64]
     } else {
@@ -63,14 +64,14 @@ fn run_small(family: Family, radix: u32, h: u32) -> Result<(), Box<dyn std::erro
     );
     for &n_sw in sizes {
         let topo = family.build(n_sw, radix, h, 11)?;
-        let t = dcn_core::tub(&topo, MatchingBackend::Exact, &cache, &unlimited())?;
+        let t = dcn_core::tub(&topo, MatchingBackend::Exact, &sctx)?;
         let tm = t.traffic_matrix(&topo)?;
         // Reference: KSP-MCF feasible throughput at the maximal permutation.
-        let reference = ksp_mcf_throughput(&topo, &tm, 32, Engine::Fptas { eps: 0.03 }, &cache, &unlimited())?
+        let reference = ksp_mcf_throughput(&topo, &tm, 32, Engine::Fptas { eps: 0.03 }, &sctx)?
             .theta_lb
             .min(1.0);
         for est in estimators(32) {
-            let (value, secs) = timed(|| est.estimate(&topo, &tm, &cache, &unlimited()));
+            let (value, secs) = timed(|| est.estimate(&topo, &tm, &sctx));
             let value = value?;
             let gap = (value.min(1.0) - reference).abs();
             table.row(&[
@@ -89,6 +90,7 @@ fn run_small(family: Family, radix: u32, h: u32) -> Result<(), Box<dyn std::erro
 
 fn run_large(family: Family, radix: u32, h: u32) -> Result<(), Box<dyn std::error::Error>> {
     let cache = dcn_bench::cache();
+    let sctx = SolveCtx::unlimited(&cache);
     let sizes: &[usize] = if quick_mode() {
         &[512, 1024]
     } else {
@@ -115,12 +117,11 @@ fn run_large(family: Family, radix: u32, h: u32) -> Result<(), Box<dyn std::erro
             MatchingBackend::Greedy {
                 improvement_passes: 0,
             },
-            &cache,
-            &unlimited(),
+            &sctx,
         )?;
         let tm = t.traffic_matrix(&topo)?;
         for est in scalable {
-            let (value, secs) = timed(|| est.estimate(&topo, &tm, &cache, &unlimited()));
+            let (value, secs) = timed(|| est.estimate(&topo, &tm, &sctx));
             let value = value?;
             table.row(&[
                 &topo.n_switches(),

@@ -19,7 +19,7 @@ use dcn_bench::fleet::{frontier_sweep_sharded, run_frontier_worker, worker_root_
 use dcn_bench::{large_mode, quick_mode, timed, Table};
 use dcn_core::frontier::{Criterion, Family, FrontierConfig};
 use dcn_core::MatchingBackend;
-use dcn_guard::prelude::*;
+use dcn_cache::SolveCtx;
 
 fn main() -> std::process::ExitCode {
     // Fleet workers re-invoke this binary with `--worker <queue-root>`:
@@ -62,10 +62,11 @@ fn main() -> std::process::ExitCode {
         }
     }
     let cache = dcn_bench::cache();
+    let sctx = SolveCtx::unlimited(&cache);
     // With DCN_FLEET_WORKERS >= 2 the sweep shards across crash-tolerant
     // worker processes; the merged frontiers are identical either way.
     let sweep = |label: &str| {
-        frontier_sweep_sharded(label, &configs, &cache, &unlimited()).unwrap_or_else(|e| {
+        frontier_sweep_sharded(label, &configs, &sctx).unwrap_or_else(|e| {
             eprintln!("fig8_frontier: sweep failed: {e}");
             Vec::new()
         })

@@ -13,10 +13,11 @@ use dcn_bench::{f3, quick_mode, Table};
 use dcn_core::cost::{min_clos_switches, min_uniregular_switches};
 use dcn_core::frontier::{Criterion, Family};
 use dcn_core::MatchingBackend;
-use dcn_guard::prelude::*;
+use dcn_cache::SolveCtx;
 
 fn main() {
     let cache = dcn_bench::cache();
+    let sctx = SolveCtx::unlimited(&cache);
     let backend = MatchingBackend::Auto { exact_below: 600 };
 
     // Panel (a)/(b): switches per family at fixed N.
@@ -37,7 +38,7 @@ fn main() {
                 ("full-bbw", Criterion::FullBisection { tries: 3 }),
                 ("full-tub", Criterion::FullThroughput { backend }),
             ] {
-                match min_uniregular_switches(family, n, radix, crit, 3, &cache, &unlimited()) {
+                match min_uniregular_switches(family, n, radix, crit, 3, &sctx) {
                     Ok(Some(c)) => {
                         let ratio = clos_sw
                             .map(|cs| c.switches as f64 / cs as f64)
@@ -78,8 +79,7 @@ fn main() {
             r,
             Criterion::FullBisection { tries: 3 },
             7,
-            &cache,
-            &unlimited(),
+            &sctx,
         )
         .ok()
         .flatten();
@@ -89,8 +89,7 @@ fn main() {
             r,
             Criterion::FullThroughput { backend },
             7,
-            &cache,
-            &unlimited(),
+            &sctx,
         )
         .ok()
         .flatten();

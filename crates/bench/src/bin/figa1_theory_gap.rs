@@ -9,7 +9,7 @@ use dcn_core::frontier::Family;
 use dcn_core::lower::theoretical_gap;
 use dcn_core::MatchingBackend;
 use std::process::ExitCode;
-use dcn_guard::prelude::*;
+use dcn_cache::SolveCtx;
 
 fn main() -> ExitCode {
     run_guarded("figa1_theory_gap", run)
@@ -17,6 +17,7 @@ fn main() -> ExitCode {
 
 fn run() -> Result<(), Box<dyn std::error::Error>> {
     let cache = dcn_bench::cache();
+    let sctx = SolveCtx::unlimited(&cache);
     let radix = 12u32;
     let h = 4u32;
     let sizes: &[usize] = if quick_mode() {
@@ -31,7 +32,7 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     for &n_sw in sizes {
         let topo = Family::Jellyfish.build(n_sw, radix, h, 41)?;
         let (ub, lb, gap) =
-            theoretical_gap(&topo, 1, MatchingBackend::Auto { exact_below: 500 }, &cache, &unlimited())?;
+            theoretical_gap(&topo, 1, MatchingBackend::Auto { exact_below: 500 }, &sctx)?;
         table.row(&[
             &topo.n_switches(),
             &topo.n_servers(),

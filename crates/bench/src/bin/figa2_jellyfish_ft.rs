@@ -10,7 +10,7 @@ use dcn_bench::{quick_mode, run_guarded, Table};
 use dcn_core::frontier::Family;
 use dcn_core::{tub, MatchingBackend};
 use std::process::ExitCode;
-use dcn_guard::prelude::*;
+use dcn_cache::SolveCtx;
 
 fn main() -> ExitCode {
     run_guarded("figa2_jellyfish_ft", run)
@@ -18,6 +18,7 @@ fn main() -> ExitCode {
 
 fn run() -> Result<(), Box<dyn std::error::Error>> {
     let cache = dcn_bench::cache();
+    let sctx = SolveCtx::unlimited(&cache);
     let radices: &[u32] = if quick_mode() { &[8, 10] } else { &[8, 10, 12, 14] };
     let mut table = Table::new(
         "figa2_jellyfish_ft",
@@ -35,7 +36,7 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
                 Ok(t) => t,
                 Err(_) => continue,
             };
-            let t = tub(&topo, MatchingBackend::Auto { exact_below: 600 }, &cache, &unlimited())?;
+            let t = tub(&topo, MatchingBackend::Auto { exact_below: 600 }, &sctx)?;
             if t.bound >= 1.0 - 1e-9 {
                 best = Some((h, topo.n_servers()));
                 break;

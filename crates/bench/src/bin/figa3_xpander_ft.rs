@@ -11,10 +11,10 @@ use dcn_core::cost::min_uniregular_switches;
 use dcn_core::frontier::{Criterion, Family};
 use dcn_core::MatchingBackend;
 use dcn_topo::ClosParams;
-use dcn_guard::prelude::*;
 
 fn main() {
     let cache = dcn_bench::cache();
+    let sctx = dcn_cache::SolveCtx::unlimited(&cache);
     let radices: &[u32] = if quick_mode() { &[8, 10] } else { &[8, 10, 12, 14] };
     let mut table = Table::new(
         "figa3_xpander_ft",
@@ -32,8 +32,7 @@ fn main() {
                 backend: MatchingBackend::Auto { exact_below: 600 },
             },
             53,
-            &cache,
-            &unlimited(),
+            &sctx,
         )
         .ok()
         .flatten();

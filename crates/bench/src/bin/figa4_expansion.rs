@@ -13,7 +13,7 @@ use dcn_core::expansion_eval::expansion_curve;
 use dcn_core::frontier::Family;
 use dcn_core::MatchingBackend;
 use std::process::ExitCode;
-use dcn_guard::prelude::*;
+use dcn_cache::SolveCtx;
 
 fn main() -> ExitCode {
     run_guarded("figa4_expansion", run)
@@ -21,6 +21,7 @@ fn main() -> ExitCode {
 
 fn run() -> Result<(), Box<dyn std::error::Error>> {
     let cache = dcn_bench::cache();
+    let sctx = SolveCtx::unlimited(&cache);
     let radix = 12u32;
     let steps = if quick_mode() { 3 } else { 8 };
     let initials: &[usize] = if quick_mode() { &[48] } else { &[48, 160] };
@@ -46,8 +47,7 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
                     0.2,
                     MatchingBackend::Auto { exact_below: 500 },
                     67,
-                    &cache,
-                    &unlimited(),
+                    &sctx,
                 )?;
                 for p in &curve {
                     table.row(&[

@@ -10,7 +10,7 @@ use dcn_core::frontier::Family;
 use dcn_core::{tub, MatchingBackend};
 use dcn_mcf::{ksp_mcf_throughput, Engine};
 use std::process::ExitCode;
-use dcn_guard::prelude::*;
+use dcn_cache::SolveCtx;
 
 fn main() -> ExitCode {
     run_guarded("figa5_gap_k", run)
@@ -18,6 +18,7 @@ fn main() -> ExitCode {
 
 fn run() -> Result<(), Box<dyn std::error::Error>> {
     let cache = dcn_bench::cache();
+    let sctx = SolveCtx::unlimited(&cache);
     let radix = 12u32;
     let h = 4u32;
     let ks: &[usize] = if quick_mode() { &[4, 16] } else { &[4, 8, 16, 32] };
@@ -33,9 +34,9 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     for &k in ks {
         for &n_sw in sizes {
             let topo = Family::Jellyfish.build(n_sw, radix, h, 71)?;
-            let ub = tub(&topo, MatchingBackend::Auto { exact_below: 400 }, &cache, &unlimited())?;
+            let ub = tub(&topo, MatchingBackend::Auto { exact_below: 400 }, &sctx)?;
             let tm = ub.traffic_matrix(&topo)?;
-            let mcf = ksp_mcf_throughput(&topo, &tm, k, Engine::Fptas { eps: 0.05 }, &cache, &unlimited())?;
+            let mcf = ksp_mcf_throughput(&topo, &tm, k, Engine::Fptas { eps: 0.05 }, &sctx)?;
             let gap = (ub.bound.min(1.0) - mcf.theta_lb.min(1.0)).max(0.0);
             table.row(&[
                 &k,

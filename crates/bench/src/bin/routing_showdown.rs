@@ -20,7 +20,7 @@ use dcn_mcf::{ecmp_throughput, ksp_mcf_throughput, vlb_throughput, Engine};
 use dcn_sim::{flows_from_tm, simulate, PathPolicy};
 use dcn_topo::fat_tree;
 use std::process::ExitCode;
-use dcn_guard::prelude::*;
+use dcn_cache::SolveCtx;
 
 fn main() -> ExitCode {
     run_guarded("routing_showdown", run)
@@ -28,6 +28,7 @@ fn main() -> ExitCode {
 
 fn run() -> Result<(), Box<dyn std::error::Error>> {
     let cache = dcn_bench::cache();
+    let sctx = SolveCtx::unlimited(&cache);
     let radix = 12u32;
     let h = 4u32;
     let n_sw = if quick_mode() { 48 } else { 96 };
@@ -43,7 +44,7 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
     for topo in &topos {
-        let bound = tub(topo, MatchingBackend::Auto { exact_below: 500 }, &cache, &unlimited())?;
+        let bound = tub(topo, MatchingBackend::Auto { exact_below: 500 }, &sctx)?;
         let tm = bound.traffic_matrix(topo)?;
         let tub_v = bound.bound.min(1.0);
         let mut emit = |scheme: &str, theta: f64| {
@@ -55,7 +56,7 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
             ]);
         };
         emit("tub(bound)", tub_v);
-        let mcf = ksp_mcf_throughput(topo, &tm, 16, Engine::Fptas { eps: 0.05 }, &cache, &unlimited())?.theta_lb;
+        let mcf = ksp_mcf_throughput(topo, &tm, 16, Engine::Fptas { eps: 0.05 }, &sctx)?.theta_lb;
         emit("ksp-mcf(ideal)", mcf);
         emit("ecmp(fluid)", ecmp_throughput(topo, &tm)?);
         emit("vlb(fluid)", vlb_throughput(topo, &tm)?);

@@ -14,7 +14,7 @@ use dcn_topo::{spinefree, SpineFreeParams};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::process::ExitCode;
-use dcn_guard::prelude::*;
+use dcn_cache::SolveCtx;
 
 fn main() -> ExitCode {
     run_guarded("spinefree_eval", run)
@@ -22,6 +22,7 @@ fn main() -> ExitCode {
 
 fn run() -> Result<(), Box<dyn std::error::Error>> {
     let cache = dcn_bench::cache();
+    let sctx = SolveCtx::unlimited(&cache);
     dcn_bench::set_run_seed(91);
     let pods = if quick_mode() { 16 } else { 32 };
     let servers_per_pod = 64u32;
@@ -55,13 +56,13 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
                 continue;
             }
         };
-        let b = tub(&topo, MatchingBackend::Exact, &cache, &unlimited())?;
+        let b = tub(&topo, MatchingBackend::Exact, &sctx)?;
         let tm = b.traffic_matrix(&topo)?;
         // Path budget scales with pods: a full mesh needs all `pods - 1`
         // two-hop detours to realize its capacity.
         let k_paths = pods.min(48);
         let mcf =
-            ksp_mcf_throughput(&topo, &tm, k_paths, Engine::Fptas { eps: 0.05 }, &cache, &unlimited())?.theta_lb;
+            ksp_mcf_throughput(&topo, &tm, k_paths, Engine::Fptas { eps: 0.05 }, &sctx)?.theta_lb;
         let design = if degree == pods - 1 { "full-mesh" } else { "random" };
         table.row(&[
             &design,

@@ -10,10 +10,10 @@
 use dcn_bench::{quick_mode, Table};
 use dcn_core::frontier::{frontier_max_servers, Criterion, Family};
 use dcn_core::universal::max_full_throughput_servers;
-use dcn_guard::prelude::*;
 
 fn main() {
     let cache = dcn_bench::cache();
+    let sctx = dcn_cache::SolveCtx::unlimited(&cache);
     // Analytic Equation-3 limits at the paper's parameters.
     let mut ta = Table::new("table3_eq3_limits", &["radix", "h", "max_servers_eq3"]);
     for h in [6u32, 7, 8] {
@@ -44,8 +44,7 @@ fn main() {
                 Criterion::FullBisection { tries: 3 },
                 1024,
                 5,
-                &cache,
-                &unlimited(),
+                &sctx,
             )
             .ok()
             .flatten();

@@ -14,7 +14,7 @@ use dcn_core::oversub::{oversubscription, Oversubscription};
 use dcn_core::MatchingBackend;
 use dcn_topo::{folded_clos, ClosParams};
 use std::process::ExitCode;
-use dcn_guard::prelude::*;
+use dcn_cache::SolveCtx;
 
 fn main() -> ExitCode {
     run_guarded("table5_oversub", run)
@@ -22,6 +22,7 @@ fn main() -> ExitCode {
 
 fn run() -> Result<(), Box<dyn std::error::Error>> {
     let cache = dcn_bench::cache();
+    let sctx = SolveCtx::unlimited(&cache);
     let mut table = Table::new(
         "table5_oversub",
         &["topology", "n_servers", "h", "bbw_ratio", "tub_ratio", "bbw_frac", "tub_frac"],
@@ -40,7 +41,7 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
                 continue;
             }
         };
-        let o = oversubscription(&topo, backend, 4, 17, &cache, &unlimited())?;
+        let o = oversubscription(&topo, backend, 4, 17, &sctx)?;
         table.row(&[
             &family.name(),
             &topo.n_servers(),
@@ -62,7 +63,7 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
         spine_uplink_fraction: 1.0,
         leaf_servers: 8,
     })?;
-    let o = oversubscription(&clos, backend, 4, 17, &cache, &unlimited())?;
+    let o = oversubscription(&clos, backend, 4, 17, &sctx)?;
     table.row(&[
         &"clos(1:2)",
         &clos.n_servers(),

@@ -13,7 +13,7 @@ use dcn_bench::{f3, quick_mode, run_guarded, Table};
 use dcn_core::{tub, MatchingBackend};
 use dcn_topo::{folded_clos, ClosParams};
 use std::process::ExitCode;
-use dcn_guard::prelude::*;
+use dcn_cache::SolveCtx;
 
 fn main() -> ExitCode {
     run_guarded("tablea1_clos", run)
@@ -21,6 +21,7 @@ fn main() -> ExitCode {
 
 fn run() -> Result<(), Box<dyn std::error::Error>> {
     let cache = dcn_bench::cache();
+    let sctx = SolveCtx::unlimited(&cache);
     // Part 1: the paper's rows, analytically.
     let mut ta = Table::new(
         "tablea1_paper_counts",
@@ -82,7 +83,7 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     }
     for p in instances {
         let topo = folded_clos(p)?;
-        let t = tub(&topo, MatchingBackend::Auto { exact_below: 700 }, &cache, &unlimited())?;
+        let t = tub(&topo, MatchingBackend::Auto { exact_below: 700 }, &sctx)?;
         tb.row(&[
             &p.radix,
             &p.layers,

@@ -14,7 +14,7 @@ use dcn_model::TrafficMatrix;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::process::ExitCode;
-use dcn_guard::prelude::*;
+use dcn_cache::SolveCtx;
 
 fn main() -> ExitCode {
     run_guarded("validate_worstcase", run)
@@ -22,6 +22,7 @@ fn main() -> ExitCode {
 
 fn run() -> Result<(), Box<dyn std::error::Error>> {
     let cache = dcn_bench::cache();
+    let sctx = SolveCtx::unlimited(&cache);
     dcn_bench::set_run_seed(11);
     let radix = 12u32;
     let h = 4u32;
@@ -33,16 +34,16 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     );
     for &n_sw in sizes {
         let topo = Family::Jellyfish.build(n_sw, radix, h, 5)?;
-        let bound = tub(&topo, MatchingBackend::Auto { exact_below: 400 }, &cache, &unlimited())?;
+        let bound = tub(&topo, MatchingBackend::Auto { exact_below: 400 }, &sctx)?;
         let worst_tm = bound.traffic_matrix(&topo)?;
         let theta_worst =
-            ksp_mcf_throughput(&topo, &worst_tm, 16, Engine::Fptas { eps: 0.05 }, &cache, &unlimited())?.theta_lb;
+            ksp_mcf_throughput(&topo, &worst_tm, 16, Engine::Fptas { eps: 0.05 }, &sctx)?.theta_lb;
         let mut rng = StdRng::seed_from_u64(11);
         let mut rand_thetas = Vec::new();
         for _ in 0..trials {
             let tm = TrafficMatrix::random_permutation(&topo, &mut rng)?;
             let th =
-                ksp_mcf_throughput(&topo, &tm, 16, Engine::Fptas { eps: 0.05 }, &cache, &unlimited())?.theta_lb;
+                ksp_mcf_throughput(&topo, &tm, 16, Engine::Fptas { eps: 0.05 }, &sctx)?.theta_lb;
             rand_thetas.push(th);
         }
         let min = rand_thetas.iter().cloned().fold(f64::INFINITY, f64::min);

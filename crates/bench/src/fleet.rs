@@ -13,10 +13,9 @@
 //! With fewer than 2 workers the call is a plain passthrough — the
 //! spill-to-disk queue would only add process-spawn overhead.
 
-use dcn_cache::CacheHandle;
+use dcn_cache::SolveCtx;
 use dcn_core::frontier::{frontier_max_servers, frontier_sweep, FrontierConfig};
 use dcn_fleet::{run_fleet, worker_main, FleetConfig, UnitOutcome, WorkUnit};
-use dcn_guard::Budget;
 use dcn_obs::json::Json;
 use std::path::{Path, PathBuf};
 
@@ -47,7 +46,7 @@ pub fn run_frontier_worker(root: &Path) -> std::process::ExitCode {
     let root = root.to_path_buf();
     crate::run_guarded("fleet_worker", move || {
         let cache = crate::cache();
-        let budget = Budget::unlimited();
+        let sctx = SolveCtx::unlimited(&cache);
         let published = worker_main(&root, |unit, _attempt| {
             let config = FrontierConfig::from_json(&unit.payload)?;
             let servers = frontier_max_servers(
@@ -57,8 +56,7 @@ pub fn run_frontier_worker(root: &Path) -> std::process::ExitCode {
                 config.criterion,
                 config.max_switches,
                 config.seed,
-                &cache,
-                &budget,
+                &sctx,
             )
             .map_err(|e| e.to_string())?;
             let value = match servers {
@@ -83,11 +81,10 @@ pub fn run_frontier_worker(root: &Path) -> std::process::ExitCode {
 pub fn frontier_sweep_sharded(
     name: &str,
     configs: &[FrontierConfig],
-    cache: &CacheHandle,
-    budget: &Budget,
+    ctx: &SolveCtx<'_>,
 ) -> Result<Vec<Option<u64>>, Box<dyn std::error::Error>> {
     if dcn_fleet::workers_from_env() < 2 {
-        return Ok(frontier_sweep(configs, cache, budget)?);
+        return Ok(frontier_sweep(configs, ctx)?);
     }
     let units: Vec<WorkUnit> = configs
         .iter()
@@ -99,7 +96,7 @@ pub fn frontier_sweep_sharded(
     let cfg = FleetConfig::from_env(&default_fleet_root(name));
     let exe = std::env::current_exe()?;
     let root = cfg.root.clone();
-    let report = run_fleet(&cfg, &units, budget, &|| {
+    let report = run_fleet(&cfg, &units, ctx.budget, &|| {
         dcn_fleet::worker_command(&exe, &root)
     })?;
     if report.recovered > 0 || report.retries > 0 || report.crashes > 0 || report.quarantined > 0 {

@@ -8,7 +8,7 @@
 //! test (experiment binaries use their own `--worker` flag instead, but
 //! a libtest harness cannot accept unknown flags).
 
-use dcn_cache::prelude::nocache;
+use dcn_cache::prelude::*;
 use dcn_core::frontier::{
     frontier_max_servers, frontier_sweep, Criterion, Family, FrontierConfig,
 };
@@ -50,8 +50,7 @@ fn frontier_worker_entry() {
     let Ok(root) = std::env::var(WORKER_ENV) else {
         return;
     };
-    let cache = nocache();
-    let budget = Budget::unlimited();
+    let sctx = unlimited_ctx();
     worker_main(Path::new(&root), |unit, _attempt| {
         let config = FrontierConfig::from_json(&unit.payload)?;
         let servers = frontier_max_servers(
@@ -61,8 +60,7 @@ fn frontier_worker_entry() {
             config.criterion,
             config.max_switches,
             config.seed,
-            &cache,
-            &budget,
+            &sctx,
         )
         .map_err(|e| e.to_string())?;
         let value = match servers {
@@ -102,7 +100,7 @@ fn csv_bytes(name: &str, frontiers: &[Option<u64>]) -> String {
 #[test]
 fn sharded_real_sweep_is_byte_identical_to_serial() {
     let configs = tiny_configs();
-    let serial = frontier_sweep(&configs, &nocache(), &Budget::unlimited()).expect("serial sweep");
+    let serial = frontier_sweep(&configs, &unlimited_ctx()).expect("serial sweep");
     let serial_csv = csv_bytes("fleet_frontier_serial_test", &serial);
     let units: Vec<WorkUnit> = configs
         .iter()

@@ -40,10 +40,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod ctx;
 mod disk;
 mod hash;
 mod store;
 
+pub use ctx::SolveCtx;
 pub use disk::scan_keys;
 pub use hash::{CacheKey, KeyBuilder, FORMAT_VERSION};
 
@@ -228,6 +230,34 @@ impl CacheHandle {
         }
         Ok(value)
     }
+
+    /// A non-computing probe: the cached value for `key`, if any tier
+    /// holds one. A memory- or disk-tier hit bumps the same counters as
+    /// [`CacheHandle::get_or_compute`]; an absent value bumps nothing —
+    /// a peek is not an attempt to solve, so it must not dilute the
+    /// `cache.hit_rate` gauge. Used by `dcnd` admission control to serve
+    /// warm queries after the global budget is exhausted.
+    pub fn peek<T: CacheEntry>(&self, key: CacheKey) -> Option<T> {
+        let store = self.inner.as_ref()?;
+        let hits = dcn_obs::counter!(dcn_obs::names::CACHE_HIT);
+        if let Some(value) = store.get::<T>(key) {
+            hits.inc();
+            dcn_obs::trace_instant(dcn_obs::names::CACHE_HIT);
+            return Some(value);
+        }
+        if T::PERSIST {
+            if let Some(disk) = &store.disk {
+                if let Some(value) = disk.load::<T>(key) {
+                    dcn_obs::counter!(dcn_obs::names::CACHE_DISK_HIT).inc();
+                    hits.inc();
+                    dcn_obs::trace_instant(dcn_obs::names::CACHE_DISK_HIT);
+                    store.insert(key, value.clone(), value.approx_bytes());
+                    return Some(value);
+                }
+            }
+        }
+        None
+    }
 }
 
 /// Folds the hit/miss counters into the `cache.hit_rate` gauge
@@ -247,13 +277,33 @@ pub fn publish_hit_rate() {
 
 /// Convenience imports for call sites: `use dcn_cache::prelude::*;`.
 pub mod prelude {
-    pub use crate::{CacheEntry, CacheHandle, CacheKey, KeyBuilder};
+    pub use crate::{CacheEntry, CacheHandle, CacheKey, KeyBuilder, SolveCtx};
+    use dcn_guard::Budget;
 
     /// A disabled [`CacheHandle`] — the cache analogue of
     /// `dcn_guard::prelude::unlimited()`, for tests and call sites that
     /// must observe uncached behavior.
     pub fn nocache() -> CacheHandle {
         CacheHandle::disabled()
+    }
+
+    /// Builds a [`SolveCtx`] from explicit parts:
+    /// `solve(&ctx(&cache, &budget))`.
+    pub fn ctx<'a>(cache: &'a CacheHandle, budget: &'a Budget) -> SolveCtx<'a> {
+        SolveCtx::new(cache, budget)
+    }
+
+    /// The "don't care" context: disabled cache, unlimited budget.
+    /// Replaces the old `&nocache(), &unlimited()` twin tail at test and
+    /// example call sites: `solve(&unlimited_ctx())`.
+    pub fn unlimited_ctx() -> SolveCtx<'static> {
+        SolveCtx::new(crate::ctx::disabled_ref(), Budget::unlimited_ref())
+    }
+
+    /// A context with the cache disabled but a real budget, for
+    /// budget-sensitivity tests: `solve(&nocache_ctx(&tight))`.
+    pub fn nocache_ctx(budget: &Budget) -> SolveCtx<'_> {
+        SolveCtx::new(crate::ctx::disabled_ref(), budget)
     }
 }
 

@@ -3,8 +3,7 @@
 
 use crate::frontier::{satisfies, Criterion, Family};
 use crate::CoreError;
-use dcn_cache::CacheHandle;
-use dcn_guard::Budget;
+use dcn_cache::SolveCtx;
 use dcn_topo::ClosParams;
 
 /// The cheapest (fewest-switch) Clos supporting at least `n_servers` with
@@ -59,8 +58,7 @@ pub fn min_uniregular_switches(
     radix: u32,
     criterion: Criterion,
     seed: u64,
-    cache: &CacheHandle,
-    budget: &Budget,
+    ctx: &SolveCtx<'_>,
 ) -> Result<Option<UniRegularCost>, CoreError> {
     for h in (1..=(radix.saturating_sub(3))).rev() {
         let n_switches = n_servers.div_ceil(h as u64) as usize;
@@ -74,7 +72,7 @@ pub fn min_uniregular_switches(
                 Ok(t) => t,
                 Err(_) => continue,
             };
-            if topo2.n_servers() >= n_servers && satisfies(&topo2, criterion, seed, cache, budget)? {
+            if topo2.n_servers() >= n_servers && satisfies(&topo2, criterion, seed, ctx)? {
                 return Ok(Some(UniRegularCost {
                     h,
                     switches: topo2.n_switches() as u64,
@@ -83,7 +81,7 @@ pub fn min_uniregular_switches(
             }
             continue;
         }
-        if satisfies(&topo, criterion, seed, cache, budget)? {
+        if satisfies(&topo, criterion, seed, ctx)? {
             return Ok(Some(UniRegularCost {
                 h,
                 switches: topo.n_switches() as u64,
@@ -140,8 +138,7 @@ mod tests {
                 backend: MatchingBackend::Exact,
             },
             3,
-            &dcn_cache::prelude::nocache(),
-            &Budget::unlimited(),
+            &dcn_cache::prelude::unlimited_ctx(),
         )
         .unwrap();
         let fb = min_uniregular_switches(
@@ -150,8 +147,7 @@ mod tests {
             radix,
             Criterion::FullBisection { tries: 3 },
             3,
-            &dcn_cache::prelude::nocache(),
-            &Budget::unlimited(),
+            &dcn_cache::prelude::unlimited_ctx(),
         )
         .unwrap();
         let (ft, fb) = (ft.expect("ft feasible"), fb.expect("fb feasible"));

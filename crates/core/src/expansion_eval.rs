@@ -8,9 +8,8 @@
 
 use crate::tub::{tub, MatchingBackend};
 use crate::CoreError;
-use dcn_cache::CacheHandle;
+use dcn_cache::SolveCtx;
 use dcn_exec::Pool;
-use dcn_guard::Budget;
 use dcn_model::Topology;
 use dcn_topo::expand_by_rewiring;
 use rand::rngs::StdRng;
@@ -39,8 +38,7 @@ pub fn expansion_curve(
     step_fraction: f64,
     backend: MatchingBackend,
     seed: u64,
-    cache: &CacheHandle,
-    budget: &Budget,
+    ctx: &SolveCtx<'_>,
 ) -> Result<Vec<ExpansionPoint>, CoreError> {
     if step_fraction.is_nan() || step_fraction <= 0.0 {
         return Err(CoreError::OutOfRegime(format!(
@@ -50,7 +48,7 @@ pub fn expansion_curve(
     let mut rng = StdRng::seed_from_u64(seed);
     let n0 = initial.n_switches();
     let step = ((n0 as f64 * step_fraction).round() as usize).max(1);
-    let theta0 = tub(initial, backend, cache, budget)?.bound.min(1.0);
+    let theta0 = tub(initial, backend, ctx)?.bound.min(1.0);
     let mut out = vec![ExpansionPoint {
         ratio: 1.0,
         tub: theta0,
@@ -59,7 +57,7 @@ pub fn expansion_curve(
     let mut current = initial.clone();
     for _ in 0..steps {
         current = expand_by_rewiring(&current, step, h, &mut rng)?;
-        let th = tub(&current, backend, cache, budget)?.bound.min(1.0);
+        let th = tub(&current, backend, ctx)?.bound.min(1.0);
         out.push(ExpansionPoint {
             ratio: current.n_switches() as f64 / n0 as f64,
             tub: th,
@@ -87,15 +85,14 @@ pub fn expansion_ensemble(
     step_fraction: f64,
     backend: MatchingBackend,
     seeds: &[u64],
-    cache: &CacheHandle,
-    budget: &Budget,
+    ctx: &SolveCtx<'_>,
 ) -> Result<Vec<ExpansionPoint>, CoreError> {
     if seeds.is_empty() {
         return Err(CoreError::OutOfRegime("empty seed ensemble".into()));
     }
-    let curves = Pool::from_env().par_map(budget, seeds, |_, &seed| {
+    let curves = Pool::from_env().par_map(ctx.budget, seeds, |_, &seed| {
         let _curve = dcn_obs::span!(dcn_obs::names::CORE_EXPANSION_CURVE);
-        expansion_curve(initial, h, steps, step_fraction, backend, seed, cache, budget)
+        expansion_curve(initial, h, steps, step_fraction, backend, seed, ctx)
     })?;
     let n = curves[0].len();
     let k = curves.len() as f64;
@@ -112,14 +109,14 @@ pub fn expansion_ensemble(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dcn_cache::prelude::nocache;
+    use dcn_cache::prelude::*;
     use dcn_topo::jellyfish;
 
     #[test]
     fn curve_monotone_ratios_and_bounded() {
         let mut rng = StdRng::seed_from_u64(23);
         let t = jellyfish(30, 6, 5, &mut rng).unwrap();
-        let curve = expansion_curve(&t, 5, 4, 0.2, MatchingBackend::Exact, 7, &nocache(), &Budget::unlimited()).unwrap();
+        let curve = expansion_curve(&t, 5, 4, 0.2, MatchingBackend::Exact, 7, &unlimited_ctx()).unwrap();
         assert_eq!(curve.len(), 5);
         assert!((curve[0].ratio - 1.0).abs() < 1e-12);
         assert!((curve[0].normalized - 1.0).abs() < 1e-12);
@@ -138,7 +135,7 @@ mod tests {
         // keeping H fixed should not increase throughput.
         let mut rng = StdRng::seed_from_u64(29);
         let t = jellyfish(24, 5, 5, &mut rng).unwrap();
-        let curve = expansion_curve(&t, 5, 6, 0.25, MatchingBackend::Exact, 11, &nocache(), &Budget::unlimited()).unwrap();
+        let curve = expansion_curve(&t, 5, 6, 0.25, MatchingBackend::Exact, 11, &unlimited_ctx()).unwrap();
         let first = curve.first().unwrap().tub;
         let last = curve.last().unwrap().tub;
         assert!(
@@ -151,6 +148,6 @@ mod tests {
     fn zero_step_fraction_rejected() {
         let mut rng = StdRng::seed_from_u64(31);
         let t = jellyfish(20, 4, 4, &mut rng).unwrap();
-        assert!(expansion_curve(&t, 4, 2, 0.0, MatchingBackend::Exact, 1, &nocache(), &Budget::unlimited()).is_err());
+        assert!(expansion_curve(&t, 4, 2, 0.0, MatchingBackend::Exact, 1, &unlimited_ctx()).is_err());
     }
 }

@@ -4,10 +4,9 @@
 
 use crate::tub::{tub, MatchingBackend};
 use crate::CoreError;
-use dcn_cache::{CacheHandle, CacheKey, KeyBuilder};
+use dcn_cache::{CacheKey, KeyBuilder, SolveCtx};
 use dcn_exec::Pool;
 use dcn_obs::json::Json;
-use dcn_guard::Budget;
 use dcn_model::Topology;
 use dcn_partition::bisection_bandwidth;
 use dcn_topo::{fatclique, jellyfish, xpander, FatCliqueParams};
@@ -172,15 +171,14 @@ pub fn satisfies(
     topo: &Topology,
     criterion: Criterion,
     seed: u64,
-    cache: &CacheHandle,
-    budget: &Budget,
+    ctx: &SolveCtx<'_>,
 ) -> Result<bool, CoreError> {
     match criterion {
         Criterion::FullThroughput { backend } => {
-            Ok(tub(topo, backend, cache, budget)?.bound >= 1.0 - 1e-9)
+            Ok(tub(topo, backend, ctx)?.bound >= 1.0 - 1e-9)
         }
         Criterion::FullBisection { tries } => {
-            let bbw = bisection_bandwidth(topo, tries, seed, cache, budget)?;
+            let bbw = bisection_bandwidth(topo, tries, seed, ctx)?;
             Ok(bbw >= topo.n_servers() as f64 / 2.0 - 1e-9)
         }
     }
@@ -201,8 +199,7 @@ pub fn frontier_max_servers(
     criterion: Criterion,
     max_switches: usize,
     seed: u64,
-    cache: &CacheHandle,
-    budget: &Budget,
+    ctx: &SolveCtx<'_>,
 ) -> Result<Option<u64>, CoreError> {
     let min_switches = ((radix - h) as usize + 2).max(4);
     let check = |n_switches: usize| -> Result<Option<u64>, CoreError> {
@@ -210,7 +207,7 @@ pub fn frontier_max_servers(
             Ok(t) => t,
             Err(_) => return Ok(None), // infeasible size for this family
         };
-        if satisfies(&topo, criterion, seed, cache, budget)? {
+        if satisfies(&topo, criterion, seed, ctx)? {
             Ok(Some(topo.n_servers()))
         } else {
             Ok(None)
@@ -355,10 +352,9 @@ impl FrontierConfig {
 /// because cached results are byte-identical to recomputed ones.
 pub fn frontier_sweep(
     configs: &[FrontierConfig],
-    cache: &CacheHandle,
-    budget: &Budget,
+    ctx: &SolveCtx<'_>,
 ) -> Result<Vec<Option<u64>>, CoreError> {
-    Pool::from_env().par_map(budget, configs, |_, c| {
+    Pool::from_env().par_map(ctx.budget, configs, |_, c| {
         let _cell = dcn_obs::span!(dcn_obs::names::CORE_FRONTIER_CELL);
         frontier_max_servers(
             c.family,
@@ -367,8 +363,7 @@ pub fn frontier_sweep(
             c.criterion,
             c.max_switches,
             c.seed,
-            cache,
-            budget,
+            ctx,
         )
     })
 }
@@ -376,7 +371,7 @@ pub fn frontier_sweep(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dcn_cache::prelude::nocache;
+    use dcn_cache::prelude::*;
 
     #[test]
     fn build_all_families() {
@@ -402,8 +397,7 @@ mod tests {
             },
             512,
             3,
-            &nocache(),
-            &Budget::unlimited(),
+            &unlimited_ctx(),
         )
         .unwrap()
         .expect("small instances are full throughput");
@@ -425,8 +419,7 @@ mod tests {
             Criterion::FullBisection { tries: 3 },
             600,
             3,
-            &nocache(),
-            &Budget::unlimited(),
+            &unlimited_ctx(),
         )
         .unwrap()
         .expect("small dense instances are full bisection");
@@ -453,8 +446,7 @@ mod tests {
             Criterion::FullThroughput { backend },
             4096,
             3,
-            &nocache(),
-            &Budget::unlimited(),
+            &unlimited_ctx(),
         )
         .unwrap()
         .unwrap_or(0);
@@ -465,8 +457,7 @@ mod tests {
             Criterion::FullBisection { tries: 2 },
             4096,
             3,
-            &nocache(),
-            &Budget::unlimited(),
+            &unlimited_ctx(),
         )
         .unwrap()
         .unwrap_or(0);
@@ -487,8 +478,7 @@ mod tests {
             Criterion::FullThroughput { backend },
             400,
             5,
-            &nocache(),
-            &Budget::unlimited(),
+            &unlimited_ctx(),
         )
         .unwrap()
         .unwrap_or(0);
@@ -499,8 +489,7 @@ mod tests {
             Criterion::FullThroughput { backend },
             400,
             5,
-            &nocache(),
-            &Budget::unlimited(),
+            &unlimited_ctx(),
         )
         .unwrap()
         .unwrap_or(0);

@@ -13,9 +13,8 @@
 
 use crate::tub::{tub, MatchingBackend, TubResult};
 use crate::CoreError;
-use dcn_cache::CacheHandle;
+use dcn_cache::SolveCtx;
 use dcn_graph::DistMatrix;
-use dcn_guard::Budget;
 use dcn_model::{Topology, TrafficMatrix};
 
 /// The Theorem 8.4 lower bound for a specific traffic matrix.
@@ -48,10 +47,9 @@ pub fn theoretical_gap(
     topo: &Topology,
     m_slack: u16,
     backend: MatchingBackend,
-    cache: &CacheHandle,
-    budget: &Budget,
+    ctx: &SolveCtx<'_>,
 ) -> Result<(TubResult, f64, f64), CoreError> {
-    let ub = tub(topo, backend, cache, budget)?;
+    let ub = tub(topo, backend, ctx)?;
     let tm = ub.traffic_matrix(topo)?;
     let lb = throughput_lower_bound(topo, &tm, m_slack)?;
     let gap = (ub.bound - lb).max(0.0);
@@ -61,7 +59,7 @@ pub fn theoretical_gap(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dcn_cache::prelude::nocache;
+    use dcn_cache::prelude::*;
     use dcn_graph::Graph;
     use dcn_topo::jellyfish;
     use rand::rngs::StdRng;
@@ -77,7 +75,7 @@ mod tests {
     fn lower_at_most_upper() {
         let mut rng = StdRng::seed_from_u64(11);
         let t = jellyfish(24, 5, 4, &mut rng).unwrap();
-        let (ub, lb, gap) = theoretical_gap(&t, 1, MatchingBackend::Exact, &nocache(), &Budget::unlimited()).unwrap();
+        let (ub, lb, gap) = theoretical_gap(&t, 1, MatchingBackend::Exact, &unlimited_ctx()).unwrap();
         assert!(lb <= ub.bound + 1e-12);
         assert!((gap - (ub.bound - lb).max(0.0)).abs() < 1e-12);
         assert!(lb > 0.0);
@@ -88,10 +86,10 @@ mod tests {
         // On C5 with the distance-2 permutation: tub = 1, exact θ = 5/6,
         // and the M=1 lower bound must sit at or below 5/6.
         let t = ring(5, 1);
-        let ub = tub(&t, MatchingBackend::Exact, &nocache(), &Budget::unlimited()).unwrap();
+        let ub = tub(&t, MatchingBackend::Exact, &unlimited_ctx()).unwrap();
         let tm = ub.traffic_matrix(&t).unwrap();
         let lb = throughput_lower_bound(&t, &tm, 1).unwrap();
-        let exact = dcn_mcf::ksp_mcf_throughput(&t, &tm, 8, dcn_mcf::Engine::Exact, &nocache(), &Budget::unlimited())
+        let exact = dcn_mcf::ksp_mcf_throughput(&t, &tm, 8, dcn_mcf::Engine::Exact, &unlimited_ctx())
             .unwrap()
             .theta_lb;
         assert!(
@@ -108,7 +106,7 @@ mod tests {
         // With M = 0 the lower bound equals 2E / Σ t L = tub at the
         // maximal permutation.
         let t = ring(6, 2);
-        let ub = tub(&t, MatchingBackend::Exact, &nocache(), &Budget::unlimited()).unwrap();
+        let ub = tub(&t, MatchingBackend::Exact, &unlimited_ctx()).unwrap();
         let tm = ub.traffic_matrix(&t).unwrap();
         let lb = throughput_lower_bound(&t, &tm, 0).unwrap();
         assert!((lb - ub.bound).abs() < 1e-12);
@@ -118,8 +116,8 @@ mod tests {
     fn gap_shrinks_with_slack() {
         let mut rng = StdRng::seed_from_u64(12);
         let t = jellyfish(24, 5, 4, &mut rng).unwrap();
-        let (_, lb1, _) = theoretical_gap(&t, 1, MatchingBackend::Exact, &nocache(), &Budget::unlimited()).unwrap();
-        let (_, lb3, _) = theoretical_gap(&t, 3, MatchingBackend::Exact, &nocache(), &Budget::unlimited()).unwrap();
+        let (_, lb1, _) = theoretical_gap(&t, 1, MatchingBackend::Exact, &unlimited_ctx()).unwrap();
+        let (_, lb3, _) = theoretical_gap(&t, 3, MatchingBackend::Exact, &unlimited_ctx()).unwrap();
         assert!(lb3 <= lb1, "more slack can only lower the guarantee");
     }
 }

@@ -10,10 +10,9 @@
 
 use crate::tub::{tub, MatchingBackend};
 use crate::CoreError;
-use dcn_cache::CacheHandle;
+use dcn_cache::SolveCtx;
 use dcn_exec::Pool;
 use dcn_graph::NodeId;
-use dcn_guard::Budget;
 use dcn_mcf::{ksp_mcf_throughput, Engine};
 use dcn_model::{Topology, TrafficMatrix};
 use rand::rngs::StdRng;
@@ -55,14 +54,13 @@ pub fn adversarial_search(
     k_paths: usize,
     eps: f64,
     seed: u64,
-    cache: &CacheHandle,
-    budget: &Budget,
+    ctx: &SolveCtx<'_>,
 ) -> Result<AdversarialResult, CoreError> {
-    let bound = tub(topo, MatchingBackend::Auto { exact_below: 500 }, cache, budget)?;
+    let bound = tub(topo, MatchingBackend::Auto { exact_below: 500 }, ctx)?;
     let mut pairs: Vec<(NodeId, NodeId)> = bound.pairs.clone();
     let eval = |pairs: &[(NodeId, NodeId)]| -> Result<f64, CoreError> {
         let tm = TrafficMatrix::permutation(topo, pairs)?;
-        Ok(ksp_mcf_throughput(topo, &tm, k_paths, Engine::Fptas { eps }, cache, budget)?.theta_lb)
+        Ok(ksp_mcf_throughput(topo, &tm, k_paths, Engine::Fptas { eps }, ctx)?.theta_lb)
     };
     let mut theta = eval(&pairs)?;
     let theta_start = theta;
@@ -96,7 +94,7 @@ pub fn adversarial_search(
         if candidates.is_empty() {
             continue;
         }
-        let thetas = pool.par_map(budget, &candidates, |_, cand| {
+        let thetas = pool.par_map(ctx.budget, &candidates, |_, cand| {
             let _cand = dcn_obs::span!(dcn_obs::names::CORE_NEARWORST_CANDIDATE);
             eval(cand)
         })?;
@@ -122,14 +120,14 @@ pub fn adversarial_search(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dcn_cache::prelude::nocache;
+    use dcn_cache::prelude::*;
     use dcn_topo::jellyfish;
 
     #[test]
     fn search_never_increases_theta() {
         let mut rng = StdRng::seed_from_u64(3);
         let topo = jellyfish(20, 5, 4, &mut rng).unwrap();
-        let r = adversarial_search(&topo, 10, 16, 0.1, 7, &nocache(), &Budget::unlimited()).unwrap();
+        let r = adversarial_search(&topo, 10, 16, 0.1, 7, &unlimited_ctx()).unwrap();
         assert!(r.theta <= r.theta_start + 1e-9);
         assert!(r.tm.is_permutation(&topo));
         r.tm.check_hose(&topo).unwrap();
@@ -142,7 +140,7 @@ mod tests {
         // to the throughput itself (within the FPTAS's eps plus slack).
         let mut rng = StdRng::seed_from_u64(5);
         let topo = jellyfish(16, 4, 3, &mut rng).unwrap();
-        let r = adversarial_search(&topo, 20, 16, 0.05, 11, &nocache(), &Budget::unlimited()).unwrap();
+        let r = adversarial_search(&topo, 20, 16, 0.05, 11, &unlimited_ctx()).unwrap();
         let descent = (r.theta_start - r.theta) / r.theta_start.max(1e-9);
         assert!(
             descent < 0.15,

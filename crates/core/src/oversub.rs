@@ -8,8 +8,7 @@
 
 use crate::tub::{tub, MatchingBackend};
 use crate::CoreError;
-use dcn_cache::CacheHandle;
-use dcn_guard::Budget;
+use dcn_cache::SolveCtx;
 use dcn_model::Topology;
 use dcn_partition::bisection_bandwidth;
 
@@ -54,12 +53,11 @@ pub fn oversubscription(
     backend: MatchingBackend,
     bbw_tries: u32,
     seed: u64,
-    cache: &CacheHandle,
-    budget: &Budget,
+    ctx: &SolveCtx<'_>,
 ) -> Result<Oversubscription, CoreError> {
-    let bbw = bisection_bandwidth(topo, bbw_tries, seed, cache, budget)?;
+    let bbw = bisection_bandwidth(topo, bbw_tries, seed, ctx)?;
     let half = topo.n_servers() as f64 / 2.0;
-    let t = tub(topo, backend, cache, budget)?;
+    let t = tub(topo, backend, ctx)?;
     Ok(Oversubscription {
         bbw_fraction: (bbw / half).min(1.0),
         tub_fraction: t.bound.min(1.0),
@@ -69,7 +67,7 @@ pub fn oversubscription(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dcn_cache::prelude::nocache;
+    use dcn_cache::prelude::*;
     use dcn_topo::{fat_tree, jellyfish};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -87,7 +85,7 @@ mod tests {
         // Table 5: for Clos the two measures coincide (both 1:2 for the
         // oversubscribed case; both full here).
         let t = fat_tree(4).unwrap();
-        let o = oversubscription(&t, MatchingBackend::Exact, 6, 3, &nocache(), &Budget::unlimited()).unwrap();
+        let o = oversubscription(&t, MatchingBackend::Exact, 6, 3, &unlimited_ctx()).unwrap();
         assert!((o.tub_fraction - 1.0).abs() < 1e-9);
         assert!((o.bbw_fraction - 1.0).abs() < 1e-9);
     }
@@ -106,7 +104,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(9);
         for _ in 0..2 {
             let t = jellyfish(150, 5, 5, &mut rng).unwrap();
-            let o = oversubscription(&t, MatchingBackend::Exact, 4, 11, &nocache(), &Budget::unlimited()).unwrap();
+            let o = oversubscription(&t, MatchingBackend::Exact, 4, 11, &unlimited_ctx()).unwrap();
             assert!(
                 o.tub_fraction <= o.bbw_fraction + 0.05,
                 "tub {} vs bbw {}",

@@ -8,9 +8,8 @@
 use crate::tub::{tub, MatchingBackend, TubResult};
 use crate::universal::{universal_tub, UniRegularParams};
 use crate::CoreError;
-use dcn_cache::CacheHandle;
+use dcn_cache::SolveCtx;
 use dcn_graph::adjacency_lambda2;
-use dcn_guard::Budget;
 use dcn_model::{TopoClass, Topology};
 use dcn_partition::bisection_bandwidth;
 
@@ -99,11 +98,10 @@ pub fn report_card(
     backend: MatchingBackend,
     bbw_tries: u32,
     seed: u64,
-    cache: &CacheHandle,
-    budget: &Budget,
+    ctx: &SolveCtx<'_>,
 ) -> Result<ReportCard, CoreError> {
-    let tub_detail = tub(topo, backend, cache, budget)?;
-    let bbw = bisection_bandwidth(topo, bbw_tries, seed, cache, budget)?;
+    let tub_detail = tub(topo, backend, ctx)?;
+    let bbw = bisection_bandwidth(topo, bbw_tries, seed, ctx)?;
     let half = topo.n_servers() as f64 / 2.0;
     let universal_bound = match topo.class() {
         TopoClass::UniRegular { h } => {
@@ -155,7 +153,7 @@ pub fn report_card(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dcn_cache::prelude::nocache;
+    use dcn_cache::prelude::*;
     use dcn_topo::{fat_tree, jellyfish};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -163,7 +161,7 @@ mod tests {
     #[test]
     fn fat_tree_report() {
         let t = fat_tree(4).unwrap();
-        let r = report_card(&t, MatchingBackend::Exact, 4, 1, &nocache(), &Budget::unlimited()).unwrap();
+        let r = report_card(&t, MatchingBackend::Exact, 4, 1, &unlimited_ctx()).unwrap();
         assert!(r.is_full_throughput());
         assert!(r.is_full_bisection());
         assert!(!r.bisection_overpromises());
@@ -180,7 +178,7 @@ mod tests {
         // (from the frontier analysis, ~250 switches).
         let mut rng = StdRng::seed_from_u64(5);
         let t = jellyfish(260, 10, 3, &mut rng).unwrap();
-        let r = report_card(&t, MatchingBackend::Auto { exact_below: 300 }, 3, 7, &nocache(), &Budget::unlimited()).unwrap();
+        let r = report_card(&t, MatchingBackend::Auto { exact_below: 300 }, 3, 7, &unlimited_ctx()).unwrap();
         assert!(r.universal_bound.is_some());
         assert!(r.lambda2.is_some());
         assert!(r.tub <= r.universal_bound.unwrap() + 1e-9);
@@ -193,7 +191,7 @@ mod tests {
     fn uniregular_bounds_ordered() {
         let mut rng = StdRng::seed_from_u64(9);
         let t = jellyfish(60, 8, 4, &mut rng).unwrap();
-        let r = report_card(&t, MatchingBackend::Exact, 3, 7, &nocache(), &Budget::unlimited()).unwrap();
+        let r = report_card(&t, MatchingBackend::Exact, 3, 7, &unlimited_ctx()).unwrap();
         // tub <= Thm 4.1 universal bound, always.
         assert!(r.tub <= r.universal_bound.unwrap() + 1e-9);
         // λ2 below Ramanujan + slack for a random regular graph.

@@ -8,9 +8,8 @@
 
 use crate::tub::{tub, MatchingBackend};
 use crate::CoreError;
-use dcn_cache::CacheHandle;
+use dcn_cache::SolveCtx;
 use dcn_exec::{task_seed, Pool};
-use dcn_guard::Budget;
 use dcn_model::Topology;
 use dcn_topo::fail_random_links;
 use rand::rngs::StdRng;
@@ -56,10 +55,9 @@ pub fn failure_sweep(
     trials: u32,
     backend: MatchingBackend,
     seed: u64,
-    cache: &CacheHandle,
-    budget: &Budget,
+    ctx: &SolveCtx<'_>,
 ) -> Result<Vec<FailurePoint>, CoreError> {
-    let theta0 = tub(topo, backend, cache, budget)?.bound.min(1.0);
+    let theta0 = tub(topo, backend, ctx)?.bound.min(1.0);
     let skipped_ctr = dcn_obs::counter!(dcn_obs::names::CORE_RESILIENCE_DISCONNECTED_SAMPLES);
     let trials = trials.max(1);
     // One task per (fraction, trial) sample; merged back per fraction.
@@ -67,11 +65,11 @@ pub fn failure_sweep(
         .iter()
         .flat_map(|&f| std::iter::repeat_n(f, trials as usize))
         .collect();
-    let results = Pool::from_env().par_map(budget, &samples, |i, &f| -> Result<_, CoreError> {
+    let results = Pool::from_env().par_map(ctx.budget, &samples, |i, &f| -> Result<_, CoreError> {
         let _sample = dcn_obs::span!(dcn_obs::names::CORE_RESILIENCE_SAMPLE);
         let mut rng = StdRng::seed_from_u64(task_seed(seed, i as u64));
         match fail_random_links(topo, f, &mut rng) {
-            Ok(degraded) => Ok(Some(tub(&degraded, backend, cache, budget)?.bound.min(1.0))),
+            Ok(degraded) => Ok(Some(tub(&degraded, backend, ctx)?.bound.min(1.0))),
             Err(_) => {
                 skipped_ctr.inc();
                 Ok(None)
@@ -112,7 +110,7 @@ pub fn rms_deviation(points: &[FailurePoint]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dcn_cache::prelude::nocache;
+    use dcn_cache::prelude::*;
     use dcn_topo::jellyfish;
 
     #[test]
@@ -125,8 +123,7 @@ mod tests {
             2,
             MatchingBackend::Exact,
             5,
-            &nocache(),
-            &Budget::unlimited(),
+            &unlimited_ctx(),
         )
         .unwrap();
         assert_eq!(pts.len(), 3);

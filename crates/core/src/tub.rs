@@ -16,7 +16,7 @@
 //! Algorithm 1) trades tightness for speed without losing soundness.
 
 use crate::CoreError;
-use dcn_cache::{CacheEntry, CacheHandle, CacheKey, KeyBuilder};
+use dcn_cache::{CacheEntry, CacheKey, KeyBuilder, SolveCtx};
 use dcn_graph::{DistMatrix, NodeId};
 use dcn_guard::Budget;
 use dcn_match::{greedy_max, hungarian_max, improve_2swap, Matching};
@@ -258,7 +258,7 @@ fn tub_key(topo: &Topology, backend: MatchingBackend) -> CacheKey {
 ///
 /// // Every Clos has full throughput (§4.1): the bound is exactly 1.
 /// let topo = fat_tree(4)?;
-/// let bound = tub(&topo, MatchingBackend::Exact, &nocache(), &unlimited())?;
+/// let bound = tub(&topo, MatchingBackend::Exact, &unlimited_ctx())?;
 /// assert!((bound.bound - 1.0).abs() < 1e-9);
 /// assert!(bound.is_full_throughput());
 /// # Ok::<(), dcn_core::CoreError>(())
@@ -266,10 +266,9 @@ fn tub_key(topo: &Topology, backend: MatchingBackend) -> CacheKey {
 pub fn tub(
     topo: &Topology,
     backend: MatchingBackend,
-    cache: &CacheHandle,
-    budget: &Budget,
+    ctx: &SolveCtx<'_>,
 ) -> Result<TubResult, CoreError> {
-    cache.get_or_compute(|| tub_key(topo, backend), || tub_uncached(topo, backend, budget))
+    ctx.cache.get_or_compute(|| tub_key(topo, backend), || tub_uncached(topo, backend, ctx.budget))
 }
 
 fn tub_uncached(
@@ -370,7 +369,7 @@ fn run_matching(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dcn_cache::prelude::nocache;
+    use dcn_cache::prelude::*;
     use dcn_graph::Graph;
     use dcn_topo::{fat_tree, jellyfish};
     use rand::rngs::StdRng;
@@ -387,7 +386,7 @@ mod tests {
         // Figure 6 middle topology: C5, H=1. Maximal permutation pairs
         // nodes at distance 2: denominator 5*2 = 10, capacity 2E = 10.
         let t = ring(5, 1);
-        let r = tub(&t, MatchingBackend::Exact, &nocache(), &Budget::unlimited()).unwrap();
+        let r = tub(&t, MatchingBackend::Exact, &unlimited_ctx()).unwrap();
         assert!((r.bound - 1.0).abs() < 1e-12, "bound = {}", r.bound);
         assert_eq!(r.pairs.len(), 5);
         assert!(r.is_full_throughput());
@@ -398,7 +397,7 @@ mod tests {
         // C4, H=1: maximal permutation pairs opposite corners (distance 2),
         // denominator 4*2 = 8, 2E = 8 → tub = 1.
         let t = ring(4, 1);
-        let r = tub(&t, MatchingBackend::Exact, &nocache(), &Budget::unlimited()).unwrap();
+        let r = tub(&t, MatchingBackend::Exact, &unlimited_ctx()).unwrap();
         assert!((r.bound - 1.0).abs() < 1e-12);
     }
 
@@ -406,10 +405,10 @@ mod tests {
     fn fat_tree_tub_is_one() {
         // Table A.1: Clos tub = 1.00.
         let t = fat_tree(4).unwrap();
-        let r = tub(&t, MatchingBackend::Exact, &nocache(), &Budget::unlimited()).unwrap();
+        let r = tub(&t, MatchingBackend::Exact, &unlimited_ctx()).unwrap();
         assert!((r.bound - 1.0).abs() < 1e-9, "bound = {}", r.bound);
         let t8 = fat_tree(8).unwrap();
-        let r8 = tub(&t8, MatchingBackend::Exact, &nocache(), &Budget::unlimited()).unwrap();
+        let r8 = tub(&t8, MatchingBackend::Exact, &unlimited_ctx()).unwrap();
         assert!((r8.bound - 1.0).abs() < 1e-9, "bound = {}", r8.bound);
     }
 
@@ -421,9 +420,9 @@ mod tests {
         for seed in 0..3u64 {
             let _ = seed;
             let t = jellyfish(16, 4, 3, &mut rng).unwrap();
-            let r = tub(&t, MatchingBackend::Exact, &nocache(), &Budget::unlimited()).unwrap();
+            let r = tub(&t, MatchingBackend::Exact, &unlimited_ctx()).unwrap();
             let tm = r.traffic_matrix(&t).unwrap();
-            let th = dcn_mcf::ksp_mcf_throughput(&t, &tm, 32, dcn_mcf::Engine::Exact, &nocache(), &Budget::unlimited())
+            let th = dcn_mcf::ksp_mcf_throughput(&t, &tm, 32, dcn_mcf::Engine::Exact, &unlimited_ctx())
                 .unwrap()
                 .theta_lb;
             assert!(
@@ -440,14 +439,13 @@ mod tests {
     fn greedy_bound_is_valid_but_looser() {
         let mut rng = StdRng::seed_from_u64(5);
         let t = jellyfish(30, 5, 4, &mut rng).unwrap();
-        let exact = tub(&t, MatchingBackend::Exact, &nocache(), &Budget::unlimited()).unwrap();
+        let exact = tub(&t, MatchingBackend::Exact, &unlimited_ctx()).unwrap();
         let greedy = tub(
             &t,
             MatchingBackend::Greedy {
                 improvement_passes: 3,
             },
-            &nocache(),
-            &Budget::unlimited(),
+            &unlimited_ctx(),
         )
         .unwrap();
         // Greedy's permutation has no greater total weight → bound no
@@ -462,16 +460,16 @@ mod tests {
     fn auto_backend_switches() {
         let mut rng = StdRng::seed_from_u64(6);
         let t = jellyfish(20, 4, 2, &mut rng).unwrap();
-        let small = tub(&t, MatchingBackend::Auto { exact_below: 100 }, &nocache(), &Budget::unlimited()).unwrap();
+        let small = tub(&t, MatchingBackend::Auto { exact_below: 100 }, &unlimited_ctx()).unwrap();
         assert_eq!(small.backend, "hungarian");
-        let large = tub(&t, MatchingBackend::Auto { exact_below: 10 }, &nocache(), &Budget::unlimited()).unwrap();
+        let large = tub(&t, MatchingBackend::Auto { exact_below: 10 }, &unlimited_ctx()).unwrap();
         assert_eq!(large.backend, "greedy+2swap");
     }
 
     #[test]
     fn biregular_ignores_serverless_switches_in_pairs() {
         let t = fat_tree(4).unwrap();
-        let r = tub(&t, MatchingBackend::Exact, &nocache(), &Budget::unlimited()).unwrap();
+        let r = tub(&t, MatchingBackend::Exact, &unlimited_ctx()).unwrap();
         for &(u, v) in &r.pairs {
             assert!(t.servers_at(u) > 0);
             assert!(t.servers_at(v) > 0);
@@ -484,7 +482,7 @@ mod tests {
         // L = 1 → denominator 2 (both directions), 2E = 2 → tub = 1.
         let g = Graph::from_edges(2, &[(0, 1)]).unwrap();
         let t = Topology::new(g, vec![1, 3], "pair").unwrap();
-        let r = tub(&t, MatchingBackend::Exact, &nocache(), &Budget::unlimited()).unwrap();
+        let r = tub(&t, MatchingBackend::Exact, &unlimited_ctx()).unwrap();
         assert!((r.bound - 1.0).abs() < 1e-12);
     }
 
@@ -492,15 +490,15 @@ mod tests {
     fn exhausted_hungarian_degrades_to_greedy() {
         let t = ring(8, 1);
         let tiny = Budget::unlimited().with_iter_cap(1);
-        let r = tub(&t, MatchingBackend::Exact, &nocache(), &tiny).unwrap();
+        let r = tub(&t, MatchingBackend::Exact, &nocache_ctx(&tiny)).unwrap();
         assert!(r.fallback);
         assert_eq!(r.backend, "greedy+2swap(fallback)");
         // Still a sound upper bound: no tighter than the exact one.
-        let exact = tub(&t, MatchingBackend::Exact, &nocache(), &Budget::unlimited()).unwrap();
+        let exact = tub(&t, MatchingBackend::Exact, &unlimited_ctx()).unwrap();
         assert!(!exact.fallback);
         assert!(r.bound >= exact.bound - 1e-12);
         // And repeated unlimited calls agree.
-        let b = tub(&t, MatchingBackend::Exact, &nocache(), &Budget::unlimited()).unwrap();
+        let b = tub(&t, MatchingBackend::Exact, &unlimited_ctx()).unwrap();
         assert_eq!(b.bound, exact.bound);
     }
 
@@ -509,7 +507,7 @@ mod tests {
         let g = Graph::from_edges(2, &[(0, 1)]).unwrap();
         let t = Topology::new(g, vec![2, 0], "one").unwrap();
         assert!(matches!(
-            tub(&t, MatchingBackend::Exact, &nocache(), &Budget::unlimited()),
+            tub(&t, MatchingBackend::Exact, &unlimited_ctx()),
             Err(CoreError::OutOfRegime(_))
         ));
     }

@@ -12,7 +12,7 @@ use dcn_exec::{task_seed, Pool};
 use dcn_guard::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use dcn_cache::prelude::nocache;
+use dcn_cache::prelude::*;
 
 fn with_threads<T>(n: usize, f: impl FnOnce() -> T) -> T {
     std::env::set_var("DCN_EXEC_THREADS", n.to_string());
@@ -51,8 +51,7 @@ fn thread_count_never_changes_results() {
                 3,
                 MatchingBackend::Exact,
                 11,
-                cache,
-                &unlimited(),
+                &SolveCtx::unlimited(cache),
             )
             .unwrap()
         })
@@ -80,7 +79,7 @@ fn thread_count_never_changes_results() {
     // θ and improvement count) must not depend on the pool width.
     let search = |threads: usize| {
         with_threads(threads, || {
-            adversarial_search(&topo, 12, 6, 0.1, 3, &nocache(), &unlimited()).unwrap()
+            adversarial_search(&topo, 12, 6, 0.1, 3, &unlimited_ctx()).unwrap()
         })
     };
     let (n1, n4) = (search(1), search(4));

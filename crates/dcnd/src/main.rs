@@ -1,0 +1,81 @@
+//! `dcnd` binary: serve stdin/stdout (default), a unix socket
+//! (`DCN_DCND_SOCKET` or `--socket <path>`), or answer exactly one query
+//! and exit (`--oneshot` — the form CI compares daemon responses
+//! against, byte for byte).
+
+use dcn_dcnd::{Daemon, DaemonConfig};
+use std::io::Write;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut config = DaemonConfig::from_env();
+    let mut oneshot = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--oneshot" => oneshot = true,
+            "--socket" => {
+                i += 1;
+                let Some(path) = args.get(i) else {
+                    eprintln!("--socket needs a path");
+                    return ExitCode::FAILURE;
+                };
+                config.socket = Some(path.into());
+            }
+            "--help" | "-h" => {
+                println!(
+                    "dcnd: throughput-query daemon\n\
+                     usage: dcnd [--oneshot] [--socket <path>]\n\
+                     reads line-delimited JSON queries:\n\
+                     {{\"id\":1,\"topology\":{{\"family\":\"fat_tree\",\"k\":8}},\
+                     \"estimator\":\"tub\"}}"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+        i += 1;
+    }
+    if oneshot {
+        // One query, one response, fresh daemon state: the one-shot
+        // answer a served response must be byte-identical to.
+        let mut line = String::new();
+        if std::io::stdin().read_line(&mut line).is_err() || line.trim().is_empty() {
+            eprintln!("--oneshot expects one query line on stdin");
+            return ExitCode::FAILURE;
+        }
+        let daemon = Daemon::new(config);
+        let responses = daemon.process_batch(&[line]);
+        let mut out = std::io::stdout();
+        for r in responses {
+            if writeln!(out, "{r}").is_err() {
+                return ExitCode::FAILURE;
+            }
+        }
+        return ExitCode::SUCCESS;
+    }
+    let daemon = Daemon::new(config.clone());
+    let served = match &config.socket {
+        Some(path) => daemon.serve_socket(path),
+        None => {
+            let stdin = std::io::stdin();
+            daemon.serve(stdin.lock(), std::io::stdout())
+        }
+    };
+    // Same contract as the bench harness: DCN_OBS=summary gets the
+    // metric/span summary on stderr at exit, stdout stays untouched.
+    if dcn_obs::enabled() {
+        eprint!("{}", dcn_obs::summary());
+    }
+    match served {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("dcnd: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -24,12 +24,12 @@
 
 #![warn(missing_docs)]
 
-use dcn_cache::CacheHandle;
+use dcn_cache::SolveCtx;
 use dcn_core::{tub, CoreError, MatchingBackend};
-use dcn_guard::Budget;
 use dcn_graph::DistMatrix;
 use dcn_mcf::{McfError, PathSet};
 use dcn_model::{Topology, TrafficMatrix};
+use std::borrow::Cow;
 use dcn_partition::{bisection_bandwidth, sparsest_cut_sweep};
 
 /// Error from an estimator run.
@@ -76,8 +76,10 @@ impl std::error::Error for EstimatorError {}
 /// A throughput estimator in the Figure 5 comparison.
 pub trait ThroughputEstimator {
     /// Short name used in result tables (`tub`, `bbw`, `sc`, `singla`,
-    /// `hm(k)`, `jm(k)`).
-    fn name(&self) -> String;
+    /// `hm(k)`, `jm(k)`). Borrowed for the fixed-name estimators so hot
+    /// sweep loops don't allocate per call; only the parameterized
+    /// `hm(k)`/`jm(k)` names format an owned string.
+    fn name(&self) -> Cow<'static, str>;
 
     /// Estimate of `θ(T)` (or of worst-case throughput, for estimators
     /// that ignore the traffic matrix), metered against `budget`.
@@ -88,8 +90,7 @@ pub trait ThroughputEstimator {
         &self,
         topo: &Topology,
         tm: &TrafficMatrix,
-        cache: &CacheHandle,
-        budget: &Budget,
+        ctx: &SolveCtx<'_>,
     ) -> Result<f64, EstimatorError>;
 }
 
@@ -100,18 +101,17 @@ pub struct HoeflerMethod {
 }
 
 impl ThroughputEstimator for HoeflerMethod {
-    fn name(&self) -> String {
-        format!("hm({})", self.k)
+    fn name(&self) -> Cow<'static, str> {
+        Cow::Owned(format!("hm({})", self.k))
     }
 
     fn estimate(
         &self,
         topo: &Topology,
         tm: &TrafficMatrix,
-        cache: &CacheHandle,
-        budget: &Budget,
+        ctx: &SolveCtx<'_>,
     ) -> Result<f64, EstimatorError> {
-        let ps = PathSet::k_shortest_shared(topo, tm, self.k, cache, budget)?.0;
+        let ps = PathSet::k_shortest_shared(topo, tm, self.k, ctx)?.0;
         // Sub-flow count per directed edge.
         let mut count = vec![0u32; ps.n_directed_edges()];
         for c in ps.commodities() {
@@ -149,18 +149,17 @@ pub struct JainMethod {
 }
 
 impl ThroughputEstimator for JainMethod {
-    fn name(&self) -> String {
-        format!("jm({})", self.k)
+    fn name(&self) -> Cow<'static, str> {
+        Cow::Owned(format!("jm({})", self.k))
     }
 
     fn estimate(
         &self,
         topo: &Topology,
         tm: &TrafficMatrix,
-        cache: &CacheHandle,
-        budget: &Budget,
+        ctx: &SolveCtx<'_>,
     ) -> Result<f64, EstimatorError> {
-        let ps = PathSet::k_shortest_shared(topo, tm, self.k, cache, budget)?.0;
+        let ps = PathSet::k_shortest_shared(topo, tm, self.k, ctx)?.0;
         let n_dir = ps.n_directed_edges();
         let mut residual: Vec<f64> = (0..n_dir)
             .map(|i| ps.graph().capacity((i / 2) as u32))
@@ -219,16 +218,15 @@ impl ThroughputEstimator for JainMethod {
 pub struct SinglaBound;
 
 impl ThroughputEstimator for SinglaBound {
-    fn name(&self) -> String {
-        "singla".into()
+    fn name(&self) -> Cow<'static, str> {
+        Cow::Borrowed("singla")
     }
 
     fn estimate(
         &self,
         topo: &Topology,
         _tm: &TrafficMatrix,
-        _cache: &CacheHandle,
-        _budget: &Budget,
+        _ctx: &SolveCtx<'_>,
     ) -> Result<f64, EstimatorError> {
         let k = topo.switches_with_servers();
         let dist = DistMatrix::from_sources(topo.graph(), &k)?;
@@ -257,18 +255,17 @@ pub struct BbwProxy {
 }
 
 impl ThroughputEstimator for BbwProxy {
-    fn name(&self) -> String {
-        "bbw".into()
+    fn name(&self) -> Cow<'static, str> {
+        Cow::Borrowed("bbw")
     }
 
     fn estimate(
         &self,
         topo: &Topology,
         _tm: &TrafficMatrix,
-        cache: &CacheHandle,
-        budget: &Budget,
+        ctx: &SolveCtx<'_>,
     ) -> Result<f64, EstimatorError> {
-        let bbw = bisection_bandwidth(topo, self.tries, self.seed, cache, budget)
+        let bbw = bisection_bandwidth(topo, self.tries, self.seed, ctx)
             .map_err(|e| EstimatorError::Core(CoreError::Budget(e)))?;
         Ok(bbw / (topo.n_servers() as f64 / 2.0))
     }
@@ -281,16 +278,15 @@ pub struct SparsestCut {
 }
 
 impl ThroughputEstimator for SparsestCut {
-    fn name(&self) -> String {
-        "sc".into()
+    fn name(&self) -> Cow<'static, str> {
+        Cow::Borrowed("sc")
     }
 
     fn estimate(
         &self,
         topo: &Topology,
         _tm: &TrafficMatrix,
-        _cache: &CacheHandle,
-        _budget: &Budget,
+        _ctx: &SolveCtx<'_>,
     ) -> Result<f64, EstimatorError> {
         Ok(sparsest_cut_sweep(topo, self.power_iters).sparsity)
     }
@@ -304,25 +300,24 @@ pub struct TubEstimator {
 }
 
 impl ThroughputEstimator for TubEstimator {
-    fn name(&self) -> String {
-        "tub".into()
+    fn name(&self) -> Cow<'static, str> {
+        Cow::Borrowed("tub")
     }
 
     fn estimate(
         &self,
         topo: &Topology,
         _tm: &TrafficMatrix,
-        cache: &CacheHandle,
-        budget: &Budget,
+        ctx: &SolveCtx<'_>,
     ) -> Result<f64, EstimatorError> {
-        Ok(tub(topo, self.backend, cache, budget)?.bound)
+        Ok(tub(topo, self.backend, ctx)?.bound)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dcn_cache::prelude::nocache;
+    use dcn_cache::prelude::*;
     use dcn_mcf::{ksp_mcf_throughput, Engine};
     use dcn_topo::jellyfish;
     use rand::rngs::StdRng;
@@ -331,7 +326,7 @@ mod tests {
     fn setup() -> (Topology, TrafficMatrix) {
         let mut rng = StdRng::seed_from_u64(1);
         let topo = jellyfish(20, 5, 4, &mut rng).unwrap();
-        let t = tub(&topo, MatchingBackend::Exact, &nocache(), &Budget::unlimited()).unwrap();
+        let t = tub(&topo, MatchingBackend::Exact, &unlimited_ctx()).unwrap();
         let tm = t.traffic_matrix(&topo).unwrap();
         (topo, tm)
     }
@@ -340,9 +335,9 @@ mod tests {
     fn hm_is_feasible_lower_estimate() {
         let (topo, tm) = setup();
         let hm = HoeflerMethod { k: 8 }
-            .estimate(&topo, &tm, &nocache(), &Budget::unlimited())
+            .estimate(&topo, &tm, &unlimited_ctx())
             .unwrap();
-        let exact = ksp_mcf_throughput(&topo, &tm, 8, Engine::Exact, &nocache(), &Budget::unlimited())
+        let exact = ksp_mcf_throughput(&topo, &tm, 8, Engine::Exact, &unlimited_ctx())
             .unwrap()
             .theta_lb;
         // HM's equal-split allocation is feasible, so it cannot exceed the
@@ -355,9 +350,9 @@ mod tests {
     fn jm_is_feasible_and_at_least_single_round_hm() {
         let (topo, tm) = setup();
         let jm = JainMethod { k: 8 }
-            .estimate(&topo, &tm, &nocache(), &Budget::unlimited())
+            .estimate(&topo, &tm, &unlimited_ctx())
             .unwrap();
-        let exact = ksp_mcf_throughput(&topo, &tm, 8, Engine::Exact, &nocache(), &Budget::unlimited())
+        let exact = ksp_mcf_throughput(&topo, &tm, 8, Engine::Exact, &unlimited_ctx())
             .unwrap()
             .theta_lb;
         assert!(jm <= exact + 1e-9, "jm {jm} > exact {exact}");
@@ -370,11 +365,11 @@ mod tests {
         // *maximal* permutation's distances, which are no smaller — so
         // singla >= tub on uni-regular topologies (Figure 5(c)).
         let (topo, tm) = setup();
-        let s = SinglaBound.estimate(&topo, &tm, &nocache(), &Budget::unlimited()).unwrap();
+        let s = SinglaBound.estimate(&topo, &tm, &unlimited_ctx()).unwrap();
         let t = TubEstimator {
             backend: MatchingBackend::Exact,
         }
-        .estimate(&topo, &tm, &nocache(), &Budget::unlimited())
+        .estimate(&topo, &tm, &unlimited_ctx())
         .unwrap();
         assert!(s >= t - 1e-9, "singla {s} < tub {t}");
     }
@@ -392,10 +387,10 @@ mod tests {
                 backend: MatchingBackend::Exact,
             }),
         ];
-        let names: Vec<String> = estimators.iter().map(|e| e.name()).collect();
+        let names: Vec<String> = estimators.iter().map(|e| e.name().into_owned()).collect();
         assert_eq!(names, vec!["hm(4)", "jm(4)", "singla", "bbw", "sc", "tub"]);
         for e in &estimators {
-            let v = e.estimate(&topo, &tm, &nocache(), &Budget::unlimited()).unwrap();
+            let v = e.estimate(&topo, &tm, &unlimited_ctx()).unwrap();
             assert!(v.is_finite() && v > 0.0, "{}: {v}", e.name());
         }
     }
@@ -407,7 +402,7 @@ mod tests {
         let (topo, tm) = setup();
         for k in [1, 2, 4, 16] {
             let v = HoeflerMethod { k }
-                .estimate(&topo, &tm, &nocache(), &Budget::unlimited())
+                .estimate(&topo, &tm, &unlimited_ctx())
                 .unwrap();
             assert!(v > 0.0 && v.is_finite());
         }
@@ -418,9 +413,9 @@ mod tests {
         // Reconstruct JM's allocation and verify no directed edge exceeds
         // its capacity (feasibility is the method's key property).
         let (topo, tm) = setup();
-        let ps = PathSet::k_shortest(&topo, &tm, 6, &Budget::unlimited()).unwrap();
+        let ps = PathSet::k_shortest(&topo, &tm, 6, &dcn_guard::Budget::unlimited()).unwrap();
         let jm = JainMethod { k: 6 }
-            .estimate(&topo, &tm, &nocache(), &Budget::unlimited())
+            .estimate(&topo, &tm, &unlimited_ctx())
             .unwrap();
         // jm * demand routed per commodity must fit: weaker sanity check —
         // the estimate cannot exceed min total capacity / total demand.

@@ -153,6 +153,20 @@ impl Budget {
         Self::default()
     }
 
+    /// A `&'static` unlimited budget, for contexts that must outlive any
+    /// stack frame — notably `dcn_cache::SolveCtx` constructors such as
+    /// `unlimited_ctx()`, which bundle this reference with a static
+    /// disabled cache handle.
+    pub fn unlimited_ref() -> &'static Budget {
+        static UNLIMITED: Budget = Budget {
+            deadline: None,
+            wall: None,
+            iter_cap: None,
+            cancel: None,
+        };
+        &UNLIMITED
+    }
+
     /// Adds a wall-clock limit of `wall` from *now*.
     pub fn with_wall(mut self, wall: Duration) -> Self {
         self.wall = Some(wall);

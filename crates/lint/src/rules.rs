@@ -77,7 +77,8 @@ pub const RULES: &[RuleInfo] = &[
     RuleInfo {
         id: "budget-coverage",
         severity: Severity::Error,
-        summary: "pub fns with loop/while in solver crates take a &Budget parameter",
+        summary: "pub fns with loop/while in solver crates take a &Budget or &SolveCtx parameter; \
+                  no legacy (cache, budget) twin tails",
     },
     RuleInfo {
         id: "metric-registry",
@@ -556,12 +557,30 @@ fn budget_coverage_file(f: &SourceFile, fidx: &FileIndex, diags: &mut Vec<Diagno
             continue;
         }
         let sig = &f.masked[def.sig_start..def.body_start];
+        // The pre-SolveCtx twin tail: a signature taking both a cache
+        // handle and a budget by hand. One parameter (`&SolveCtx`) now
+        // carries both; any survivor is a migration leftover.
+        if sig.contains("CacheHandle") && sig.contains("Budget") {
+            push(
+                diags,
+                "budget-coverage",
+                f,
+                def.sig_start,
+                format!(
+                    "`pub fn {}` takes the legacy `(cache: &CacheHandle, \
+                     budget: &Budget)` twin tail; collapse it into a single \
+                     `ctx: &SolveCtx` parameter (dcn_cache::SolveCtx)",
+                    def.name
+                ),
+            );
+            continue;
+        }
         let body = &f.masked[def.body_start..def.body_end];
         let has_loop = !word_occurrences(body, "while").is_empty()
             || word_occurrences(body, "loop")
                 .iter()
                 .any(|&p| body[p + 4..].trim_start().starts_with('{'));
-        if !has_loop || sig.contains("Budget") {
+        if !has_loop || sig.contains("Budget") || sig.contains("SolveCtx") {
             continue;
         }
         push(
@@ -571,9 +590,10 @@ fn budget_coverage_file(f: &SourceFile, fidx: &FileIndex, diags: &mut Vec<Diagno
             def.sig_start,
             format!(
                 "`pub fn {}` contains a loop/while but does not take a \
-                 &Budget/BudgetMeter; thread a budget through (call sites \
-                 without one use dcn_guard::prelude::unlimited()) — bounded \
-                 loops may carry a justified allow",
+                 &Budget/BudgetMeter/&SolveCtx; thread a budget through \
+                 (call sites without one use \
+                 dcn_cache::prelude::unlimited_ctx()) — bounded loops may \
+                 carry a justified allow",
                 def.name
             ),
         );

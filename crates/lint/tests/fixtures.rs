@@ -46,6 +46,7 @@ fn violations_tree_yields_exact_diagnostics() {
         ("nondeterminism", "crates/core/src/threads.rs", 5),
         ("budget-coverage", "crates/graph/src/looping.rs", 4),
         ("unused-allow", "crates/graph/src/looping.rs", 12),
+        ("budget-coverage", "crates/graph/src/looping.rs", 17),
         ("float-eq", "crates/lp/src/floats.rs", 5),
         ("float-eq", "crates/lp/src/floats.rs", 10),
         ("float-eq", "crates/lp/src/floats.rs", 15),
@@ -86,7 +87,9 @@ fn clean_tree_is_quiet_and_honors_allows() {
     // nondeterminism allow on a process spawn outside dcn-fleet, and one
     // each for the v2 rules: lock-order, blocking-under-lock,
     // atomic-ordering, env-registry.
-    assert_eq!(report.allows_honored, 14);
+    // ...and one budget-coverage allow on a staged legacy twin-tail
+    // signature awaiting its `&SolveCtx` migration.
+    assert_eq!(report.allows_honored, 15);
 }
 
 fn run_cli(args: &[&str]) -> std::process::Output {

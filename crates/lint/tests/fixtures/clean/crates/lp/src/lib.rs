@@ -21,3 +21,18 @@ pub fn spin() -> u32 {
         return 7;
     }
 }
+
+/// Fixture: documented twin tail under a justified allow.
+// dcn-lint: allow(budget-coverage) — fixture: migration staging point, twin tail retired next pass
+pub fn solve_pair(n: u32, cache: &CacheHandle, budget: &Budget) -> u32 {
+    n + cache.len() as u32 + budget.len() as u32
+}
+
+/// Fixture: documented loop covered by the unified `&SolveCtx` context.
+pub fn spin_ctx(n: u32, ctx: &SolveCtx<'_>) -> u32 {
+    let mut i = 0;
+    while i < n {
+        i += 1;
+    }
+    i + ctx.tag
+}

@@ -28,7 +28,7 @@ pub mod routing;
 pub use pathset::{Commodity, PathSet, SharedPathSet};
 pub use routing::{ecmp_throughput, vlb_throughput};
 
-use dcn_cache::{CacheEntry, CacheHandle, CacheKey, KeyBuilder};
+use dcn_cache::{CacheEntry, CacheKey, KeyBuilder, SolveCtx};
 use dcn_guard::{Budget, BudgetError, CertError};
 use dcn_model::{ModelError, Topology, TrafficMatrix};
 use dcn_obs::json::Json;
@@ -253,7 +253,7 @@ impl std::error::Error for McfError {
 /// let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)])?;
 /// let topo = Topology::new(g, vec![1; 5], "c5")?;
 /// let tm = TrafficMatrix::permutation(&topo, &[(0, 3), (3, 1), (1, 4), (4, 2), (2, 0)])?;
-/// let res = ksp_mcf_throughput(&topo, &tm, 8, Engine::Exact, &nocache(), &unlimited())?;
+/// let res = ksp_mcf_throughput(&topo, &tm, 8, Engine::Exact, &unlimited_ctx())?;
 /// assert!((res.theta_lb - 5.0 / 6.0).abs() < 1e-9);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
@@ -262,13 +262,12 @@ pub fn ksp_mcf_throughput(
     tm: &TrafficMatrix,
     k: usize,
     engine: Engine,
-    cache: &CacheHandle,
-    budget: &Budget,
+    ctx: &SolveCtx<'_>,
 ) -> Result<ThroughputResult, McfError> {
-    let ps = PathSet::k_shortest_shared(topo, tm, k, cache, budget)?;
-    cache.get_or_compute(
+    let ps = PathSet::k_shortest_shared(topo, tm, k, ctx)?;
+    ctx.cache.get_or_compute(
         || theta_key(topo, tm, k, engine),
-        || throughput_on_paths(&ps.0, engine, budget),
+        || throughput_on_paths(&ps.0, engine, ctx.budget),
     )
 }
 

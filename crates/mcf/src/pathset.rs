@@ -1,7 +1,7 @@
 //! Per-commodity restricted path sets over the coalesced switch graph.
 
 use crate::McfError;
-use dcn_cache::{CacheEntry, CacheHandle, KeyBuilder};
+use dcn_cache::{CacheEntry, KeyBuilder, SolveCtx};
 use dcn_graph::ksp;
 use dcn_graph::{EdgeId, Graph, NodeId};
 use dcn_guard::Budget;
@@ -134,12 +134,11 @@ impl PathSet {
         topo: &Topology,
         tm: &TrafficMatrix,
         k: usize,
-        cache: &CacheHandle,
-        budget: &Budget,
+        ctx: &SolveCtx<'_>,
     ) -> Result<SharedPathSet, McfError> {
-        cache.get_or_compute(
+        ctx.cache.get_or_compute(
             || pathset_key(topo, tm, k),
-            || PathSet::k_shortest(topo, tm, k, budget).map(|ps| SharedPathSet(Arc::new(ps))),
+            || PathSet::k_shortest(topo, tm, k, ctx.budget).map(|ps| SharedPathSet(Arc::new(ps))),
         )
     }
 

@@ -192,7 +192,7 @@ mod tests {
         for _ in 0..3 {
             let tm = TrafficMatrix::random_permutation(&t, &mut rng).unwrap();
             let ecmp = ecmp_throughput(&t, &tm).unwrap();
-            let mcf = crate::ksp_mcf_throughput(&t, &tm, 32, crate::Engine::Exact, &dcn_cache::prelude::nocache(), &dcn_guard::Budget::unlimited())
+            let mcf = crate::ksp_mcf_throughput(&t, &tm, 32, crate::Engine::Exact, &dcn_cache::prelude::unlimited_ctx())
                 .unwrap()
                 .theta_lb;
             assert!(ecmp <= mcf + 1e-9, "ecmp {ecmp} > mcf {mcf}");
@@ -229,7 +229,7 @@ mod tests {
         let t = jellyfish(16, 6, 4, &mut rng).unwrap();
         let tm = TrafficMatrix::random_permutation(&t, &mut rng).unwrap();
         let vlb = vlb_throughput(&t, &tm).unwrap();
-        let mcf = crate::ksp_mcf_throughput(&t, &tm, 32, crate::Engine::Exact, &dcn_cache::prelude::nocache(), &dcn_guard::Budget::unlimited())
+        let mcf = crate::ksp_mcf_throughput(&t, &tm, 32, crate::Engine::Exact, &dcn_cache::prelude::unlimited_ctx())
             .unwrap()
             .theta_lb;
         assert!(vlb <= mcf + 1e-9, "vlb {vlb} > mcf {mcf}");

@@ -173,6 +173,43 @@ pub const FLEET_INJECT_KILL_AFTER: EnvVar = EnvVar {
     doc: "Test hook: after this many units complete, SIGKILL one live worker exactly once (exercises crash recovery).",
 };
 
+// --- dcnd ------------------------------------------------------------------
+
+/// Unix socket path the daemon listens on.
+pub const DCND_SOCKET: EnvVar = EnvVar {
+    name: "DCN_DCND_SOCKET",
+    default: "unset (serve stdin/stdout)",
+    doc: "When set, `dcnd` listens on this unix socket path instead of serving line-delimited queries over stdin/stdout.",
+};
+
+/// Daemon admission-queue depth.
+pub const DCND_QUEUE_DEPTH: EnvVar = EnvVar {
+    name: "DCN_DCND_QUEUE_DEPTH",
+    default: "256",
+    doc: "Maximum queries admitted per `dcnd` scheduling batch; excess queries in a batch receive a typed `rejected` response with reason `queue-full`.",
+};
+
+/// Daemon solve concurrency cap.
+pub const DCND_MAX_INFLIGHT: EnvVar = EnvVar {
+    name: "DCN_DCND_MAX_INFLIGHT",
+    default: "DCN_EXEC_THREADS",
+    doc: "Cap on cold solves in flight at once inside `dcnd`; warm (cache-served) queries bypass it.",
+};
+
+/// Daemon global deadline.
+pub const DCND_GLOBAL_DEADLINE_MS: EnvVar = EnvVar {
+    name: "DCN_DCND_GLOBAL_DEADLINE_MS",
+    default: "unset (unlimited)",
+    doc: "Global wall-clock budget for all cold solves in a `dcnd` process, anchored at startup; once exhausted, warm queries still answer from cache and cold queries get a typed `rejected` response (`0` rejects every cold solve immediately).",
+};
+
+/// Daemon response-timing toggle.
+pub const DCND_TIMING: EnvVar = EnvVar {
+    name: "DCN_DCND_TIMING",
+    default: "off",
+    doc: "When `1`/`on`/`true`, `dcnd` responses include a `wall_ms` provenance field; off by default so replayed batches are byte-identical.",
+};
+
 /// Every registered variable, in README-table order. The lint rule and
 /// the `--env-table` generator both key on this list.
 pub const ALL: &[&EnvVar] = &[
@@ -191,6 +228,11 @@ pub const ALL: &[&EnvVar] = &[
     &FLEET_MAX_RETRIES,
     &FLEET_BACKOFF_MS,
     &FLEET_INJECT_KILL_AFTER,
+    &DCND_SOCKET,
+    &DCND_QUEUE_DEPTH,
+    &DCND_MAX_INFLIGHT,
+    &DCND_GLOBAL_DEADLINE_MS,
+    &DCND_TIMING,
 ];
 
 #[cfg(test)]

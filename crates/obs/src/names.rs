@@ -195,6 +195,21 @@ pub const TRACE_EVENTS_RECORDED: &str = "trace.events.recorded";
 /// Trace events dropped at the `DCN_TRACE_MAX_EVENTS` cap (counter).
 pub const TRACE_EVENTS_DROPPED: &str = "trace.events.dropped";
 
+// --- dcnd ------------------------------------------------------------------
+
+/// Queries answered `ok` (counter).
+pub const DCND_QUERIES_OK: &str = "dcnd.queries.ok";
+/// Queries answered with a typed `rejected` response (counter).
+pub const DCND_QUERIES_REJECTED: &str = "dcnd.queries.rejected";
+/// Queries answered with a typed `error` response (counter).
+pub const DCND_QUERIES_ERROR: &str = "dcnd.queries.error";
+/// Queries collapsed onto an identical in-batch canonical key (counter).
+pub const DCND_QUERIES_DEDUPED: &str = "dcnd.queries.deduped";
+/// One admitted query batch scheduled on the pool (span).
+pub const DCND_BATCH: &str = "dcnd.batch";
+/// One cold query solve inside a batch (span).
+pub const DCND_SOLVE: &str = "dcnd.solve";
+
 /// Every registered name, for exhaustiveness tests and tooling.
 pub const ALL: &[&str] = &[
     GRAPH_KSP_SPUR_SEARCHES,
@@ -269,6 +284,12 @@ pub const ALL: &[&str] = &[
     CACHE_HIT_RATE,
     TRACE_EVENTS_RECORDED,
     TRACE_EVENTS_DROPPED,
+    DCND_QUERIES_OK,
+    DCND_QUERIES_REJECTED,
+    DCND_QUERIES_ERROR,
+    DCND_QUERIES_DEDUPED,
+    DCND_BATCH,
+    DCND_SOLVE,
 ];
 
 #[cfg(test)]

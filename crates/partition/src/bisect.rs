@@ -3,7 +3,7 @@
 use crate::coarsen::coarsen_once;
 use crate::fm::refine;
 use crate::WGraph;
-use dcn_cache::{CacheEntry, CacheHandle, KeyBuilder};
+use dcn_cache::{CacheEntry, KeyBuilder, SolveCtx};
 use dcn_guard::{Budget, BudgetError, BudgetMeter};
 use dcn_model::Topology;
 use rand::rngs::StdRng;
@@ -214,10 +214,9 @@ pub fn bisection_bandwidth(
     topo: &Topology,
     tries: u32,
     seed: u64,
-    cache: &CacheHandle,
-    budget: &Budget,
+    ctx: &SolveCtx<'_>,
 ) -> Result<f64, BudgetError> {
-    let cut = cache.get_or_compute(
+    let cut = ctx.cache.get_or_compute(
         || {
             KeyBuilder::new("bbw")
                 .topology(topo)
@@ -225,7 +224,7 @@ pub fn bisection_bandwidth(
                 .u64(seed)
                 .finish()
         },
-        || bisection(topo, tries, seed, budget).map(|r| CachedCut(r.cut)),
+        || bisection(topo, tries, seed, ctx.budget).map(|r| CachedCut(r.cut)),
     )?;
     Ok(cut.0)
 }
@@ -236,16 +235,15 @@ pub fn has_full_bisection(
     topo: &Topology,
     tries: u32,
     seed: u64,
-    cache: &CacheHandle,
-    budget: &Budget,
+    ctx: &SolveCtx<'_>,
 ) -> Result<bool, BudgetError> {
-    Ok(bisection_bandwidth(topo, tries, seed, cache, budget)? >= topo.n_servers() as f64 / 2.0 - 1e-9)
+    Ok(bisection_bandwidth(topo, tries, seed, ctx)? >= topo.n_servers() as f64 / 2.0 - 1e-9)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dcn_cache::prelude::nocache;
+    use dcn_cache::prelude::*;
     use dcn_graph::Graph;
     use dcn_topo::{fat_tree, jellyfish};
     use rand::rngs::StdRng;
@@ -275,7 +273,7 @@ mod tests {
     #[test]
     fn fat_tree_has_full_bisection() {
         let t = fat_tree(4).unwrap();
-        let bbw = bisection_bandwidth(&t, 8, 3, &nocache(), &Budget::unlimited()).unwrap();
+        let bbw = bisection_bandwidth(&t, 8, 3, &unlimited_ctx()).unwrap();
         // Full bisection: at least N/2 = 8.
         assert!(bbw >= 8.0, "bbw = {bbw}");
     }
@@ -286,7 +284,7 @@ mod tests {
         // 32 switches, degree 8, H=4: a random 8-regular graph's balanced
         // cut is roughly n*r/4 minus expansion slack.
         let t = jellyfish(32, 8, 4, &mut rng).unwrap();
-        let bbw = bisection_bandwidth(&t, 4, 3, &nocache(), &Budget::unlimited()).unwrap();
+        let bbw = bisection_bandwidth(&t, 4, 3, &unlimited_ctx()).unwrap();
         assert!(bbw >= 30.0, "bbw = {bbw} too small for a degree-8 expander");
         assert!(bbw <= 64.0, "bbw = {bbw} exceeds the random-cut average");
     }
@@ -296,7 +294,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         // Degree 16 network ports vs H=4 servers: plenty of fabric capacity.
         let t = jellyfish(32, 16, 4, &mut rng).unwrap();
-        assert!(has_full_bisection(&t, 4, 3, &nocache(), &Budget::unlimited()).unwrap());
+        assert!(has_full_bisection(&t, 4, 3, &unlimited_ctx()).unwrap());
     }
 
     #[test]
@@ -304,9 +302,9 @@ mod tests {
         let edges: Vec<(u32, u32)> = (0..16u32).map(|i| (i, (i + 1) % 16)).collect();
         let g = Graph::from_edges(16, &edges).unwrap();
         let t = Topology::new(g, vec![1; 16], "ring").unwrap();
-        let bbw = bisection_bandwidth(&t, 8, 5, &nocache(), &Budget::unlimited()).unwrap();
+        let bbw = bisection_bandwidth(&t, 8, 5, &unlimited_ctx()).unwrap();
         assert_eq!(bbw, 2.0);
-        assert!(!has_full_bisection(&t, 8, 5, &nocache(), &Budget::unlimited()).unwrap());
+        assert!(!has_full_bisection(&t, 8, 5, &unlimited_ctx()).unwrap());
     }
 
     #[test]
@@ -346,7 +344,7 @@ mod tests {
 #[cfg(test)]
 mod exhaustive_tests {
     use super::*;
-    use dcn_cache::prelude::nocache;
+    use dcn_cache::prelude::*;
     use dcn_graph::Graph;
     use dcn_topo::jellyfish;
     use rand::rngs::StdRng;
@@ -388,7 +386,7 @@ mod exhaustive_tests {
         let mut rng = StdRng::seed_from_u64(13);
         for trial in 0..4 {
             let t = jellyfish(12, 4, 2, &mut rng).unwrap();
-            let heuristic = bisection_bandwidth(&t, 8, trial, &nocache(), &Budget::unlimited()).unwrap();
+            let heuristic = bisection_bandwidth(&t, 8, trial, &unlimited_ctx()).unwrap();
             let exact = exhaustive_best_cut(&t);
             // The heuristic is an upper bound on the true minimum...
             assert!(
@@ -420,6 +418,6 @@ mod exhaustive_tests {
         .unwrap();
         let t = Topology::new(g, vec![2; 6], "dumbbell").unwrap();
         assert_eq!(exhaustive_best_cut(&t), 1.0);
-        assert_eq!(bisection_bandwidth(&t, 8, 3, &nocache(), &Budget::unlimited()).unwrap(), 1.0);
+        assert_eq!(bisection_bandwidth(&t, 8, 3, &unlimited_ctx()).unwrap(), 1.0);
     }
 }

@@ -14,12 +14,12 @@
 use dcn::core::frontier::Family;
 use dcn::core::universal::{full_throughput_possible, UniRegularParams};
 use dcn::core::{tub, MatchingBackend};
-use dcn::guard::prelude::*;
 use dcn::partition::bisection_bandwidth;
 use dcn::topo::folded_clos;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cache = dcn_cache::CacheHandle::from_env();
+    let sctx = dcn_cache::SolveCtx::unlimited(&cache);
     let args: Vec<String> = std::env::args().collect();
     let n_servers: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(1024);
     let radix: u32 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(14);
@@ -32,9 +32,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Clos baseline.
     if let Some((p, sw)) = dcn::core::cost::min_clos_switches(n_servers, radix) {
         let topo = folded_clos(p)?;
-        let t = tub(&topo, MatchingBackend::Auto { exact_below: 600 }, &cache, &unlimited())?;
+        let t = tub(&topo, MatchingBackend::Auto { exact_below: 600 }, &sctx)?;
         let bbw =
-            bisection_bandwidth(&topo, 3, 7, &cache, &unlimited())? / (topo.n_servers() as f64 / 2.0);
+            bisection_bandwidth(&topo, 3, 7, &sctx)? / (topo.n_servers() as f64 / 2.0);
         println!(
             "{:<18} {:>4} {:>9} {:>7.3} {:>9.3} {:>12}",
             format!("clos({}L)", p.layers),
@@ -59,9 +59,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 Ok(t) => t,
                 Err(_) => continue,
             };
-            let t = tub(&topo, MatchingBackend::Auto { exact_below: 600 }, &cache, &unlimited())?;
+            let t = tub(&topo, MatchingBackend::Auto { exact_below: 600 }, &sctx)?;
             let bbw =
-                bisection_bandwidth(&topo, 3, 7, &cache, &unlimited())? / (topo.n_servers() as f64 / 2.0);
+                bisection_bandwidth(&topo, 3, 7, &sctx)? / (topo.n_servers() as f64 / 2.0);
             let permitted = full_throughput_possible(UniRegularParams {
                 n_servers: topo.n_servers(),
                 radix,

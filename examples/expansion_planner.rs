@@ -11,12 +11,12 @@
 //! ```
 
 use dcn::core::expansion_eval::expansion_curve;
-use dcn::guard::prelude::*;
 use dcn::core::frontier::Family;
 use dcn::core::{tub, MatchingBackend};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cache = dcn_cache::CacheHandle::from_env();
+    let sctx = dcn_cache::SolveCtx::unlimited(&cache);
     let args: Vec<String> = std::env::args().collect();
     let init: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(48);
     let target: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(120);
@@ -31,7 +31,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         topo.n_switches(),
         target
     );
-    let curve = expansion_curve(&topo, h, steps.max(1), 0.2, backend, 5, &cache, &unlimited())?;
+    let curve = expansion_curve(&topo, h, steps.max(1), 0.2, backend, 5, &sctx)?;
     println!("{:>8} {:>9} {:>7} {:>11}", "ratio", "switches", "tub", "normalized");
     for p in &curve {
         println!(
@@ -55,7 +55,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // What should the designer have picked for the target size?
     for h_plan in (1..h).rev() {
         let planned = Family::Jellyfish.build(target * h as usize / h_plan as usize, radix, h_plan, 3)?;
-        let t = tub(&planned, backend, &cache, &unlimited())?;
+        let t = tub(&planned, backend, &sctx)?;
         if t.bound >= 1.0 - 1e-9 {
             println!(
                 "   planning ahead: H={h_plan} keeps tub = {:.3} at the target size \

@@ -11,10 +11,10 @@
 use dcn::core::frontier::Family;
 use dcn::core::resilience::{failure_sweep, rms_deviation};
 use dcn::core::MatchingBackend;
-use dcn::guard::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cache = dcn_cache::CacheHandle::from_env();
+    let sctx = dcn_cache::SolveCtx::unlimited(&cache);
     let args: Vec<String> = std::env::args().collect();
     let switches: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(160);
     let h: u32 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(4);
@@ -34,8 +34,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         3,
         MatchingBackend::Auto { exact_below: 500 },
         13,
-        &cache,
-        &unlimited(),
+        &sctx,
     )?;
     println!("{:>9} {:>9} {:>9} {:>10}", "failed", "nominal", "actual", "deviation");
     for p in &points {

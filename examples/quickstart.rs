@@ -11,13 +11,13 @@
 
 use dcn::core::{tub, MatchingBackend};
 use dcn::graph::Graph;
-use dcn::guard::prelude::*;
 use dcn::mcf::{ksp_mcf_throughput, Engine};
 use dcn::model::Topology;
 use dcn::partition::bisection_bandwidth;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cache = dcn_cache::CacheHandle::from_env();
+    let sctx = dcn_cache::SolveCtx::unlimited(&cache);
     // Five 3-port switches, one server each → a 5-cycle of switch links.
     let graph = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)])?;
     let topo = Topology::new(graph, vec![1; 5], "figure6-middle")?;
@@ -27,11 +27,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Bisection bandwidth: any balanced cut of a cycle crosses 2 links,
     // and N/2 = 2.5 → "full bisection" fails by the strict definition but
     // the paper's point is throughput, so print both.
-    let bbw = bisection_bandwidth(&topo, 8, 1, &cache, &unlimited())?;
+    let bbw = bisection_bandwidth(&topo, 8, 1, &sctx)?;
     println!("bisection bandwidth: {bbw} (N/2 = {})", topo.n_servers() as f64 / 2.0);
 
     // The throughput upper bound and its maximal permutation.
-    let bound = tub(&topo, MatchingBackend::Exact, &cache, &unlimited())?;
+    let bound = tub(&topo, MatchingBackend::Exact, &sctx)?;
     println!("tub = {:.4} via {}", bound.bound, bound.backend);
     println!("maximal permutation (switch -> switch):");
     for &(u, v) in &bound.pairs {
@@ -40,14 +40,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Exact KSP-MCF throughput of that worst-case traffic matrix.
     let tm = bound.traffic_matrix(&topo)?;
-    let exact = ksp_mcf_throughput(&topo, &tm, 8, Engine::Exact, &cache, &unlimited())?;
+    let exact = ksp_mcf_throughput(&topo, &tm, 8, Engine::Exact, &sctx)?;
     println!("exact θ(T) of the maximal permutation = {:.4} (paper: 5/6 ≈ 0.8333)",
         exact.theta_lb);
     println!("fraction of flow on shortest paths: {:.3} (optimal routing mixes in the 3-hop paths)",
         exact.shortest_path_fraction);
 
     // The FPTAS brackets the same value.
-    let approx = ksp_mcf_throughput(&topo, &tm, 8, Engine::Fptas { eps: 0.02 }, &cache, &unlimited())?;
+    let approx = ksp_mcf_throughput(&topo, &tm, 8, Engine::Fptas { eps: 0.02 }, &sctx)?;
     println!("fptas bracket: [{:.4}, {:.4}]", approx.theta_lb, approx.theta_ub);
 
     assert!((exact.theta_lb - 5.0 / 6.0).abs() < 1e-9);

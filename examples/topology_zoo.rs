@@ -21,6 +21,7 @@ use rand::SeedableRng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cache = dcn_cache::CacheHandle::from_env();
+    let sctx = dcn_cache::SolveCtx::unlimited(&cache);
     let args: Vec<String> = std::env::args().collect();
     let radix: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(12);
     let h = 4u32;
@@ -49,7 +50,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?);
 
     for topo in &zoo {
-        let card = report_card(topo, MatchingBackend::Auto { exact_below: 400 }, 3, 7, &cache, &unlimited())?;
+        let card = report_card(topo, MatchingBackend::Auto { exact_below: 400 }, 3, 7, &sctx)?;
         print!("{}", card.render());
         // Edge connectivity: affordable at zoo sizes.
         let ec = edge_connectivity(topo.graph(), &unlimited())?;

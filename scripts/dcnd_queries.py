@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Deterministic query-batch generator for the dcnd smoke test.
+
+Usage: dcnd_queries.py [N] [--unique | --distinct]
+
+Prints N line-delimited JSON queries (default 1000) drawn round-robin
+from a fixed pool of unique (topology, tm, estimator) triples, each with
+several textually different spellings of the same instance mixed in —
+field-order permutations and omitted-vs-explicit defaults for the
+parameter-determined families (fat-tree, Clos), which dcnd must collapse
+onto one canonical key, and field-order variants for Jellyfish, which it
+must NOT collapse. `--unique` prints each distinct spelling exactly once;
+`--distinct` prints one spelling per canonical key (the form the
+one-shot comparison replays: no duplicates, so a served batch and the
+per-line `dcnd --oneshot` answers are byte-identical, provenance
+included).
+
+Everything is a pure function of N: no randomness, no timestamps, so two
+generated batches are byte-identical and so are dcnd's responses to them.
+"""
+
+import sys
+
+# Each entry is a list of spellings of ONE query. Spellings of a
+# parameter-determined instance dedup to one solve; the jellyfish
+# spellings are listed as separate entries because they are separate
+# cache keys by design.
+SPELLING_GROUPS = [
+    # fat-tree: field order and id placement must not matter
+    ['{"topology":{"family":"fat_tree","k":4},"estimator":"singla"}',
+     '{"estimator":"singla","topology":{"k":4,"family":"fat_tree"}}'],
+    ['{"topology":{"family":"fat_tree","k":6},"estimator":"singla"}'],
+    ['{"topology":{"family":"fat_tree","k":8},"estimator":"singla"}',
+     '{"topology":{"k":8,"family":"fat_tree"},"estimator":"singla"}'],
+    ['{"topology":{"family":"fat_tree","k":4},"estimator":"sc"}'],
+    ['{"topology":{"family":"fat_tree","k":6},"estimator":"sc"}'],
+    ['{"topology":{"family":"fat_tree","k":4},"estimator":"bbw"}'],
+    ['{"topology":{"family":"fat_tree","k":6},"estimator":"bbw"}'],
+    ['{"topology":{"family":"fat_tree","k":4},"estimator":"tub"}',
+     '{"estimator":"tub","topology":{"family":"fat_tree","k":4}}'],
+    ['{"topology":{"family":"fat_tree","k":6},"estimator":"tub"}'],
+    ['{"topology":{"family":"fat_tree","k":4},"estimator":"hm(4)"}'],
+    ['{"topology":{"family":"fat_tree","k":4},"estimator":"hm(4)","tm":{"kind":"random_permutation","seed":5}}'],
+    # Clos: omitted defaults vs spelled-out defaults are one instance
+    ['{"topology":{"family":"clos","radix":4},"estimator":"singla"}',
+     '{"topology":{"family":"clos","radix":4,"layers":3,"top_pods":4,"spine_uplink_fraction":1.0,"leaf_servers":0},"estimator":"singla"}'],
+    ['{"topology":{"family":"clos","radix":6},"estimator":"singla"}'],
+    ['{"topology":{"family":"clos","radix":8},"estimator":"singla"}',
+     '{"topology":{"radix":8,"family":"clos"},"estimator":"singla"}'],
+    ['{"topology":{"family":"clos","radix":4},"estimator":"sc"}'],
+    ['{"topology":{"family":"clos","radix":6},"estimator":"bbw"}'],
+    ['{"topology":{"family":"clos","radix":4,"spine_uplink_fraction":0.5},"estimator":"singla"}'],
+    # Seeded families: every spelling below is its own query on purpose
+    ['{"topology":{"family":"jellyfish","switches":20,"radix":8,"h":4,"seed":3},"estimator":"singla"}'],
+    ['{"topology":{"seed":3,"family":"jellyfish","switches":20,"radix":8,"h":4},"estimator":"singla"}'],
+    ['{"topology":{"family":"jellyfish","switches":24,"radix":8,"h":4,"seed":1},"estimator":"bbw"}'],
+    ['{"topology":{"family":"xpander","switches":24,"radix":8,"h":4,"seed":2},"estimator":"singla"}'],
+    ['{"topology":{"family":"fatclique","switches":27,"radix":10,"h":4,"seed":1},"estimator":"singla"}'],
+]
+
+
+def main():
+    n = 1000
+    unique = distinct = False
+    for arg in sys.argv[1:]:
+        if arg == "--unique":
+            unique = True
+        elif arg == "--distinct":
+            distinct = True
+        else:
+            n = int(arg)
+    flat = [s for group in SPELLING_GROUPS for s in group]
+    if unique:
+        for line in flat:
+            print(line)
+        return
+    if distinct:
+        for group in SPELLING_GROUPS:
+            print(group[0])
+        return
+    # Round-robin over the spellings, so every spelling recurs ~N/len
+    # times: the first occurrence of each canonical key is the only cold
+    # solve, everything after it is an in-batch dedup or a warm hit.
+    for i in range(n):
+        print(flat[i % len(flat)])
+
+
+if __name__ == "__main__":
+    main()

@@ -10,12 +10,11 @@
 //! Families: `jellyfish`, `xpander`, `fatclique`, `fattree`, `clos`.
 //! Topologies are exchanged as the JSON format of `dcn::model::TopologySpec`.
 
-use dcn::cache::CacheHandle;
+use dcn::cache::{CacheHandle, SolveCtx};
 use dcn::core::frontier::{frontier_max_servers, Criterion, Family};
 use dcn::core::universal::{max_full_throughput_servers, universal_tub, UniRegularParams};
 use dcn::core::{tub, MatchingBackend};
 use dcn::graph::adjacency_lambda2;
-use dcn::guard::prelude::*;
 use dcn::mcf::{ecmp_throughput, ksp_mcf_throughput, Engine};
 use dcn::model::Topology;
 use dcn::partition::bisection_bandwidth;
@@ -158,9 +157,10 @@ fn cmd_eval(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         topo.class()
     );
     let cache = CacheHandle::from_env();
-    let bound = tub(&topo, MatchingBackend::default(), &cache, &unlimited())?;
+    let sctx = SolveCtx::unlimited(&cache);
+    let bound = tub(&topo, MatchingBackend::default(), &sctx)?;
     println!("tub                 = {:.4}  ({})", bound.bound, bound.backend);
-    let bbw = bisection_bandwidth(&topo, 4, 7, &cache, &unlimited())?;
+    let bbw = bisection_bandwidth(&topo, 4, 7, &sctx)?;
     println!(
         "bisection bandwidth = {bbw:.1}  ({:.3} of N/2)",
         bbw / (topo.n_servers() as f64 / 2.0)
@@ -176,7 +176,7 @@ fn cmd_eval(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         let k: usize = args.get("k", 16);
         let eps: f64 = args.get("eps", 0.05);
         let tm = bound.traffic_matrix(&topo)?;
-        let mcf = ksp_mcf_throughput(&topo, &tm, k, Engine::Fptas { eps }, &cache, &unlimited())?;
+        let mcf = ksp_mcf_throughput(&topo, &tm, k, Engine::Fptas { eps }, &sctx)?;
         println!(
             "ksp-mcf θ(worst)    = [{:.4}, {:.4}]  (K = {k}, eps = {eps})",
             mcf.theta_lb, mcf.theta_ub
@@ -209,6 +209,7 @@ fn cmd_frontier(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         },
     };
     let cache = CacheHandle::from_env();
+    let sctx = SolveCtx::unlimited(&cache);
     match frontier_max_servers(
         family,
         radix,
@@ -216,8 +217,7 @@ fn cmd_frontier(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         criterion,
         max_switches,
         seed,
-        &cache,
-        &unlimited(),
+        &sctx,
     )? {
         Some(n) => println!(
             "{} radix={radix} H={h}: largest size satisfying the criterion ≈ {n} servers"

@@ -17,7 +17,7 @@ use dcn::model::{Demand, ModelError, Topology, TrafficMatrix};
 use dcn::partition::bisection;
 use dcn::core::{tub, MatchingBackend};
 use std::time::{Duration, Instant};
-use dcn_cache::prelude::nocache;
+use dcn_cache::prelude::*;
 
 /// A 6-cycle with one server per switch: small enough that every solver
 /// finishes instantly under a sane budget, structured enough (two paths
@@ -87,7 +87,7 @@ fn materialize_and_assert(case: CaseSpec) {
                 .expect("zero capacity is representable");
             let t = Topology::new(g, vec![1; 3], "deadlink").expect("builds");
             let tm = TrafficMatrix::permutation(&t, &[(0, 2)]).expect("valid tm");
-            match ksp_mcf_throughput(&t, &tm, 4, Engine::Exact, &nocache(), &Budget::unlimited()) {
+            match ksp_mcf_throughput(&t, &tm, 4, Engine::Exact, &unlimited_ctx()) {
                 Ok(r) => {
                     assert!(r.theta_lb.is_finite() && r.theta_lb.abs() < 1e-9, "{r:?}");
                 }
@@ -107,12 +107,12 @@ fn materialize_and_assert(case: CaseSpec) {
             let g = Graph::from_edges(4, &[(0, 1), (2, 3)]).expect("two components");
             let t = Topology::new(g, vec![1; 4], "split").expect("builds");
             let tm = TrafficMatrix::permutation(&t, &[(0, 2)]).expect("valid tm");
-            let err = ksp_mcf_throughput(&t, &tm, 4, Engine::Exact, &nocache(), &Budget::unlimited()).unwrap_err();
+            let err = ksp_mcf_throughput(&t, &tm, 4, Engine::Exact, &unlimited_ctx()).unwrap_err();
             assert_eq!(err, McfError::NoPath { src: 0, dst: 2 });
         }
         CaseSpec::EmptyTraffic => {
             let tm = TrafficMatrix::new(&topo, Vec::new()).expect("empty tm is legal");
-            let err = ksp_mcf_throughput(&topo, &tm, 4, Engine::Exact, &nocache(), &Budget::unlimited()).unwrap_err();
+            let err = ksp_mcf_throughput(&topo, &tm, 4, Engine::Exact, &unlimited_ctx()).unwrap_err();
             assert_eq!(err, McfError::EmptyTraffic);
         }
         CaseSpec::DegenerateLp => {
@@ -153,7 +153,7 @@ fn materialize_and_assert(case: CaseSpec) {
             let tm = antipodal_tm(&topo);
             let budget = Budget::unlimited().with_wall(Duration::from_nanos(1));
             let started = Instant::now();
-            let err = ksp_mcf_throughput(&topo, &tm, 8, Engine::Exact, &nocache(), &budget).unwrap_err();
+            let err = ksp_mcf_throughput(&topo, &tm, 8, Engine::Exact, &nocache_ctx(&budget)).unwrap_err();
             assert!(
                 matches!(err, McfError::Budget(BudgetError::DeadlineExceeded { .. })),
                 "{err:?}"
@@ -190,7 +190,7 @@ fn materialize_and_assert(case: CaseSpec) {
             flag.cancel();
             let budget = Budget::unlimited().with_cancel(flag);
             let tm = antipodal_tm(&topo);
-            let err = ksp_mcf_throughput(&topo, &tm, 8, Engine::Exact, &nocache(), &budget).unwrap_err();
+            let err = ksp_mcf_throughput(&topo, &tm, 8, Engine::Exact, &nocache_ctx(&budget)).unwrap_err();
             assert!(
                 matches!(err, McfError::Budget(BudgetError::Cancelled { .. })),
                 "{err:?}"
@@ -219,7 +219,7 @@ fn hostile_floats_never_panic_model_constructors() {
         // Traffic scaling must not manufacture NaN demands that later
         // solvers choke on without a typed error.
         let tm = antipodal_tm(&topo).scaled(v);
-        match ksp_mcf_throughput(&topo, &tm, 4, Engine::Exact, &nocache(), &Budget::unlimited()) {
+        match ksp_mcf_throughput(&topo, &tm, 4, Engine::Exact, &unlimited_ctx()) {
             Ok(r) => assert!(r.theta_lb.is_finite(), "theta from scale {v}: {r:?}"),
             Err(e) => assert!(
                 matches!(e, McfError::Certificate(_) | McfError::SolverFailure(_)),
@@ -273,8 +273,7 @@ fn fallback_chains_absorb_exhaustion_end_to_end() {
     let t = tub(
         &topo,
         MatchingBackend::Exact,
-        &nocache(),
-        &Budget::unlimited().with_iter_cap(0),
+        &nocache_ctx(&Budget::unlimited().with_iter_cap(0)),
     )
     .expect("greedy fallback absorbs the exhaustion");
     assert!(t.fallback);
@@ -309,7 +308,7 @@ fn cancellation_mid_run_stops_promptly() {
     let started = Instant::now();
     // Either it finishes before the flag trips (tiny instance, fast box)
     // or it reports Cancelled — never a wedge.
-    match tub(&topo, MatchingBackend::Exact, &nocache(), &budget) {
+    match tub(&topo, MatchingBackend::Exact, &nocache_ctx(&budget)) {
         Ok(t) => assert!(t.bound.is_finite()),
         Err(e) => assert!(format!("{e}").contains("cancelled"), "{e:?}"),
     }

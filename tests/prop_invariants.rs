@@ -12,7 +12,7 @@ use dcn::topo::jellyfish;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use dcn_cache::prelude::nocache;
+use dcn_cache::prelude::*;
 
 /// Strategy: a connected random regular graph spec (n, r).
 fn regular_spec() -> impl Strategy<Value = (usize, usize, u32, u64)> {
@@ -73,11 +73,11 @@ proptest! {
         prop_assume!(n <= 24); // keep the exact LP affordable
         let mut rng = StdRng::seed_from_u64(seed);
         let topo = jellyfish(n, r, h, &mut rng).unwrap();
-        let exact_b = tub(&topo, MatchingBackend::Exact, &nocache(), &unlimited()).unwrap();
-        let greedy_b = tub(&topo, MatchingBackend::Greedy { improvement_passes: 2 }, &nocache(), &unlimited()).unwrap();
+        let exact_b = tub(&topo, MatchingBackend::Exact, &unlimited_ctx()).unwrap();
+        let greedy_b = tub(&topo, MatchingBackend::Greedy { improvement_passes: 2 }, &unlimited_ctx()).unwrap();
         prop_assert!(greedy_b.bound >= exact_b.bound - 1e-12);
         let tm = exact_b.traffic_matrix(&topo).unwrap();
-        let th = ksp_mcf_throughput(&topo, &tm, 16, Engine::Exact, &nocache(), &unlimited()).unwrap().theta_lb;
+        let th = ksp_mcf_throughput(&topo, &tm, 16, Engine::Exact, &unlimited_ctx()).unwrap().theta_lb;
         prop_assert!(th <= exact_b.bound + 1e-9,
             "θ {} > tub {}", th, exact_b.bound);
     }
@@ -90,7 +90,7 @@ proptest! {
         let mut rng = StdRng::seed_from_u64(seed);
         let topo = jellyfish(n, r, h, &mut rng).unwrap();
         let tm = TrafficMatrix::random_permutation(&topo, &mut rng).unwrap();
-        let res = ksp_mcf_throughput(&topo, &tm, 8, Engine::Fptas { eps: 0.1 }, &nocache(), &unlimited()).unwrap();
+        let res = ksp_mcf_throughput(&topo, &tm, 8, Engine::Fptas { eps: 0.1 }, &unlimited_ctx()).unwrap();
         prop_assert!(res.theta_lb <= res.theta_ub + 1e-12);
         prop_assert!(res.theta_lb > 0.0);
         prop_assert!((0.0..=1.0 + 1e-9).contains(&res.shortest_path_fraction));

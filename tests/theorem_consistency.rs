@@ -11,23 +11,22 @@
 use dcn::core::lower::throughput_lower_bound;
 use dcn::core::universal::{universal_tub, UniRegularParams};
 use dcn::core::{tub, MatchingBackend};
-use dcn::guard::prelude::*;
 use dcn::mcf::{ksp_mcf_throughput, Engine};
 use dcn::model::TrafficMatrix;
 use dcn::topo::{fat_tree, jellyfish, xpander};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use dcn_cache::prelude::nocache;
+use dcn_cache::prelude::*;
 
 #[test]
 fn bound_chain_on_jellyfish_instances() {
     let mut rng = StdRng::seed_from_u64(1);
     for (n, r, h) in [(16usize, 4usize, 3u32), (24, 5, 4), (40, 6, 4)] {
         let topo = jellyfish(n, r, h, &mut rng).unwrap();
-        let ub = tub(&topo, MatchingBackend::Exact, &nocache(), &unlimited()).unwrap();
+        let ub = tub(&topo, MatchingBackend::Exact, &unlimited_ctx()).unwrap();
         let tm = ub.traffic_matrix(&topo).unwrap();
         let lower = throughput_lower_bound(&topo, &tm, 1).unwrap();
-        let exact = ksp_mcf_throughput(&topo, &tm, 24, Engine::Exact, &nocache(), &unlimited())
+        let exact = ksp_mcf_throughput(&topo, &tm, 24, Engine::Exact, &unlimited_ctx())
             .unwrap()
             .theta_lb;
         let universal = universal_tub(UniRegularParams {
@@ -62,12 +61,12 @@ fn fptas_brackets_exact_on_all_families() {
         fat_tree(4).unwrap(),
     ];
     for topo in topos {
-        let ub = tub(&topo, MatchingBackend::Exact, &nocache(), &unlimited()).unwrap();
+        let ub = tub(&topo, MatchingBackend::Exact, &unlimited_ctx()).unwrap();
         let tm = ub.traffic_matrix(&topo).unwrap();
-        let exact = ksp_mcf_throughput(&topo, &tm, 16, Engine::Exact, &nocache(), &unlimited())
+        let exact = ksp_mcf_throughput(&topo, &tm, 16, Engine::Exact, &unlimited_ctx())
             .unwrap()
             .theta_lb;
-        let approx = ksp_mcf_throughput(&topo, &tm, 16, Engine::Fptas { eps: 0.05 }, &nocache(), &unlimited()).unwrap();
+        let approx = ksp_mcf_throughput(&topo, &tm, 16, Engine::Fptas { eps: 0.05 }, &unlimited_ctx()).unwrap();
         assert!(
             approx.theta_lb <= exact + 1e-9 && exact <= approx.theta_ub + 1e-9,
             "{}: [{}, {}] misses {}",
@@ -84,12 +83,12 @@ fn clos_supports_every_permutation_at_full_rate() {
     // §4.1: Clos supports every permutation traffic matrix at θ >= 1, and
     // its tub is exactly 1.
     let topo = fat_tree(4).unwrap();
-    let ub = tub(&topo, MatchingBackend::Exact, &nocache(), &unlimited()).unwrap();
+    let ub = tub(&topo, MatchingBackend::Exact, &unlimited_ctx()).unwrap();
     assert!((ub.bound - 1.0).abs() < 1e-9);
     let mut rng = StdRng::seed_from_u64(3);
     for _ in 0..5 {
         let tm = TrafficMatrix::random_permutation(&topo, &mut rng).unwrap();
-        let th = ksp_mcf_throughput(&topo, &tm, 16, Engine::Exact, &nocache(), &unlimited())
+        let th = ksp_mcf_throughput(&topo, &tm, 16, Engine::Exact, &unlimited_ctx())
             .unwrap()
             .theta_lb;
         assert!(th >= 1.0 - 1e-9, "clos θ = {th} for a permutation");
@@ -105,14 +104,14 @@ fn maximal_permutation_is_near_worst_case() {
     // slack rather than exact dominance.
     let mut rng = StdRng::seed_from_u64(4);
     let topo = jellyfish(24, 5, 4, &mut rng).unwrap();
-    let ub = tub(&topo, MatchingBackend::Exact, &nocache(), &unlimited()).unwrap();
+    let ub = tub(&topo, MatchingBackend::Exact, &unlimited_ctx()).unwrap();
     let worst_tm = ub.traffic_matrix(&topo).unwrap();
-    let worst = ksp_mcf_throughput(&topo, &worst_tm, 24, Engine::Exact, &nocache(), &unlimited())
+    let worst = ksp_mcf_throughput(&topo, &worst_tm, 24, Engine::Exact, &unlimited_ctx())
         .unwrap()
         .theta_lb;
     for _ in 0..5 {
         let tm = TrafficMatrix::random_permutation(&topo, &mut rng).unwrap();
-        let th = ksp_mcf_throughput(&topo, &tm, 24, Engine::Exact, &nocache(), &unlimited())
+        let th = ksp_mcf_throughput(&topo, &tm, 24, Engine::Exact, &unlimited_ctx())
             .unwrap()
             .theta_lb;
         assert!(
@@ -129,14 +128,14 @@ fn theorem21_convex_combination_dominance() {
     // permutation throughput.
     let mut rng = StdRng::seed_from_u64(5);
     let topo = jellyfish(16, 4, 3, &mut rng).unwrap();
-    let ub = tub(&topo, MatchingBackend::Exact, &nocache(), &unlimited()).unwrap();
+    let ub = tub(&topo, MatchingBackend::Exact, &unlimited_ctx()).unwrap();
     let worst_tm = ub.traffic_matrix(&topo).unwrap();
-    let worst = ksp_mcf_throughput(&topo, &worst_tm, 16, Engine::Exact, &nocache(), &unlimited())
+    let worst = ksp_mcf_throughput(&topo, &worst_tm, 16, Engine::Exact, &unlimited_ctx())
         .unwrap()
         .theta_lb;
     for _ in 0..3 {
         let mix = TrafficMatrix::random_hose(&topo, 3, &mut rng).unwrap();
-        let th = ksp_mcf_throughput(&topo, &mix, 16, Engine::Exact, &nocache(), &unlimited())
+        let th = ksp_mcf_throughput(&topo, &mix, 16, Engine::Exact, &unlimited_ctx())
             .unwrap()
             .theta_lb;
         assert!(
@@ -152,8 +151,8 @@ fn expansion_never_raises_tub_noticeably() {
     // worst case (modulo small randomness).
     let mut rng = StdRng::seed_from_u64(6);
     let topo = jellyfish(30, 5, 4, &mut rng).unwrap();
-    let before = tub(&topo, MatchingBackend::Exact, &nocache(), &unlimited()).unwrap().bound.min(1.0);
+    let before = tub(&topo, MatchingBackend::Exact, &unlimited_ctx()).unwrap().bound.min(1.0);
     let bigger = dcn::topo::expand_by_rewiring(&topo, 30, 4, &mut rng).unwrap();
-    let after = tub(&bigger, MatchingBackend::Exact, &nocache(), &unlimited()).unwrap().bound.min(1.0);
+    let after = tub(&bigger, MatchingBackend::Exact, &unlimited_ctx()).unwrap().bound.min(1.0);
     assert!(after <= before + 0.08, "expansion raised tub {before} -> {after}");
 }
